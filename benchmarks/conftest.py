@@ -1,0 +1,31 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures: it runs
+the experiment once under pytest-benchmark (pedantic, single round —
+these are minutes-long simulations, not microbenchmarks), prints the
+regenerated rows, and asserts the paper's shape holds.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run an experiment driver once, print its table, return the report."""
+
+    def runner(driver, *args, **kwargs):
+        report = benchmark.pedantic(
+            lambda: driver(*args, **kwargs), rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print(f"\n=== {report.exp_id} — {report.title} ===")
+            print(report.table)
+            for record in report.records:
+                status = "ok " if record.holds() else "MISS"
+                print(
+                    f"  [{status}] {record.name}: paper={record.paper} "
+                    f"measured={record.measured} {record.unit} {record.note}"
+                )
+        return report
+
+    return runner

@@ -1,0 +1,12 @@
+"""Benchmark: Ablation — fusion hop limit vs clock.
+
+Regenerates the rows/series via ``run_ablation_hoplimit`` and checks the paper's shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments.ablations import run_ablation_hoplimit
+
+
+def test_ablation_hoplimit(run_experiment):
+    report = run_experiment(run_ablation_hoplimit)
+    assert report.all_hold()

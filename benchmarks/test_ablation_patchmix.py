@@ -1,0 +1,12 @@
+"""Benchmark: Ablation — heterogeneous vs homogeneous patch mix.
+
+Regenerates the rows/series via ``run_ablation_patchmix`` and checks the paper's shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments.ablations import run_ablation_patchmix
+
+
+def test_ablation_patchmix(run_experiment):
+    report = run_experiment(run_ablation_patchmix)
+    assert report.all_hold()

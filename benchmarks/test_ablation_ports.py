@@ -1,0 +1,12 @@
+"""Benchmark: Ablation — register-file port budget.
+
+Regenerates the rows/series via ``run_ablation_ports`` and checks the paper's shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments.ablations import run_ablation_ports
+
+
+def test_ablation_ports(run_experiment):
+    report = run_experiment(run_ablation_ports)
+    assert report.all_hold()

@@ -1,0 +1,13 @@
+"""Benchmark: Ablation — const-region replication for fused remote loads.
+
+Regenerates the rows via ``run_ablation_replication`` and checks that
+replication is monotone (never hurts).
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments.ablations import run_ablation_replication
+
+
+def test_ablation_replication(run_experiment):
+    report = run_experiment(run_ablation_replication)
+    assert report.all_hold()

@@ -1,0 +1,12 @@
+"""Benchmark: Ablation — SPM footprint per kernel.
+
+Regenerates the rows/series via ``run_ablation_spm`` and checks the paper's shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments.ablations import run_ablation_spm
+
+
+def test_ablation_spm(run_experiment):
+    report = run_experiment(run_ablation_spm)
+    assert report.records[0].holds()

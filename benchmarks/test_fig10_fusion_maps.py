@@ -1,0 +1,12 @@
+"""Benchmark: Figure 10 — patch fusion maps per application.
+
+Regenerates the rows/series via ``run_fig10_fusion_maps`` and checks the paper's shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments import run_fig10_fusion_maps
+
+
+def test_fig10_fusion_maps(run_experiment):
+    report = run_experiment(run_fig10_fusion_maps)
+    assert report.all_hold()

@@ -1,0 +1,12 @@
+"""Benchmark: Figure 11 — per-kernel speedups.
+
+Regenerates the rows/series via ``run_fig11_kernel_speedups`` and checks the paper's shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments import run_fig11_kernel_speedups
+
+
+def test_fig11_kernel_speedup(run_experiment):
+    report = run_experiment(run_fig11_kernel_speedups)
+    assert report.all_hold()

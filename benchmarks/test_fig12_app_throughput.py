@@ -1,0 +1,13 @@
+"""Benchmark: Figure 12 — application throughput per architecture.
+
+Regenerates the rows/series via ``run_fig12_app_throughput`` and checks the paper's shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments import run_fig12_app_throughput
+
+
+def test_fig12_app_throughput(run_experiment):
+    report = run_experiment(run_fig12_app_throughput)
+    ordering = [r for r in report.records if 'ordering' in r.name][0]
+    assert ordering.holds(), 'baseline < LOCUS < w/o fusion < Stitch must hold'

@@ -1,0 +1,12 @@
+"""Benchmark: Figure 13 — power and area breakdown.
+
+Regenerates the rows/series via ``run_fig13_breakdown`` and checks the paper's shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments import run_fig13_breakdown
+
+
+def test_fig13_breakdown(run_experiment):
+    report = run_experiment(run_fig13_breakdown)
+    assert report.all_hold()

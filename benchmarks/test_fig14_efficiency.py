@@ -1,0 +1,12 @@
+"""Benchmark: Figure 14 — power- and area-efficiency.
+
+Regenerates the rows/series via ``run_fig14_efficiency`` and checks the paper's shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments import run_fig14_efficiency
+
+
+def test_fig14_efficiency(run_experiment):
+    report = run_experiment(run_fig14_efficiency)
+    assert report.records[-1].holds()

@@ -1,0 +1,12 @@
+"""Benchmark: Figure 15 — Stitch vs the smartwatch class.
+
+Regenerates the rows/series via ``run_fig15_vs_wearables`` and checks the paper's shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments import run_fig15_vs_wearables
+
+
+def test_fig15_vs_wearables(run_experiment):
+    report = run_experiment(run_fig15_vs_wearables)
+    assert report.records[-1].holds()

@@ -1,0 +1,12 @@
+"""Benchmark: Figure 4 — one pattern on different patches.
+
+Regenerates the rows/series via ``run_fig4_pattern`` and checks the paper's shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments import run_fig4_pattern
+
+
+def test_fig4_pattern(run_experiment):
+    report = run_experiment(run_fig4_pattern)
+    assert report.all_hold()

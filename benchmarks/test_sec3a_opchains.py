@@ -1,0 +1,12 @@
+"""Benchmark: Section III-A — op-chain LCS study.
+
+Regenerates the rows/series via ``run_sec3a_opchains`` and checks the paper's shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments import run_sec3a_opchains
+
+
+def test_sec3a_opchains(run_experiment):
+    report = run_experiment(run_sec3a_opchains)
+    assert report.all_hold()

@@ -1,0 +1,12 @@
+"""Benchmark: Section III-C — SPM vs bigger D-cache.
+
+Regenerates the rows/series via ``run_sec3c_spm_tradeoff`` and checks the paper's shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments import run_sec3c_spm_tradeoff
+
+
+def test_sec3c_spm_tradeoff(run_experiment):
+    report = run_experiment(run_sec3c_spm_tradeoff)
+    assert report.all_hold()

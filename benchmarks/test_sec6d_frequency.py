@@ -1,0 +1,14 @@
+"""Benchmark: Section VI-D — LOCUS at 400 MHz vs Stitch at 200 MHz.
+
+Regenerates the rows/series via ``run_sec6d_frequency`` and checks the paper's shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments import run_sec6d_frequency
+
+
+def test_sec6d_frequency(run_experiment):
+    report = run_experiment(run_sec6d_frequency)
+    # our LOCUS model is stronger than the paper's; the perf/W
+    # direction is the asserted shape (see EXPERIMENTS.md)
+    assert report.records[-1].holds()

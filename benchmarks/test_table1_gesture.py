@@ -1,0 +1,12 @@
+"""Benchmark: Table I — gesture recognition across platforms.
+
+Regenerates the rows/series via ``run_table1_gesture`` and checks the paper's shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments import run_table1_gesture
+
+
+def test_table1_gesture(run_experiment):
+    report = run_experiment(run_table1_gesture)
+    assert report.records[0].holds(), 'deadline phenomenon must reproduce'

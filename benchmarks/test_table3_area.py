@@ -1,0 +1,12 @@
+"""Benchmark: Table III — accelerator area cost.
+
+Regenerates the rows/series via ``run_table3_area`` and checks the paper's shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments import run_table3_area
+
+
+def test_table3_area(run_experiment):
+    report = run_experiment(run_table3_area)
+    assert report.all_hold()

@@ -1,0 +1,12 @@
+"""Benchmark: Table IV — component delays and the critical path.
+
+Regenerates the rows/series via ``run_table4_timing`` and checks the paper's shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments import run_table4_timing
+
+
+def test_table4_timing(run_experiment):
+    report = run_experiment(run_table4_timing)
+    assert report.all_hold()

@@ -1,0 +1,12 @@
+"""Benchmark: Table V — related-work classification.
+
+Regenerates the rows/series via ``run_table5_relatedwork`` and checks the paper's shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments import run_table5_relatedwork
+
+
+def test_table5_relatedwork(run_experiment):
+    report = run_experiment(run_table5_relatedwork)
+    assert report.all_hold()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""The paper's case study (Section V): finger gesture recognition.
+
+Builds APP1 — the 16-kernel gesture pipeline of Figure 7 (sense ->
+6x FFT -> update/filter -> 6x IFFT -> classify) — compiles every
+kernel's patch options, runs Algorithm 1, and reports the Table I
+story: which platforms meet the 7.81 ms real-time deadline.
+"""
+
+from repro.analysis.experiments.apps import gesture_platforms
+from repro.power.platforms import GESTURE_DEADLINE_MS
+from repro.sim.baselines import ARCH_STITCH, ARCHITECTURES, AppEvaluator
+from repro.workloads.apps import app1_gesture
+
+
+def main():
+    app = app1_gesture()
+    print(f"{app!r}")
+    print("stages:", ", ".join(
+        f"{s.id}:{s.kernel.name}" for s in app.stages
+    ))
+    print()
+
+    evaluator = AppEvaluator(app)
+    print("compiling every kernel x patch option (simulated, validated)...")
+    throughputs = evaluator.normalized_throughputs()
+    print("\nnormalized throughput vs the 16-core baseline (Fig. 12, APP1):")
+    for arch in ARCHITECTURES:
+        print(f"  {arch:18s} {throughputs[arch]:.2f}x")
+
+    plan = evaluator.plan(ARCH_STITCH)
+    print("\n" + plan.describe())
+    print(f"\nfused pairs placed: {len(plan.fused_pairs())}; "
+          f"inter-patch links reserved: {len(plan.network.reserved_links)}")
+
+    print(f"\n=== the {GESTURE_DEADLINE_MS} ms real-time deadline (Table I) ===")
+    for name, platform in gesture_platforms().items():
+        verdict = "MEETS " if platform.meets_deadline() else "misses"
+        print(f"  {name:20s} {platform.gesture_ms:8.2f} ms/gesture  "
+              f"{platform.power_mw:7.1f} mW   {verdict} the deadline")
+
+
+if __name__ == "__main__":
+    main()

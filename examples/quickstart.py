@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Quickstart: write a kernel, compile custom instructions, measure.
+
+Walks the core flow of the Stitch reproduction in one page:
+
+1. write a small kernel in the reproduction ISA,
+2. run it on the simulated in-order core (baseline cycles),
+3. let the compiler mine it for custom instructions and map them onto
+   a polymorphic patch (and onto a fused pair),
+4. run the rewritten binaries and compare cycles,
+5. peek at the 19-bit control word a patch configuration packs into.
+"""
+
+from repro.compiler.driver import KernelCompiler, PatchOption
+from repro.core import AT_MA, AT_SA
+from repro.isa import Asm
+from repro.mem import SPM_BASE
+
+
+def build_kernel(n=64):
+    """sum(|x[i]| * w >> 4) over an SPM-resident array."""
+    asm = Asm("quickstart")
+    asm.movi("r1", SPM_BASE)
+    asm.movi("r2", SPM_BASE + 4 * n)
+    asm.movi("r5", 13)            # weight
+    asm.movi("r6", 0)             # accumulator
+    loop = asm.label("loop")
+    asm.lw("r3", 0, "r1")
+    asm.srai("r4", "r3", 31)      # branchless |x|
+    asm.xor("r3", "r3", "r4")
+    asm.sub("r3", "r3", "r4")
+    asm.mul("r3", "r3", "r5")
+    asm.srai("r3", "r3", 4)
+    asm.add("r6", "r6", "r3")
+    asm.addi("r1", "r1", 4)
+    asm.bne("r1", "r2", loop)
+    asm.halt()
+    program = asm.assemble()
+
+    class Kernel:
+        name = "quickstart"
+        live_out_regs = frozenset({6})
+
+        def __init__(self):
+            self.program = program
+
+        def setup(self, core):
+            core.memory.load(SPM_BASE, [(-1) ** i * (i * 37 % 1000) for i in range(n)])
+
+        def result(self, core):
+            return [core.regs[6]]
+
+    return Kernel()
+
+
+def main():
+    kernel = build_kernel()
+    print("=== the kernel ===")
+    print(kernel.program.text())
+
+    compiler = KernelCompiler(kernel)
+    print(f"baseline: {compiler.baseline_cycles} cycles\n")
+
+    for option in (
+        PatchOption("AT-MA", AT_MA),
+        PatchOption("AT-SA", AT_SA),
+        PatchOption("AT-MA+AT-SA", AT_MA, AT_SA),
+    ):
+        compiled = compiler.compile(option)
+        tag = "fused pair" if option.fused else "single patch"
+        print(f"--- {option.name} ({tag}) ---")
+        print(f"cycles: {compiled.cycles}  speedup: {compiled.speedup:.2f}x  "
+              f"custom instructions: {len(compiled.mappings)}")
+        for mapping in compiled.mappings:
+            print(f"  covers {mapping.candidate!r}")
+            config = mapping.config
+            if hasattr(config, "encode"):
+                print(f"  19-bit control word: {config.encode():#07x}")
+            else:
+                print(f"  38-bit fused control word: {config.control_bits():#011x}")
+        print()
+
+    best = compiler.best_option()
+    print(f"best option over all 12: {best.option.name} at {best.speedup:.2f}x")
+    print("every accelerated binary was validated bit-exactly against the "
+          "unmodified kernel.")
+
+
+if __name__ == "__main__":
+    main()

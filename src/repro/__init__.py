@@ -1,0 +1,40 @@
+"""Stitch (ISCA 2018) — full-system Python reproduction.
+
+Fusible heterogeneous ISE accelerators ("polymorphic patches")
+enmeshed with a 16-tile message-passing many-core, stitched into
+virtual accelerators over a compiler-scheduled bufferless NoC.
+
+Subpackages (bottom-up):
+
+* :mod:`repro.isa`, :mod:`repro.cpu`, :mod:`repro.mem` — the ISA,
+  in-order core and memory-hierarchy substrates,
+* :mod:`repro.noc`, :mod:`repro.mpi` — the inter-core mesh NoC and the
+  message-passing runtime,
+* :mod:`repro.core`, :mod:`repro.interpatch` — the paper's
+  contribution: patches, 19-bit configs, fusion, Algorithm 1, and the
+  bufferless inter-patch network,
+* :mod:`repro.compiler` — the ISE tool chain (Figure 6),
+* :mod:`repro.sim` — the 16-tile co-simulator and architecture
+  evaluator,
+* :mod:`repro.workloads` — kernels and the four applications,
+* :mod:`repro.power` — timing/area/power models,
+* :mod:`repro.analysis` — the per-table/figure experiment harness.
+
+Quick taste::
+
+    from repro.compiler.driver import KernelCompiler, PatchOption
+    from repro.core import AT_MA, AT_AS
+    from repro.workloads import make_kernel
+
+    compiled = KernelCompiler(make_kernel("2dconv")).compile(
+        PatchOption("AT-MA+AT-AS", AT_MA, AT_AS)
+    )
+    print(compiled.speedup)   # measured, validated bit-exactly
+"""
+
+__version__ = "1.0.0"
+__paper__ = (
+    "Tan, Karunaratne, Mitra, Peh — Stitch: Fusible Heterogeneous "
+    "Accelerators Enmeshed with Many-Core Architecture for Wearables, "
+    "ISCA 2018"
+)

@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``kernels`` — list the workload suite with baseline cycle counts,
+* ``compile <kernel> [--option NAME]`` — compile + measure one kernel
+  across patch options (default: all 12 + LOCUS),
+* ``run <file.s>`` — assemble and run a program on one simulated tile,
+* ``app <APP1..APP4>`` — evaluate one application across the four
+  architectures (Figure 12 row),
+* ``report [path]`` — regenerate the full EXPERIMENTS.md (slow).
+"""
+
+import argparse
+import sys
+
+
+def cmd_kernels(_args):
+    from repro.compiler.profiler import profile_kernel
+    from repro.workloads import KERNEL_FACTORIES, make_kernel
+
+    print(f"{'kernel':12s} {'instructions':>12s} {'cycles':>10s}  description")
+    for name in sorted(KERNEL_FACTORIES):
+        kernel = make_kernel(name)
+        profile = profile_kernel(kernel.program, kernel.setup)
+        doc = (type(kernel).__module__.split(".")[-1])
+        print(f"{name:12s} {profile.instructions:12d} {profile.cycles:10d}  {doc}")
+
+
+def cmd_compile(args):
+    from repro.compiler.driver import (
+        ALL_OPTIONS,
+        KernelCompiler,
+        LOCUS_OPTION,
+    )
+    from repro.workloads import make_kernel
+
+    kernel = make_kernel(args.kernel, seed=args.seed)
+    compiler = KernelCompiler(kernel, allow_replication=not args.no_replication)
+    options = ALL_OPTIONS + (LOCUS_OPTION,)
+    if args.option:
+        options = tuple(o for o in options if o.name == args.option)
+        if not options:
+            sys.exit(f"unknown option {args.option!r}")
+    print(f"{args.kernel}: baseline {compiler.baseline_cycles} cycles")
+    for option in options:
+        compiled = compiler.compile(option)
+        extras = []
+        if compiled.uses_fusion:
+            extras.append("fused")
+        if compiled.replicated_regions:
+            extras.append(
+                "replicates " + ",".join(r.name for r in compiled.replicated_regions)
+            )
+        tag = f" ({'; '.join(extras)})" if extras else ""
+        print(
+            f"  {option.name:14s} {compiled.cycles:8d} cycles  "
+            f"{compiled.speedup:5.2f}x  {len(compiled.mappings)} cix{tag}"
+        )
+
+
+def cmd_run(args):
+    from repro.cpu import Core
+    from repro.isa import assemble
+    from repro.mem import MemorySystem
+
+    with open(args.file) as handle:
+        program = assemble(handle.read(), name=args.file)
+    core = Core(program, MemorySystem.stitch(), profile=True)
+    outcome = core.run(max_instructions=args.max_instructions)
+    print(f"stopped: {outcome.reason}")
+    print(f"cycles: {core.cycles}  instructions: {core.instret}")
+    live = {f"r{i}": v for i, v in enumerate(core.regs) if v}
+    print(f"registers: {live}")
+
+
+def cmd_app(args):
+    from repro.sim.baselines import ARCHITECTURES, ARCH_STITCH, AppEvaluator
+    from repro.workloads.apps import APP_FACTORIES
+
+    factory = APP_FACTORIES.get(args.app.upper())
+    if factory is None:
+        sys.exit(f"unknown app {args.app!r}; choose from {sorted(APP_FACTORIES)}")
+    evaluator = AppEvaluator(factory(seed=args.seed))
+    print(f"evaluating {evaluator.app.name} (compiles every kernel option)...")
+    throughputs = evaluator.normalized_throughputs()
+    for arch in ARCHITECTURES:
+        print(f"  {arch:18s} {throughputs[arch]:.2f}x")
+    plan = evaluator.plan(ARCH_STITCH)
+    print(plan.describe())
+
+
+def cmd_report(args):
+    from repro.analysis.report import generate
+
+    generate(args.path)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Stitch (ISCA 2018) reproduction tools"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("kernels", help="list the kernel suite")
+
+    p_compile = sub.add_parser("compile", help="compile one kernel")
+    p_compile.add_argument("kernel")
+    p_compile.add_argument("--option", help="single patch option name")
+    p_compile.add_argument("--seed", type=int, default=1)
+    p_compile.add_argument("--no-replication", action="store_true")
+
+    p_run = sub.add_parser("run", help="run an assembly file on one tile")
+    p_run.add_argument("file")
+    p_run.add_argument("--max-instructions", type=int, default=10_000_000)
+
+    p_app = sub.add_parser("app", help="evaluate an application")
+    p_app.add_argument("app", help="APP1 | APP2 | APP3 | APP4")
+    p_app.add_argument("--seed", type=int, default=1)
+
+    p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p_report.add_argument("path", nargs="?", default="EXPERIMENTS.md")
+
+    args = parser.parse_args(argv)
+    handler = {
+        "kernels": cmd_kernels,
+        "compile": cmd_compile,
+        "run": cmd_run,
+        "app": cmd_app,
+        "report": cmd_report,
+    }[args.command]
+    handler(args)
+
+
+if __name__ == "__main__":
+    main()

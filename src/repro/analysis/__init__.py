@@ -1,0 +1,12 @@
+"""Experiment harness: one driver per table/figure of the paper.
+
+Each experiment module exposes ``run(...)`` returning an
+:class:`~repro.analysis.records.ExperimentReport` — paper-vs-measured
+records plus a rendered table.  ``python -m repro.analysis.report``
+executes everything and regenerates EXPERIMENTS.md.
+"""
+
+from repro.analysis.records import ExperimentRecord, ExperimentReport
+from repro.analysis.tables import render_table
+
+__all__ = ["ExperimentRecord", "ExperimentReport", "render_table"]

@@ -1,0 +1,41 @@
+"""One driver per table/figure (see DESIGN.md §3 for the index)."""
+
+from repro.analysis.experiments.kernels import (
+    run_fig4_pattern,
+    run_fig11_kernel_speedups,
+    run_sec3a_opchains,
+    run_sec3c_spm_tradeoff,
+    run_sec6d_frequency,
+)
+from repro.analysis.experiments.apps import (
+    run_fig10_fusion_maps,
+    run_fig12_app_throughput,
+    run_fig14_efficiency,
+    run_fig15_vs_wearables,
+    run_table1_gesture,
+)
+from repro.analysis.experiments.hardware import (
+    run_fig13_breakdown,
+    run_table3_area,
+    run_table4_timing,
+    run_table5_relatedwork,
+)
+
+ALL_EXPERIMENTS = {
+    "Table I": run_table1_gesture,
+    "Fig. 4": run_fig4_pattern,
+    "Sec. III-A": run_sec3a_opchains,
+    "Sec. III-C": run_sec3c_spm_tradeoff,
+    "Fig. 10": run_fig10_fusion_maps,
+    "Fig. 11": run_fig11_kernel_speedups,
+    "Fig. 12": run_fig12_app_throughput,
+    "Fig. 13": run_fig13_breakdown,
+    "Table III": run_table3_area,
+    "Table IV": run_table4_timing,
+    "Fig. 14": run_fig14_efficiency,
+    "Fig. 15": run_fig15_vs_wearables,
+    "Table V": run_table5_relatedwork,
+    "Sec. VI-D": run_sec6d_frequency,
+}
+
+__all__ = ["ALL_EXPERIMENTS"] + [f.__name__ for f in ALL_EXPERIMENTS.values()]

@@ -1,0 +1,112 @@
+"""Hardware-model experiments: Figure 13, Tables III, IV and V."""
+
+from repro.analysis.records import ExperimentReport
+from repro.analysis.tables import render_table
+from repro.core import AT_AS, AT_MA, AT_SA, FusionTiming
+from repro.core.fusion import MAX_FUSION_HOPS
+from repro.power.chip import ChipModel, POWER_BREAKDOWN
+from repro.power.components import (
+    ACCEL_AREA_PERCENT,
+    ACCEL_AREA_UM2,
+    NOC_SWITCH_AREA_UM2,
+    NOC_SWITCH_DELAY_NS,
+    StitchAreaModel,
+)
+from repro.power.relatedwork import RELATED_WORK, related_work_table
+
+
+def run_fig13_breakdown():
+    """Figure 13: chip power and area breakdown."""
+    report = ExperimentReport("Fig. 13", "Power and area breakdown")
+    chip = ChipModel()
+    power_rows = [
+        (name, round(mw, 1), f"{mw / chip.total_power_mw():.1%}")
+        for name, mw in chip.power_breakdown_mw().items()
+    ]
+    area_rows = [
+        (name, round(mm2, 3))
+        for name, mm2 in chip.area_breakdown().items()
+    ]
+    report.table = (
+        render_table(["component", "power (mW)", "share"], power_rows,
+                     title=f"Power at 200 MHz (total {chip.total_power_mw()} mW)")
+        + "\n\n"
+        + render_table(["component", "area (mm^2)"], area_rows,
+                       title=f"Area (chip {chip.chip_area_mm2():.1f} mm^2)")
+    )
+    report.add("total power", 140.0, chip.total_power_mw(), "mW",
+               tolerance=0.01, note="Table I anchor: ~140 mW at 200 MHz")
+    report.add("accelerator power share", 0.23, chip.accel_power_fraction(),
+               tolerance=0.01)
+    report.add("accelerator area share", 0.005, chip.accel_area_fraction(),
+               tolerance=0.02)
+    report.add("breakdown fractions sum to 1", 1.0,
+               sum(POWER_BREAKDOWN.values()), tolerance=1e-9)
+    return report
+
+
+def run_table3_area():
+    """Table III: accelerator area across architectures."""
+    report = ExperimentReport("Table III", "Accelerator area cost")
+    model = StitchAreaModel()
+    composed = model.composed()
+    chip_um2 = ChipModel().chip_area_mm2() * 1e6
+    rows = [
+        (name, ACCEL_AREA_UM2[name], round(composed[name]),
+         f"{composed[name] / chip_um2:.2%}", f"{ACCEL_AREA_PERCENT[name]}%")
+        for name in ("LOCUS", "Stitch w/o fusion", "Stitch")
+    ]
+    report.table = render_table(
+        ["architecture", "paper (um^2)", "composed (um^2)",
+         "composed % chip", "paper % chip"], rows,
+    )
+    for name in composed:
+        report.add(f"{name} area composes", ACCEL_AREA_UM2[name],
+                   composed[name], "um^2", tolerance=0.01)
+    report.add("LOCUS / Stitch area ratio", 7.64, model.locus_over_stitch(),
+               "x", tolerance=0.02)
+    return report
+
+
+def run_table4_timing():
+    """Table IV: component delays/areas and the 4.63 ns critical path."""
+    report = ExperimentReport("Table IV", "Delay and area of components")
+    rows = [
+        (p.name, p.delay_ns, p.area_um2) for p in (AT_MA, AT_AS, AT_SA)
+    ] + [
+        ("NoC switch", NOC_SWITCH_DELAY_NS, NOC_SWITCH_AREA_UM2),
+        ("3 hops (wire)", 0.3, "-"),
+    ]
+    report.table = render_table(["component", "delay (ns)", "area (um^2)"], rows)
+    critical = FusionTiming.fused_delay(AT_MA, AT_AS, 3)
+    report.add("critical path {AT-MA}+{AT-AS} @ 3 hops", 4.63, critical,
+               "ns", tolerance=0.005,
+               note="switch + patch + switch + 2x(3 hops) + patch + switch")
+    report.add("single {AT-SA} incl. NoC overhead", 1.36,
+               FusionTiming.single_delay(AT_SA), "ns", tolerance=0.005)
+    report.add("every legal fusion fits the 5 ns clock", 1.0,
+               1.0 if FusionTiming.max_fused_delay() <= 5.0 else 0.0,
+               compare="exact",
+               note=f"hop limit {MAX_FUSION_HOPS} each way -> 200 MHz")
+    report.add("worst legal fused delay", None,
+               FusionTiming.max_fused_delay(), "ns", compare="info")
+    return report
+
+
+def run_table5_relatedwork():
+    """Table V: the related-work classification."""
+    report = ExperimentReport(
+        "Table V", "Architectures incorporating reconfigurable fabrics"
+    )
+    report.table = related_work_table()
+    stitch = next(a for a in RELATED_WORK if a.name == "Stitch")
+    others = [a for a in RELATED_WORK if a.name != "Stitch"]
+    report.add("Stitch is the only many-core-sharable design", 1.0,
+               1.0 if stitch.sharable and not any(a.sharable for a in others)
+               else 0.0, compare="exact")
+    tight = [a for a in RELATED_WORK
+             if a.integration == "tight" and a.area_mm2 is not None]
+    report.add("Stitch has the smallest tight-coupled area", 0.17,
+               min(tight, key=lambda a: a.area_mm2).area_mm2, "mm^2",
+               compare="exact")
+    return report

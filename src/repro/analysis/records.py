@@ -1,0 +1,87 @@
+"""Paper-vs-measured record keeping.
+
+A record states what the paper reports, what this reproduction
+measures, and whether the *shape* holds (within a per-record band —
+absolute numbers are not expected to match a different substrate, see
+DESIGN.md §1).
+"""
+
+
+class ExperimentRecord:
+    """One compared quantity."""
+
+    __slots__ = ("name", "paper", "measured", "unit", "tolerance", "note", "compare")
+
+    def __init__(self, name, paper, measured, unit="", tolerance=None,
+                 note="", compare="ratio"):
+        self.name = name
+        self.paper = paper
+        self.measured = measured
+        self.unit = unit
+        self.tolerance = tolerance
+        self.note = note
+        self.compare = compare  # "ratio" | "direction" | "exact" | "info"
+
+    def holds(self):
+        """Does the measured value preserve the paper's claim?"""
+        if self.compare == "info" or self.paper is None or self.measured is None:
+            return True
+        if self.compare == "exact":
+            return self.measured == self.paper
+        if self.compare == "direction":
+            # Claims like "X beats Y": both sides stored as ratios > 1.
+            return (self.measured > 1) == (self.paper > 1)
+        tolerance = self.tolerance if self.tolerance is not None else 0.5
+        if self.paper == 0:
+            return abs(self.measured) <= tolerance
+        return abs(self.measured - self.paper) / abs(self.paper) <= tolerance
+
+    def __repr__(self):
+        return (
+            f"ExperimentRecord({self.name}: paper={self.paper} "
+            f"measured={self.measured} {self.unit})"
+        )
+
+
+class ExperimentReport:
+    """All records of one experiment plus its rendered table."""
+
+    def __init__(self, exp_id, title, records=None, table=""):
+        self.exp_id = exp_id
+        self.title = title
+        self.records = list(records or [])
+        self.table = table
+
+    def add(self, *args, **kwargs):
+        record = ExperimentRecord(*args, **kwargs)
+        self.records.append(record)
+        return record
+
+    def all_hold(self):
+        return all(record.holds() for record in self.records)
+
+    def failures(self):
+        return [record for record in self.records if not record.holds()]
+
+    def to_markdown(self):
+        lines = [f"### {self.exp_id} — {self.title}", ""]
+        lines.append("| quantity | paper | measured | unit | shape holds | note |")
+        lines.append("|---|---|---|---|---|---|")
+        for r in self.records:
+            def fmt(value):
+                if value is None:
+                    return "—"
+                if isinstance(value, float):
+                    return f"{value:.3g}"
+                return str(value)
+            lines.append(
+                f"| {r.name} | {fmt(r.paper)} | {fmt(r.measured)} | {r.unit} "
+                f"| {'yes' if r.holds() else 'NO'} | {r.note} |"
+            )
+        if self.table:
+            lines.extend(["", "```", self.table, "```"])
+        return "\n".join(lines)
+
+    def summary(self):
+        held = sum(1 for r in self.records if r.holds())
+        return f"{self.exp_id}: {held}/{len(self.records)} records hold"

@@ -1,0 +1,27 @@
+"""Plain-text table rendering for experiment output."""
+
+
+def render_table(headers, rows, title=None):
+    """Fixed-width text table; cells are str()'d, floats get 3 digits."""
+
+    def fmt(cell):
+        if isinstance(cell, float):
+            return f"{cell:.3f}".rstrip("0").rstrip(".")
+        return str(cell)
+
+    grid = [list(map(fmt, headers))] + [list(map(fmt, row)) for row in rows]
+    widths = [
+        max(len(grid[r][c]) for r in range(len(grid)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        cell.ljust(width) for cell, width in zip(grid[0], widths)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in grid[1:]:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""ASCII tile-map rendering (Figure 2 / Figure 10 style).
+
+Renders the 4x4 array with each tile's patch type, resident kernel and
+stitching arrows, so a plan can be read the way the paper draws it.
+"""
+
+from repro.core.placement import DEFAULT_PLACEMENT
+from repro.core.stitching import BASELINE
+
+_ARROWS = {(1, 0): ">", (-1, 0): "<", (0, 1): "v", (0, -1): "^"}
+
+
+def placement_map(placement=None):
+    """The patch layout as a 4x4 grid of type names."""
+    placement = placement if placement is not None else DEFAULT_PLACEMENT
+    mesh = placement.mesh
+    lines = []
+    for y in range(mesh.height):
+        row = []
+        for x in range(mesh.width):
+            tile = mesh.tile_at(x, y)
+            row.append(f"[{mesh.paper_tile(tile):>2} {placement.type_of(tile).name:<5}]")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def plan_map(plan, app=None, placement=None):
+    """One application's stitching plan as an annotated tile grid.
+
+    Each cell shows the paper tile number, the resident kernel (or
+    ``idle``), a ``*`` when the tile's own patch accelerates its
+    kernel, and ``~N`` when its patch is lent to (or fused from) the
+    stage on tile N.
+    """
+    placement = placement if placement is not None else DEFAULT_PLACEMENT
+    mesh = placement.mesh
+    resident = {}
+    marks = {}
+    for assignment in plan.assignments.values():
+        if app is not None:
+            name = app.stage(assignment.stage_id).kernel.name
+        else:
+            name = f"s{assignment.stage_id}"
+        resident[assignment.tile] = name
+        if assignment.option != BASELINE:
+            marks[assignment.tile] = "*"
+        if assignment.remote_tile is not None:
+            marks[assignment.remote_tile] = (
+                f"~{mesh.paper_tile(assignment.tile)}"
+            )
+    lines = []
+    for y in range(mesh.height):
+        top = []
+        bottom = []
+        for x in range(mesh.width):
+            tile = mesh.tile_at(x, y)
+            kernel = resident.get(tile, "idle")
+            mark = marks.get(tile, "")
+            top.append(f"[{mesh.paper_tile(tile):>2} {placement.type_of(tile).name:<5}]")
+            bottom.append(f"[{kernel[:7]:<7}{mark:<3}]".ljust(12))
+        lines.append(" ".join(top))
+        lines.append(" ".join(bottom))
+        lines.append("")
+    legend = (
+        "*  = accelerated by its own tile's patch   "
+        "~N = patch lent to the kernel on paper-tile N"
+    )
+    return "\n".join(lines) + legend
+
+
+def stitch_paths(plan, placement=None):
+    """The reserved inter-patch routes, one line per fused pair."""
+    placement = placement if placement is not None else DEFAULT_PLACEMENT
+    mesh = placement.mesh
+    lines = []
+    for assignment in plan.fused_pairs():
+        hops = " -> ".join(
+            str(mesh.paper_tile(t)) for t in assignment.path
+        )
+        lines.append(
+            f"stage {assignment.stage_id} ({assignment.option}): "
+            f"tiles {hops}"
+        )
+    return "\n".join(lines) if lines else "(no fused pairs placed)"

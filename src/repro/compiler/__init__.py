@@ -1,0 +1,57 @@
+"""The Stitch compiler tool chain (Section IV, Figure 6).
+
+Stages, mirroring the paper's flow:
+
+1. :mod:`repro.compiler.profiler` — profile each kernel, find the
+   bottleneck kernels' hot basic blocks (>= 5 % dynamic share),
+2. :mod:`repro.compiler.dfg` — represent hot blocks as dataflow graphs,
+3. :mod:`repro.compiler.ise` — enumerate custom-instruction candidates
+   under the 4-input/2-output register-file constraint,
+4. :mod:`repro.compiler.opchain` — the multi-round LCS op-chain study
+   that motivated the patch designs (Section III-A),
+5. :mod:`repro.compiler.mapper` — map candidates onto single patches
+   and fused pairs,
+6. :mod:`repro.compiler.selector` / :mod:`repro.compiler.codegen` —
+   pick profitable ISEs and emit the rewritten binary with control
+   bits,
+7. :mod:`repro.compiler.driver` — per-kernel compilation producing one
+   executable version per patch option (the stitcher then selects
+   versions chip-wide, see :mod:`repro.core.stitching`).
+"""
+
+from repro.compiler.dfg import DFG, DFGNode
+from repro.compiler.profiler import HotBlock, ProfileResult, profile_kernel
+from repro.compiler.ise import Candidate, enumerate_candidates
+from repro.compiler.mapper import map_candidate, Mapping
+from repro.compiler.opchain import critical_path_classes, lcs_rounds
+from repro.compiler.selector import select_ises
+from repro.compiler.codegen import rewrite_block, CodegenError
+from repro.compiler.driver import (
+    KernelCompiler,
+    PatchOption,
+    SINGLE_OPTIONS,
+    FUSED_OPTIONS,
+    ALL_OPTIONS,
+)
+
+__all__ = [
+    "DFG",
+    "DFGNode",
+    "HotBlock",
+    "ProfileResult",
+    "profile_kernel",
+    "Candidate",
+    "enumerate_candidates",
+    "map_candidate",
+    "Mapping",
+    "critical_path_classes",
+    "lcs_rounds",
+    "select_ises",
+    "rewrite_block",
+    "CodegenError",
+    "KernelCompiler",
+    "PatchOption",
+    "SINGLE_OPTIONS",
+    "FUSED_OPTIONS",
+    "ALL_OPTIONS",
+]

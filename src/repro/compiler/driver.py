@@ -1,0 +1,251 @@
+"""Per-kernel compilation driver.
+
+For every kernel the tool chain produces one executable version per
+*patch option* — the patch (or fused pair) the kernel's tile could be
+granted — and measures each version by actually simulating it
+(Figure 6: "multiple executable versions of the original kernel").
+Every accelerated version is validated bit-exactly against the
+unmodified kernel before its speedup is trusted.
+
+The stitcher (:mod:`repro.core.stitching`) later picks one version per
+kernel chip-wide.
+"""
+
+from repro.compiler.codegen import (
+    CodegenError,
+    ImmPool,
+    rewrite_block,
+    rewrite_program,
+)
+from repro.compiler.dfg import DFG
+from repro.compiler.ise import enumerate_candidates
+from repro.compiler.liveness import ALL_REGS, liveness
+from repro.compiler.profiler import profile_kernel
+from repro.compiler.selector import select_ises
+from repro.core.executor import PatchExecutor
+from repro.core.patches import AT_AS, AT_MA, AT_SA, LOCUS_SFU
+from repro.cpu.core import Core, STOP_HALT
+from repro.mem.hierarchy import MemorySystem
+
+
+class MiscompileError(AssertionError):
+    """An accelerated kernel produced different results."""
+
+
+class PatchOption:
+    """One acceleration scenario for a kernel's tile.
+
+    ``max_outputs`` optionally narrows the register-file write ports
+    for this option's custom instructions (the 2-output interface is a
+    Stitch patch feature; conventional SFUs write one register).
+    """
+
+    def __init__(self, name, local_type, remote_type=None, max_outputs=None):
+        self.name = name
+        self.local_type = local_type
+        self.remote_type = remote_type
+        self.max_outputs = max_outputs
+
+    @property
+    def fused(self):
+        return self.remote_type is not None
+
+    def targets(self):
+        """Mapping targets in preference order."""
+        if self.fused:
+            return [(self.local_type, self.remote_type), self.local_type]
+        return [self.local_type]
+
+    def __repr__(self):
+        return f"PatchOption({self.name})"
+
+    def __eq__(self, other):
+        return isinstance(other, PatchOption) and other.name == self.name
+
+    def __hash__(self):
+        return hash(self.name)
+
+
+_AT_TYPES = (AT_MA, AT_AS, AT_SA)
+
+SINGLE_OPTIONS = tuple(PatchOption(p.name, p) for p in _AT_TYPES)
+FUSED_OPTIONS = tuple(
+    PatchOption(f"{a.name}+{b.name}", a, b)
+    for a in _AT_TYPES
+    for b in _AT_TYPES
+)
+ALL_OPTIONS = SINGLE_OPTIONS + FUSED_OPTIONS
+# The paper's per-core SFU executes op-chain ISEs without load/store
+# (Section VI-B) and, like conventional ISE interfaces, writes a single
+# result register — the 4-input/2-output register file plumbing is part
+# of the Stitch patch design.
+LOCUS_OPTION = PatchOption(LOCUS_SFU.name, LOCUS_SFU, max_outputs=1)
+
+
+class CompiledKernel:
+    """One measured executable version of a kernel."""
+
+    def __init__(self, kernel, option, program, cfg_table, mappings,
+                 cycles, baseline_cycles, replicated_regions=()):
+        self.kernel = kernel
+        self.option = option
+        self.program = program
+        self.cfg_table = cfg_table
+        self.mappings = mappings
+        self.cycles = cycles
+        self.baseline_cycles = baseline_cycles
+        # Read-only regions a remote tile must replicate before this
+        # binary's fused custom instructions may execute there.
+        self.replicated_regions = tuple(replicated_regions)
+
+    @property
+    def speedup(self):
+        return self.baseline_cycles / self.cycles if self.cycles else 1.0
+
+    @property
+    def uses_fusion(self):
+        return any(m.is_fused for m in self.mappings)
+
+    def __repr__(self):
+        return (
+            f"CompiledKernel({self.kernel.name} @ {self.option.name}: "
+            f"{self.speedup:.2f}x)"
+        )
+
+
+class KernelCompiler:
+    """Compiles and measures one kernel across patch options."""
+
+    def __init__(self, kernel, hot_threshold=0.05, max_instructions=20_000_000,
+                 max_inputs=4, max_outputs=2, allow_replication=True):
+        self.kernel = kernel
+        self.hot_threshold = hot_threshold
+        self.max_instructions = max_instructions
+        if not (1 <= max_outputs <= 2 and 1 <= max_inputs <= 4):
+            raise ValueError(
+                "the register file provides at most 4 read / 2 write ports"
+            )
+        self.max_inputs = max_inputs
+        self.max_outputs = max_outputs
+        self.allow_replication = allow_replication
+        self.profile = profile_kernel(
+            kernel.program, kernel.setup, max_instructions=max_instructions
+        )
+        self.baseline_cycles = self.profile.cycles
+        exit_live = getattr(kernel, "live_out_regs", None)
+        _, self.block_live_out = liveness(
+            kernel.program, ALL_REGS if exit_live is None else exit_live
+        )
+        # Loads confined to read-only (const) regions may run on a
+        # remote patch's LMAU once the region is replicated there.
+        const_regions = [r for r, _ in getattr(kernel, "consts", [])]
+        self.replicable = (
+            self.profile.replicable_loads(const_regions)
+            if allow_replication and const_regions else {}
+        )
+        self._reference = self._run(kernel.program, cfg_table=None)[1]
+        self._cache = {}
+
+    # -- execution ------------------------------------------------------------
+
+    def _replica_memory(self, cfg_table):
+        """A stand-in remote scratchpad preloaded with the replicated
+        read-only regions, when any fused config's B half loads."""
+        from repro.core.fusion import FusedConfig
+
+        needs = any(
+            isinstance(cfg, FusedConfig) and cfg.cfg_b.uses_lmau()
+            for cfg in cfg_table or ()
+        )
+        if not needs:
+            return None
+        replica = MemorySystem.stitch()
+        for region, words in getattr(self.kernel, "consts", []):
+            replica.load(region.addr, words)
+        return replica
+
+    def _run(self, program, cfg_table):
+        memory = MemorySystem.stitch()
+        patch = None
+        if cfg_table:
+            patch = PatchExecutor(
+                cfg_table, memory,
+                replica_memory=self._replica_memory(cfg_table),
+            )
+        core = Core(program, memory, patch=patch)
+        self.kernel.setup(core)
+        outcome = core.run(max_instructions=self.max_instructions)
+        if outcome.reason != STOP_HALT:
+            raise RuntimeError(
+                f"kernel {self.kernel.name!r} did not halt ({outcome.reason})"
+            )
+        return core.cycles, self.kernel.result(core)
+
+    # -- compilation ------------------------------------------------------------
+
+    def compile(self, option):
+        """Compile + measure + validate one option (cached)."""
+        if option.name in self._cache:
+            return self._cache[option.name]
+        program = self.kernel.program
+        pool = ImmPool.for_program(program)
+        all_mappings = []
+        rewrites = {}
+        for hot in self.profile.hot_blocks(self.hot_threshold):
+            dfg = DFG(
+                hot.block,
+                spm_only=self.profile.spm_only,
+                live_out=self.block_live_out[hot.block.index],
+                replicable=frozenset(self.replicable),
+            )
+            max_outputs = (
+                option.max_outputs if option.max_outputs is not None
+                else self.max_outputs
+            )
+            candidates = enumerate_candidates(
+                dfg, max_inputs=self.max_inputs, max_outputs=max_outputs
+            )
+            mappings = select_ises(candidates, option.targets(), pool)
+            if mappings:
+                rewrites[hot.block.index] = mappings
+        cfg_table = []
+        block_rewrites = {}
+        for block_index, placements in rewrites.items():
+            numbered = []
+            for mapping in placements:
+                numbered.append((mapping, len(cfg_table)))
+                cfg_table.append(mapping.config)
+                all_mappings.append(mapping)
+            block = self.kernel.program.basic_blocks()[block_index]
+            block_rewrites[block_index] = rewrite_block(block, numbered, pool)
+        new_program = rewrite_program(program, block_rewrites, pool, cfg_table)
+        cycles, result = self._run(new_program, cfg_table)
+        if result != self._reference:
+            raise MiscompileError(
+                f"{self.kernel.name} @ {option.name}: accelerated output "
+                f"differs from reference"
+            )
+        replicated = []
+        for mapping in all_mappings:
+            for node_id in mapping.remote_node_ids:
+                node = mapping.candidate.dfg.nodes[node_id]
+                if not node.is_mem:
+                    continue
+                pc = mapping.candidate.dfg.block.start + node.pos
+                region = self.replicable.get(pc)
+                if region is not None and region not in replicated:
+                    replicated.append(region)
+        compiled = CompiledKernel(
+            self.kernel, option, new_program, cfg_table, all_mappings,
+            cycles, self.baseline_cycles, replicated_regions=replicated,
+        )
+        self._cache[option.name] = compiled
+        return compiled
+
+    def compile_options(self, options=ALL_OPTIONS):
+        """Compile every option; returns {option name: CompiledKernel}."""
+        return {option.name: self.compile(option) for option in options}
+
+    def best_option(self, options=ALL_OPTIONS):
+        compiled = self.compile_options(options)
+        return max(compiled.values(), key=lambda c: c.speedup)

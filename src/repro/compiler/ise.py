@@ -1,0 +1,170 @@
+"""ISE candidate enumeration (Figure 6's "ISE identifier").
+
+Candidates are connected, convex subgraphs of a hot block's DFG obeying
+the register-file constraint: at most 4 inputs and 2 outputs
+(Section IV).  Connected subgraphs are enumerated exactly once with the
+ESU algorithm; convexity and I/O limits filter the stream.  The
+``max_size`` bound (default 8 — the unit budget of a fused pair) keeps
+enumeration tractable on large blocks.
+"""
+
+
+class Candidate:
+    """One custom-instruction candidate over a block DFG."""
+
+    __slots__ = ("dfg", "node_ids", "inputs", "outputs")
+
+    def __init__(self, dfg, node_ids):
+        self.dfg = dfg
+        self.node_ids = frozenset(node_ids)
+        self.inputs = dfg.external_inputs(self.node_ids)
+        self.outputs = dfg.outputs(self.node_ids)
+
+    @property
+    def size(self):
+        return len(self.node_ids)
+
+    def nodes(self):
+        """Member nodes in topological (block-position) order."""
+        return sorted(
+            (self.dfg.nodes[node_id] for node_id in self.node_ids),
+            key=lambda node: node.pos,
+        )
+
+    def software_instructions(self):
+        """Instruction count the candidate replaces."""
+        return self.size
+
+    def signature(self):
+        """Op-class string of members in position order (e.g. ``MAAT``)."""
+        return "".join(node.cls.value for node in self.nodes())
+
+    def __repr__(self):
+        ops = "+".join(node.op.value for node in self.nodes())
+        return f"Candidate({ops}, in={len(self.inputs)}, out={len(self.outputs)})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Candidate)
+            and self.dfg is other.dfg
+            and self.node_ids == other.node_ids
+        )
+
+    def __hash__(self):
+        return hash(self.node_ids)
+
+
+def _adjacency(dfg, eligible_ids):
+    """Undirected value-edge adjacency restricted to eligible nodes."""
+    adj = {node_id: set() for node_id in eligible_ids}
+    for node_id in eligible_ids:
+        node = dfg.nodes[node_id]
+        for pred in node.value_pred_ids():
+            if pred in adj:
+                adj[node_id].add(pred)
+                adj[pred].add(node_id)
+    return adj
+
+
+def enumerate_candidates(
+    dfg,
+    max_size=8,
+    min_size=2,
+    max_inputs=4,
+    max_outputs=2,
+    limit=20000,
+):
+    """All feasible candidates of a block DFG, largest first.
+
+    ``limit`` bounds the number of connected subgraphs visited; blocks
+    big enough to hit it get a truncated (still valid) candidate set.
+    """
+    eligible_ids = [node.id for node in dfg.eligible_nodes()]
+    adjacency = _adjacency(dfg, eligible_ids)
+    found = []
+    visited = 0
+
+    def feasible(node_set):
+        if not dfg.is_convex(node_set):
+            return None
+        candidate = Candidate(dfg, node_set)
+        if len(candidate.inputs) > max_inputs:
+            return None
+        # Zero outputs is legal (pure store patterns); codegen binds a
+        # placeholder destination register.
+        if len(candidate.outputs) > max_outputs:
+            return None
+        return candidate
+
+    def extend(sub, ext, root, sub_neighborhood):
+        nonlocal visited
+        if visited >= limit:
+            return
+        visited += 1
+        if len(sub) >= min_size:
+            candidate = feasible(sub)
+            if candidate is not None:
+                found.append(candidate)
+        if len(sub) >= max_size:
+            return
+        ext = list(ext)
+        while ext:
+            w = ext.pop()
+            exclusive = [
+                u for u in adjacency[w]
+                if u > root and u not in sub and u not in sub_neighborhood
+            ]
+            extend(
+                sub | {w},
+                ext + exclusive,
+                root,
+                sub_neighborhood | {w} | adjacency[w],
+            )
+
+    for root in sorted(eligible_ids):
+        ext0 = [u for u in adjacency[root] if u > root]
+        extend({root}, ext0, root, {root} | adjacency[root])
+
+    found.extend(
+        _independent_pairs(dfg, eligible_ids, feasible)
+    )
+    found.sort(key=lambda c: (-c.size, sorted(c.node_ids)))
+    return found
+
+
+def _independent_pairs(dfg, eligible_ids, feasible):
+    """Disconnected two-node candidates.
+
+    A patch's two outputs let it execute two *independent* operations
+    in one cycle (e.g. the paired pointer bumps of a streaming loop),
+    so dataflow-disconnected pairs are legal custom instructions too.
+    Memory operations are excluded — the single LMAU cannot pair and
+    reordering-safety analysis for disconnected stores is not worth
+    the marginal gain.
+    """
+
+    def reachable(src, dst):
+        frontier = [src]
+        seen = set()
+        while frontier:
+            node = frontier.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(dfg.consumers(node))
+        return False
+
+    compute_ids = [
+        node_id for node_id in eligible_ids if not dfg.nodes[node_id].is_mem
+    ]
+    pairs = []
+    for index, a in enumerate(compute_ids):
+        for b in compute_ids[index + 1:]:
+            if reachable(a, b) or reachable(b, a):
+                continue
+            candidate = feasible({a, b})
+            if candidate is not None:
+                pairs.append(candidate)
+    return pairs

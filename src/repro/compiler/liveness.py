@@ -1,0 +1,89 @@
+"""Register liveness over the basic-block CFG.
+
+Backward dataflow with the usual equations::
+
+    live_in(B)  = use(B) | (live_out(B) - def(B))
+    live_out(B) = union of live_in over successors
+
+``exit_live`` names the registers the surrounding harness reads after
+``halt`` (a kernel's declared results); indirect jumps (``jr``)
+conservatively reach every block leader.
+"""
+
+from repro.isa.instructions import Op
+
+ALL_REGS = frozenset(range(1, 16))
+
+
+def block_successors(program, block):
+    """Successor block indices of ``block``."""
+    blocks = program.basic_blocks()
+    start_to_index = {b.start: b.index for b in blocks}
+    last = block.instructions[-1] if len(block) else None
+    successors = []
+    if last is None:
+        return successors
+    op = last.op
+    if op is Op.HALT:
+        return []
+    if op is Op.JR:
+        # Indirect: conservatively every block.
+        return [b.index for b in blocks]
+    fallthrough = block.index + 1 if block.index + 1 < len(blocks) else None
+    if op in (Op.JMP, Op.JAL):
+        successors.append(start_to_index[last.target])
+        if op is Op.JAL and fallthrough is not None:
+            # The callee eventually returns past the call site.
+            successors.append(fallthrough)
+    elif last.is_branch():
+        successors.append(start_to_index[last.target])
+        if fallthrough is not None:
+            successors.append(fallthrough)
+    elif fallthrough is not None:
+        successors.append(fallthrough)
+    return successors
+
+
+def block_use_def(block):
+    """(upward-exposed uses, defined registers) of a block."""
+    use = set()
+    define = set()
+    for instr in block.instructions:
+        for reg in instr.reads():
+            if reg != 0 and reg not in define:
+                use.add(reg)
+        for reg in instr.writes():
+            if reg != 0:
+                define.add(reg)
+    return use, define
+
+
+def liveness(program, exit_live=ALL_REGS):
+    """Per-block ``(live_in, live_out)`` register sets.
+
+    Returns two dicts keyed by block index.
+    """
+    blocks = program.basic_blocks()
+    succs = {b.index: block_successors(program, b) for b in blocks}
+    use_def = {b.index: block_use_def(b) for b in blocks}
+    exit_live = frozenset(exit_live)
+    live_in = {b.index: set() for b in blocks}
+    live_out = {b.index: set() for b in blocks}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            index = block.index
+            out = set()
+            if not succs[index]:
+                out |= exit_live
+            for successor in succs[index]:
+                out |= live_in[successor]
+            use, define = use_def[index]
+            new_in = use | (out - define)
+            if out != live_out[index] or new_in != live_in[index]:
+                live_out[index] = out
+                live_in[index] = new_in
+                changed = True
+    return live_in, live_out

@@ -1,0 +1,51 @@
+"""ISE selection: choosing which mapped candidates to commit.
+
+Greedy (largest coverage first), honoring:
+
+* disjointness — an instruction joins at most one custom instruction,
+* mappability on the target patch option,
+* constant-register availability in the :class:`ImmPool`,
+* schedulability — adding the mapping must not create a dependence
+  cycle in the rewritten block (checked by a trial rewrite).
+"""
+
+from repro.compiler.codegen import CodegenError, rewrite_block
+from repro.compiler.mapper import map_candidate
+
+
+def select_ises(candidates, targets, pool, max_per_block=8):
+    """Pick mappings for one block.
+
+    ``targets`` is an ordered list of mapping targets (best first), e.g.
+    ``[(AT_MA, AT_AS), AT_MA]`` for a kernel whose tile has an {AT-MA}
+    patch fused with a remote {AT-AS}.  For each candidate the first
+    target that admits a mapping wins.  The returned list of
+    :class:`~repro.compiler.mapper.Mapping` is guaranteed to rewrite
+    cleanly as a set.
+    """
+    chosen = []
+    covered = set()
+    block = candidates[0].dfg.block if candidates else None
+    for candidate in candidates:
+        if len(chosen) >= max_per_block:
+            break
+        if candidate.node_ids & covered:
+            continue
+        imm_values = [ref[1] for ref in candidate.inputs if ref[0] == "imm"]
+        if not pool.can_allocate(imm_values):
+            continue
+        mapping = None
+        for target in targets:
+            mapping = map_candidate(candidate, target)
+            if mapping is not None:
+                break
+        if mapping is None:
+            continue
+        trial = chosen + [mapping]
+        try:
+            rewrite_block(block, [(m, 0) for m in trial], pool)
+        except CodegenError:
+            continue
+        chosen.append(mapping)
+        covered |= candidate.node_ids
+    return chosen

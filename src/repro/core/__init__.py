@@ -1,0 +1,61 @@
+"""The paper's primary contribution: polymorphic patches and stitching.
+
+* :mod:`repro.core.units` / :mod:`repro.core.patches` — the three
+  heterogeneous patch datapaths ({AT-MA}, {AT-AS}, {AT-SA}) as chains of
+  functional units with constrained operand muxes,
+* :mod:`repro.core.config` — the 19-bit per-patch control encoding,
+* :mod:`repro.core.executor` — single-cycle functional execution of a
+  configured (possibly fused) patch, including LMAU scratchpad traffic,
+* :mod:`repro.core.fusion` — fused-patch configurations and the ns-level
+  critical-path model (Table IV),
+* :mod:`repro.core.placement` — the 8/4/4 patch placement on the 16 tiles,
+* :mod:`repro.core.stitching` — Algorithm 1, the compile-time stitcher.
+"""
+
+from repro.core.units import UnitKind, UnitSpec, Source
+from repro.core.patches import (
+    AT_AS,
+    AT_MA,
+    AT_SA,
+    PATCH_TYPES,
+    PatchType,
+)
+from repro.core.config import (
+    CONTROL_BITS,
+    PatchConfig,
+    TMode,
+    UnitConfig,
+)
+from repro.core.fusion import FusedConfig, FusionTiming
+from repro.core.executor import PatchExecutor
+from repro.core.placement import DEFAULT_PLACEMENT, Placement
+from repro.core.stitching import (
+    Assignment,
+    BASELINE,
+    StitchPlan,
+    stitch_application,
+)
+
+__all__ = [
+    "UnitKind",
+    "UnitSpec",
+    "Source",
+    "PatchType",
+    "AT_MA",
+    "AT_AS",
+    "AT_SA",
+    "PATCH_TYPES",
+    "CONTROL_BITS",
+    "PatchConfig",
+    "UnitConfig",
+    "TMode",
+    "FusedConfig",
+    "FusionTiming",
+    "PatchExecutor",
+    "DEFAULT_PLACEMENT",
+    "Placement",
+    "Assignment",
+    "BASELINE",
+    "StitchPlan",
+    "stitch_application",
+]

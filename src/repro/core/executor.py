@@ -1,0 +1,140 @@
+"""Functional single-cycle execution of configured patches.
+
+The executor is the tile's :class:`~repro.cpu.PatchPort`.  A ``cix``
+instruction names an entry of the program's configuration table; the
+executor evaluates the configured chain — sharing the exact value
+semantics of the CPU interpreter via :func:`repro.isa.eval_alu` and
+friends — and performs any LMAU scratchpad traffic inside the same
+cycle (Section III-C).
+"""
+
+from repro.core.config import PatchConfig, TMode
+from repro.core.fusion import FusedConfig
+from repro.core.units import Source, UnitKind
+from repro.cpu.core import PatchPort
+from repro.isa.instructions import eval_alu, eval_mul, eval_shift
+
+
+def _resolve(source, chain, ext):
+    if source == Source.CHAIN:
+        return chain
+    return ext[Source.ext_index(source)]
+
+
+def evaluate_patch(cfg, ext, memory):
+    """Evaluate a single-patch configuration.
+
+    ``ext`` is the 4-entry external operand list; ``memory`` provides
+    the LMAU's scratchpad.  Returns ``(out0, out1)`` where ``out1`` is
+    ``None`` unless both chain halves produced values.
+    """
+    chain = ext[0]
+    half = None
+    tail_active = False
+
+    if cfg.u0 is not None:
+        lhs = _resolve(cfg.u0.in1, chain, ext)
+        rhs = _resolve(cfg.u0.in2, chain, ext)
+        chain = eval_alu(cfg.u0.op, lhs, rhs)
+        half = chain
+
+    def compute(position, unit_cfg, chain):
+        kind = cfg.ptype.unit(position).kind
+        lhs = _resolve(unit_cfg.in1, chain, ext)
+        rhs = _resolve(unit_cfg.in2, chain, ext)
+        if kind is UnitKind.ALU:
+            return eval_alu(unit_cfg.op, lhs, rhs)
+        if kind is UnitKind.SHIFT:
+            return eval_shift(unit_cfg.op, lhs, rhs)
+        return eval_mul(unit_cfg.op, lhs, rhs)
+
+    mode = cfg.t
+    if mode is not TMode.OFF:
+        if memory is None:
+            raise RuntimeError("LMAU active but no scratchpad is reachable")
+        if mode is TMode.LOAD:
+            chain = memory.spm_read(chain & 0xFFFFFFFF)
+        elif mode is TMode.STORE_DATA_CHAIN:
+            memory.spm_write(ext[2] & 0xFFFFFFFF, chain)
+        else:  # STORE_ADDR_CHAIN
+            memory.spm_write(chain & 0xFFFFFFFF, ext[3])
+            chain = ext[3]
+        half = chain
+    elif cfg.u1 is not None:
+        chain = compute(1, cfg.u1, chain)
+        half = chain
+
+    for position, unit_cfg in ((2, cfg.u2), (3, cfg.u3)):
+        if unit_cfg is None:
+            continue
+        chain = compute(position, unit_cfg, chain)
+        tail_active = True
+
+    out1 = half if (tail_active and half is not None) else None
+    return chain, out1
+
+
+def evaluate_fused(cfg, ext, memory_a, memory_b):
+    """Evaluate a fused pair: A on the origin tile, B on the remote."""
+    a_out0, a_out1 = evaluate_patch(cfg.cfg_a, ext, memory_a)
+    produced = {
+        "a_out0": a_out0,
+        "a_out1": a_out1 if a_out1 is not None else 0,
+    }
+    ext_b = []
+    for source in cfg.b_ext:
+        if source in produced:
+            ext_b.append(produced[source])
+        else:
+            ext_b.append(ext[Source.ext_index(source)])
+    b_out0, b_out1 = evaluate_patch(cfg.cfg_b, ext_b, memory_b)
+    produced["b_out0"] = b_out0
+    produced["b_out1"] = b_out1 if b_out1 is not None else 0
+    return tuple(produced[source] for source in cfg.outs)
+
+
+class PatchExecutor(PatchPort):
+    """PatchPort implementation bound to one tile.
+
+    ``remote_memories`` maps tile index to that tile's memory system so
+    a fused configuration's B half can reach its own scratchpad; the
+    stitcher binds ``FusedConfig.remote_tile`` when placing the pair.
+    """
+
+    def __init__(self, cfg_table, memory, remote_memories=None,
+                 replica_memory=None):
+        self.cfg_table = list(cfg_table)
+        self.memory = memory
+        self.remote_memories = remote_memories or {}
+        # Scratchpad standing in for "some remote tile holding a copy
+        # of the replicated read-only regions" when the fused pair has
+        # not been placed yet (single-kernel measurement).
+        self.replica_memory = replica_memory
+        self.executions = 0
+        self.fused_executions = 0
+
+    def execute(self, cfg_id, in_values):
+        try:
+            cfg = self.cfg_table[cfg_id]
+        except IndexError:
+            raise IndexError(
+                f"cix names config {cfg_id} but the table has "
+                f"{len(self.cfg_table)} entries"
+            ) from None
+        ext = list(in_values) + [0] * (4 - len(in_values))
+        self.executions += 1
+        if isinstance(cfg, FusedConfig):
+            self.fused_executions += 1
+            if cfg.remote_tile is not None:
+                memory_b = self.remote_memories.get(cfg.remote_tile)
+            else:
+                memory_b = self.replica_memory
+            if memory_b is None and cfg.cfg_b.uses_lmau():
+                raise RuntimeError(
+                    "fused B half uses its LMAU but no remote scratchpad "
+                    "is bound (was the pair stitched?)"
+                )
+            outs = evaluate_fused(cfg, ext, self.memory, memory_b)
+            return [out if out is not None else 0 for out in outs]
+        out0, out1 = evaluate_patch(cfg, ext, self.memory)
+        return [out0, out1 if out1 is not None else 0]

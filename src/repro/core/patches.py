@@ -1,0 +1,99 @@
+"""The three heterogeneous polymorphic patch types (plus baselines).
+
+Figure 3: every Stitch patch starts with ``A`` (ALU) then ``T`` (LMAU)
+— the common ``AT`` prefix — followed by a type-specific pair: ``MA``
+(multiplier then ALU), ``AS`` (ALU then shifter) or ``SA`` (shifter
+then ALU).  The op-chain ``AA`` is realized inside {AT-MA} via the
+intermediate chain connection with ``T`` and ``M`` bypassed
+(Section III-A).
+
+The comparison architecture LOCUS deploys a per-core *special
+functional unit*: a larger compute-only chain with no scratchpad access
+(Section VI-B), modelled here as the :data:`LOCUS_SFU` type.
+
+Synthesis numbers (Table IV / Table III) are attached to each type and
+feed the fusion timing and area models.
+"""
+
+from repro.core.units import UnitKind, first_alu_spec, late_spec, lmau_spec
+
+
+class PatchType:
+    """One patch datapath: an ordered chain of four unit specs.
+
+    ``kinds`` names the unit at each chain position.  Position 0 must
+    be an ALU (it gets the full 3-bit op menu); an LMAU may only sit at
+    position 1, mirroring the AT prefix of Figure 3.
+    """
+
+    def __init__(self, name, kinds, delay_ns, area_um2, fusible=True):
+        kinds = tuple(kinds)
+        if len(kinds) != 4:
+            raise ValueError("a patch chain has exactly four unit positions")
+        if kinds[0] is not UnitKind.ALU:
+            raise ValueError("position 0 must be the AT-prefix ALU")
+        if UnitKind.LMAU in kinds[2:] or kinds[0] is UnitKind.LMAU:
+            raise ValueError("an LMAU may only occupy position 1")
+        self.name = name
+        self.kinds_tuple = kinds
+        self.delay_ns = delay_ns
+        self.area_um2 = area_um2
+        self.fusible = fusible
+        units = [first_alu_spec()]
+        if kinds[1] is UnitKind.LMAU:
+            units.append(lmau_spec())
+        else:
+            units.append(late_spec(1, kinds[1]))
+        units.append(late_spec(2, kinds[2]))
+        units.append(late_spec(3, kinds[3]))
+        self.units = tuple(units)
+
+    @property
+    def has_lmau(self):
+        return self.kinds_tuple[1] is UnitKind.LMAU
+
+    @property
+    def chain_signature(self):
+        """Unit-kind string, e.g. ``ATMA``."""
+        return "".join(kind.value for kind in self.kinds_tuple)
+
+    def unit(self, position):
+        return self.units[position]
+
+    def kinds(self):
+        return self.kinds_tuple
+
+    def __repr__(self):
+        return f"PatchType({{{self.name}}})"
+
+    def __eq__(self, other):
+        return isinstance(other, PatchType) and other.name == self.name
+
+    def __hash__(self):
+        return hash(self.name)
+
+
+# Delay and area per Table IV of the paper (40 nm synthesis).
+AT_MA = PatchType(
+    "AT-MA", (UnitKind.ALU, UnitKind.LMAU, UnitKind.MUL, UnitKind.ALU),
+    delay_ns=1.38, area_um2=4152,
+)
+AT_AS = PatchType(
+    "AT-AS", (UnitKind.ALU, UnitKind.LMAU, UnitKind.ALU, UnitKind.SHIFT),
+    delay_ns=1.12, area_um2=2096,
+)
+AT_SA = PatchType(
+    "AT-SA", (UnitKind.ALU, UnitKind.LMAU, UnitKind.SHIFT, UnitKind.ALU),
+    delay_ns=1.02, area_um2=2157,
+)
+
+PATCH_TYPES = {p.name: p for p in (AT_MA, AT_AS, AT_SA)}
+
+# LOCUS's per-core conventional ISE accelerator: a compute-only chain
+# (no LMAU, not fusible).  Area = Table III total (1,288,044 um^2) / 16
+# cores; its standalone clock tops out at 400 MHz (Section VI-D), hence
+# the 2.4 ns chain delay.
+LOCUS_SFU = PatchType(
+    "LOCUS-SFU", (UnitKind.ALU, UnitKind.MUL, UnitKind.ALU, UnitKind.SHIFT),
+    delay_ns=2.4, area_um2=80503, fusible=False,
+)

@@ -1,0 +1,70 @@
+"""Patch placement across the 16 tiles.
+
+Section III-A derives the patch mix from the op-chain study: {AT} is
+needed everywhere, {MA} by half the cores, {AS} and {SA} by a quarter
+each — 8 {AT-MA}, 4 {AT-AS} and 4 {AT-SA} patches.  The default layout
+below interleaves the types so that any tile has every patch type
+within the 3-hop fusion radius, and places {AT-AS} on tiles 2 and 10
+with tile 6 between them, reproducing the stitching example of
+Figure 5 (patch2 + patch10 fused, patch6 bypassed).
+"""
+
+from repro.core.patches import AT_AS, AT_MA, AT_SA, PATCH_TYPES
+from repro.noc.topology import Mesh
+
+# Paper tile numbering 1..16 (row-major from the top-left corner).
+_DEFAULT_LAYOUT = (
+    AT_MA, AT_AS, AT_MA, AT_SA,
+    AT_MA, AT_MA, AT_SA, AT_AS,
+    AT_MA, AT_AS, AT_MA, AT_SA,
+    AT_MA, AT_MA, AT_SA, AT_AS,
+)
+
+
+class Placement:
+    """Mapping of tiles (0-indexed) to patch types on a mesh."""
+
+    def __init__(self, layout=_DEFAULT_LAYOUT, mesh=None):
+        self.mesh = mesh if mesh is not None else Mesh(4, 4)
+        layout = tuple(layout)
+        if len(layout) != self.mesh.num_tiles:
+            raise ValueError(
+                f"layout names {len(layout)} patches for "
+                f"{self.mesh.num_tiles} tiles"
+            )
+        self.layout = layout
+
+    def type_of(self, tile):
+        return self.layout[tile]
+
+    def tiles_of(self, ptype):
+        return [tile for tile, p in enumerate(self.layout) if p == ptype]
+
+    def counts(self):
+        """Patch-type histogram, e.g. {'AT-MA': 8, 'AT-AS': 4, 'AT-SA': 4}."""
+        result = {name: 0 for name in PATCH_TYPES}
+        for ptype in self.layout:
+            result[ptype.name] += 1
+        return result
+
+    def hops(self, tile_a, tile_b):
+        return self.mesh.hop_count(tile_a, tile_b)
+
+    @classmethod
+    def homogeneous(cls, ptype, mesh=None):
+        """Ablation: every tile carries the same patch type."""
+        mesh = mesh if mesh is not None else Mesh(4, 4)
+        return cls(tuple([ptype] * mesh.num_tiles), mesh)
+
+    def __repr__(self):
+        rows = []
+        for y in range(self.mesh.height):
+            row = [
+                self.layout[self.mesh.tile_at(x, y)].name
+                for x in range(self.mesh.width)
+            ]
+            rows.append(" ".join(f"{name:>5}" for name in row))
+        return "Placement(\n  " + "\n  ".join(rows) + "\n)"
+
+
+DEFAULT_PLACEMENT = Placement()

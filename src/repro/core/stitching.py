@@ -1,0 +1,313 @@
+"""Algorithm 1: compile-time patch allocation and stitching.
+
+Greedy bottleneck relief: repeatedly take the slowest kernel of the
+application, give it the best still-available patch (or fused pair
+reachable over a free inter-patch path within the hop budget), place
+the kernel on the origin tile and update its execution time — until no
+patch is left or the bottleneck cannot be improved.
+
+The allocator works on *cycle tables*: for each stage, the measured
+per-item cycles of every compiled option (from
+:class:`repro.compiler.KernelCompiler`), keyed by option name
+("baseline", "AT-MA", "AT-MA+AT-AS", ...).  Fused option names are
+``local+remote``; the origin tile must carry the local type, the
+remote patch the other.
+"""
+
+from repro.core.fusion import MAX_FUSION_HOPS
+from repro.core.placement import DEFAULT_PLACEMENT
+from repro.interpatch.network import InterPatchNetwork
+from repro.interpatch.pathfinder import find_path
+
+BASELINE = "baseline"
+
+
+class Assignment:
+    """Where one stage landed and how it is accelerated."""
+
+    __slots__ = ("stage_id", "tile", "option", "remote_tile", "path", "cycles")
+
+    def __init__(self, stage_id, tile, option, remote_tile, path, cycles):
+        self.stage_id = stage_id
+        self.tile = tile
+        self.option = option           # option name or BASELINE
+        self.remote_tile = remote_tile
+        self.path = path               # inter-patch path (fused only)
+        self.cycles = cycles
+
+    @property
+    def fused(self):
+        return self.remote_tile is not None
+
+    def __repr__(self):
+        extra = f" + tile {self.remote_tile}" if self.fused else ""
+        return (
+            f"Assignment(stage {self.stage_id} @ tile {self.tile}{extra}: "
+            f"{self.option}, {self.cycles} cyc)"
+        )
+
+
+class StitchPlan:
+    """Complete output of Algorithm 1 for one application."""
+
+    def __init__(self, app_name, assignments, network):
+        self.app_name = app_name
+        self.assignments = assignments     # stage id -> Assignment
+        self.network = network             # configured InterPatchNetwork
+
+    def tile_of(self, stage_id):
+        return self.assignments[stage_id].tile
+
+    def bottleneck_cycles(self):
+        return max(a.cycles for a in self.assignments.values())
+
+    def accelerated(self):
+        return [a for a in self.assignments.values() if a.option != BASELINE]
+
+    def fused_pairs(self):
+        return [a for a in self.assignments.values() if a.fused]
+
+    def describe(self):
+        lines = [f"Stitching for {self.app_name}:"]
+        for stage_id in sorted(self.assignments):
+            lines.append(f"  {self.assignments[stage_id]!r}")
+        return "\n".join(lines)
+
+
+def _feasible_single(ptype_name, placement, host_free, patch_free):
+    """Tiles that could host the kernel and own a free local patch."""
+    return [
+        tile for tile in sorted(host_free)
+        if tile in patch_free and placement.type_of(tile).name == ptype_name
+    ]
+
+
+def _feasible_pair(local_name, remote_name, placement, host_free,
+                   patch_free, network):
+    """Best (origin, remote, path): shortest free round-trip path."""
+    best = None
+    for origin in sorted(host_free):
+        if origin not in patch_free:
+            continue
+        if placement.type_of(origin).name != local_name:
+            continue
+        for remote in sorted(patch_free):
+            if remote == origin:
+                continue
+            if placement.type_of(remote).name != remote_name:
+                continue
+            if placement.hops(origin, remote) > MAX_FUSION_HOPS:
+                continue
+            path = find_path(
+                placement.mesh, origin, remote,
+                reserved_links=network.reserved_links,
+            )
+            if path is None:
+                continue
+            if best is None or len(path) < len(best[2]):
+                best = (origin, remote, path)
+    return best
+
+
+def stitch_application(app_name, stage_cycles, placement=None,
+                       allowed=None):
+    """Run Algorithm 1.
+
+    ``stage_cycles`` maps stage id to ``{option name: cycles}`` and
+    must include ``"baseline"``.  ``allowed`` optionally restricts the
+    usable option names (e.g. singles only for Stitch-w/o-fusion).
+    Returns a :class:`StitchPlan`.
+    """
+    placement = placement if placement is not None else DEFAULT_PLACEMENT
+    network = InterPatchNetwork(placement.mesh)
+    stage_ids = sorted(stage_cycles)
+    if len(stage_ids) > placement.mesh.num_tiles:
+        raise ValueError("more stages than tiles")
+
+    current = {sid: stage_cycles[sid][BASELINE] for sid in stage_ids}
+    checked = {sid: set() for sid in stage_ids}
+    done = set()
+    assignments = {}
+    host_free = set(range(placement.mesh.num_tiles))
+    patch_free = set(range(placement.mesh.num_tiles))
+
+    def options_for(sid):
+        table = stage_cycles[sid]
+        names = [
+            name for name, cycles in table.items()
+            if name != BASELINE
+            and name not in checked[sid]
+            and cycles < current[sid]
+            and (allowed is None or name in allowed)
+        ]
+        names.sort(key=lambda name: table[name])
+        return names
+
+    while patch_free and len(done) < len(stage_ids):
+        bottleneck = max(stage_ids, key=lambda sid: (current[sid], -sid))
+        if bottleneck in done:
+            # The slowest kernel is already accelerated as far as it
+            # goes; the pipeline rate cannot improve further.
+            break
+        placed = False
+        for name in options_for(bottleneck):
+            if "+" in name:
+                local_name, remote_name = name.split("+", 1)
+                found = _feasible_pair(
+                    local_name, remote_name, placement,
+                    host_free, patch_free, network,
+                )
+                if found is None:
+                    checked[bottleneck].add(name)
+                    continue
+                origin, remote, path = found
+                network.stitch(path)
+                assignments[bottleneck] = Assignment(
+                    bottleneck, origin, name, remote, path,
+                    stage_cycles[bottleneck][name],
+                )
+                host_free.discard(origin)
+                patch_free.discard(origin)
+                patch_free.discard(remote)
+            else:
+                tiles = _feasible_single(name, placement, host_free, patch_free)
+                if not tiles:
+                    checked[bottleneck].add(name)
+                    continue
+                origin = tiles[0]
+                assignments[bottleneck] = Assignment(
+                    bottleneck, origin, name, None, None,
+                    stage_cycles[bottleneck][name],
+                )
+                host_free.discard(origin)
+                patch_free.discard(origin)
+            current[bottleneck] = stage_cycles[bottleneck][name]
+            done.add(bottleneck)
+            placed = True
+            break
+        if not placed:
+            # The bottleneck cannot be sped up: overall throughput is
+            # fixed, so Algorithm 1 returns (lines 6-7 of the paper).
+            break
+
+    # Remaining stages take the leftover tiles, unaccelerated.
+    leftovers = sorted(host_free)
+    for sid in stage_ids:
+        if sid in assignments:
+            continue
+        tile = leftovers.pop(0)
+        assignments[sid] = Assignment(
+            sid, tile, BASELINE, None, None, current[sid]
+        )
+    return StitchPlan(app_name, assignments, network)
+
+
+def upgrade_plan(plan, stage_cycles, placement=None, allowed=None):
+    """Second pass: spend leftover patches on the rotating bottleneck.
+
+    Placement is kept fixed; an unaccelerated stage may claim its own
+    tile's patch (single or fused), and a single-patch stage may
+    upgrade to a fusion whose local half matches its tile.  Runs until
+    the bottleneck stage cannot improve.
+    """
+    placement = placement if placement is not None else DEFAULT_PLACEMENT
+    network = plan.network
+    assignments = plan.assignments
+    patch_free = set(range(placement.mesh.num_tiles))
+    for a in assignments.values():
+        if a.option != BASELINE:
+            patch_free.discard(a.tile)
+        if a.remote_tile is not None:
+            patch_free.discard(a.remote_tile)
+
+    def usable(name, assignment):
+        if allowed is not None and name not in allowed:
+            return False
+        local = name.split("+", 1)[0]
+        if placement.type_of(assignment.tile).name != local:
+            return False
+        if assignment.option == BASELINE:
+            return assignment.tile in patch_free
+        return assignment.option == local and "+" in name
+
+    improved = True
+    while improved:
+        improved = False
+        bottleneck = max(
+            assignments.values(), key=lambda a: (a.cycles, -a.stage_id)
+        )
+        table = stage_cycles[bottleneck.stage_id]
+        names = sorted(
+            (name for name in table if name != BASELINE
+             and table[name] < bottleneck.cycles
+             and usable(name, bottleneck)),
+            key=lambda name: table[name],
+        )
+        for name in names:
+            if "+" not in name:
+                patch_free.discard(bottleneck.tile)
+                bottleneck.option = name
+                bottleneck.cycles = table[name]
+                improved = True
+                break
+            remote_name = name.split("+", 1)[1]
+            chosen = None
+            for remote in sorted(patch_free):
+                if remote == bottleneck.tile:
+                    continue
+                if placement.type_of(remote).name != remote_name:
+                    continue
+                if placement.hops(bottleneck.tile, remote) > MAX_FUSION_HOPS:
+                    continue
+                path = find_path(
+                    placement.mesh, bottleneck.tile, remote,
+                    reserved_links=network.reserved_links,
+                )
+                if path is not None:
+                    chosen = (remote, path)
+                    break
+            if chosen is None:
+                continue
+            remote, path = chosen
+            network.stitch(path)
+            patch_free.discard(bottleneck.tile)
+            patch_free.discard(remote)
+            bottleneck.option = name
+            bottleneck.remote_tile = remote
+            bottleneck.path = path
+            bottleneck.cycles = table[name]
+            improved = True
+            break
+    return plan
+
+
+def stitch_best(app_name, stage_cycles, placement=None, allowed=None):
+    """Version selection over greedy variants (Section IV's goal).
+
+    The pure bottleneck greedy can starve replicated bottleneck kernels
+    by spending two patches per fusion; the tool chain "determines the
+    appropriate kernel mapping, version selection, patch stitching ...
+    aiming for the maximal overall throughput", so several plan
+    variants are generated and the lowest-bottleneck one kept (fusion
+    then never loses to not fusing):
+
+    1. the paper's greedy with all options,
+    2. the greedy restricted to single patches,
+    3. variant 2 followed by a fused-upgrade pass on leftover patches.
+    """
+    plans = [stitch_application(app_name, stage_cycles, placement, allowed)]
+    singles = {
+        name for sid in stage_cycles for name in stage_cycles[sid]
+        if name != BASELINE and "+" not in name
+        and (allowed is None or name in allowed)
+    }
+    plans.append(
+        stitch_application(app_name, stage_cycles, placement, singles)
+    )
+    plans.append(
+        upgrade_plan(
+            stitch_application(app_name, stage_cycles, placement, singles),
+            stage_cycles, placement, allowed,
+        )
+    )
+    return min(plans, key=lambda plan: plan.bottleneck_cycles())

@@ -1,0 +1,104 @@
+"""Functional units composing a polymorphic patch.
+
+A patch is a linear chain of four units (Figure 3): an ALU followed by
+the local-memory-access unit (the common ``AT`` prefix), then a
+type-specific pair (``MA``, ``AS`` or ``SA``).  A single *chain wire*
+carries the output of the most recent active unit forward; bypassed
+units are transparent.  Operand muxes are deliberately narrow so the
+whole configuration packs into the paper's 19 control bits (see
+:mod:`repro.core.config` for the exact field layout).
+"""
+
+import enum
+
+from repro.isa.instructions import Op
+
+
+class UnitKind(enum.Enum):
+    """The paper's four operation groups (Section III-A)."""
+
+    ALU = "A"
+    SHIFT = "S"
+    MUL = "M"
+    LMAU = "T"
+
+
+class Source:
+    """Operand sources selectable by unit input muxes."""
+
+    CHAIN = "chain"
+    EXT0 = "ext0"
+    EXT1 = "ext1"
+    EXT2 = "ext2"
+    EXT3 = "ext3"
+
+    EXTS = (EXT0, EXT1, EXT2, EXT3)
+    ALL = (CHAIN,) + EXTS
+
+    @staticmethod
+    def ext(index):
+        return Source.EXTS[index]
+
+    @staticmethod
+    def is_ext(source):
+        return source in Source.EXTS
+
+    @staticmethod
+    def ext_index(source):
+        return Source.EXTS.index(source)
+
+
+# Op menus per chain position.  Position 0 is the full ALU of the AT
+# prefix (3-bit op field); later compute positions have 2-bit op fields
+# (three operations + bypass).
+FIRST_ALU_OPS = (Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SLT, Op.SEQ)
+LATE_ALU_OPS = (Op.ADD, Op.SUB, Op.XOR)
+SHIFT_UNIT_OPS = (Op.SLL, Op.SRL, Op.SRA)
+MUL_UNIT_OPS = (Op.MUL, Op.MULH)
+
+
+class UnitSpec:
+    """One chain position: kind, op menu and legal operand sources."""
+
+    __slots__ = ("position", "kind", "ops", "in1_choices", "in2_choices")
+
+    def __init__(self, position, kind, ops, in1_choices, in2_choices):
+        self.position = position
+        self.kind = kind
+        self.ops = tuple(ops)
+        self.in1_choices = tuple(in1_choices)
+        self.in2_choices = tuple(in2_choices)
+
+    def allows_op(self, op):
+        return op in self.ops
+
+    def __repr__(self):
+        return f"UnitSpec(#{self.position} {self.kind.value})"
+
+
+def first_alu_spec():
+    """Position 0: the AT-prefix ALU — both inputs pick any external operand."""
+    return UnitSpec(0, UnitKind.ALU, FIRST_ALU_OPS, Source.EXTS, Source.EXTS)
+
+
+def lmau_spec():
+    """Position 1: the LMAU.  Addressing is hardwired (see TMode)."""
+    return UnitSpec(1, UnitKind.LMAU, (Op.LW, Op.SW), (Source.CHAIN,), (Source.EXT2, Source.EXT3))
+
+
+def late_spec(position, kind):
+    """Positions 1-3 compute units: narrow 2-bit muxes.
+
+    ``in1`` selects chain or ext2; ``in2`` selects chain or ext1..ext3
+    (chain on both inputs realizes squaring/doubling patterns).
+    """
+    ops = {
+        UnitKind.ALU: LATE_ALU_OPS,
+        UnitKind.SHIFT: SHIFT_UNIT_OPS,
+        UnitKind.MUL: MUL_UNIT_OPS,
+    }[kind]
+    return UnitSpec(
+        position, kind, ops,
+        (Source.CHAIN, Source.EXT2),
+        (Source.CHAIN, Source.EXT1, Source.EXT2, Source.EXT3),
+    )

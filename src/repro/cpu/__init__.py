@@ -1,0 +1,33 @@
+"""In-order single-issue core model (one per tile).
+
+The core mirrors the paper's simulation substrate: an in-order,
+single-lane ARM-class pipeline at 200 MHz.  One instruction issues per
+cycle; memory stalls come from the tile's :class:`~repro.mem.MemorySystem`;
+custom instructions (``cix``) are dispatched to the tile's configured
+patch through :class:`PatchPort` and complete in a single cycle; message
+passing blocks on :class:`CommPort`.
+"""
+
+from repro.cpu.core import (
+    BlockedError,
+    CommPort,
+    Core,
+    NullComm,
+    PatchPort,
+    RunResult,
+    STOP_HALT,
+    STOP_LIMIT,
+    STOP_RECV,
+)
+
+__all__ = [
+    "BlockedError",
+    "CommPort",
+    "Core",
+    "NullComm",
+    "PatchPort",
+    "RunResult",
+    "STOP_HALT",
+    "STOP_LIMIT",
+    "STOP_RECV",
+]

@@ -1,0 +1,324 @@
+"""Interpreter + cycle model for the in-order core.
+
+Timing model (validated against the paper's counts in Figure 4):
+
+* every instruction issues in 1 cycle, including the two-word ``movi``
+  and ``cix`` encodings (the second word is fetched in parallel);
+* loads/stores add the memory system's latency beyond the first cycle;
+* taken branches pay a 1-cycle redirect bubble;
+* instruction-cache misses stall the front end for the DRAM latency;
+* ``cix`` executes the configured (possibly fused) patch in exactly one
+  cycle — scratchpad accesses made by the LMAU inside the custom
+  instruction are part of that cycle (Section III-C);
+* ``send``/``recv`` timing is delegated to the attached comm port, and
+  ``recv`` blocks (without retiring) until data is available.
+"""
+
+from repro.isa.instructions import (
+    Op,
+    eval_alu,
+    eval_mul,
+    eval_shift,
+    wrap32,
+)
+
+STOP_HALT = "halt"
+STOP_LIMIT = "limit"
+STOP_RECV = "recv"
+
+
+class BlockedError(RuntimeError):
+    """Raised when a comm operation is attempted with no port attached."""
+
+
+class RunResult:
+    """Outcome of a :meth:`Core.run` call."""
+
+    __slots__ = ("reason", "cycles", "instructions")
+
+    def __init__(self, reason, cycles, instructions):
+        self.reason = reason
+        self.cycles = cycles
+        self.instructions = instructions
+
+    def __repr__(self):
+        return (
+            f"RunResult({self.reason}, cycles={self.cycles}, "
+            f"instructions={self.instructions})"
+        )
+
+
+class PatchPort:
+    """Interface of the tile's patch as seen by the core.
+
+    ``execute(cfg_id, in_values)`` returns up to two output values; any
+    SPM traffic happens through the LMAU inside the same cycle.
+    """
+
+    def execute(self, cfg_id, in_values):
+        raise NotImplementedError
+
+
+class CommPort:
+    """Interface of the tile's NIC as seen by the core (blocking MPI).
+
+    ``send`` always succeeds (the NIC injects at line rate) and returns
+    the local finish time.  ``try_recv`` returns ``None`` when no
+    matching message is ready, else ``(values, finish_time)``.
+    """
+
+    def send(self, peer, values, now):
+        raise NotImplementedError
+
+    def try_recv(self, peer, count, now):
+        raise NotImplementedError
+
+
+class NullComm(CommPort):
+    """Comm port for single-core runs: any use is a programming error."""
+
+    def send(self, peer, values, now):
+        raise BlockedError("send executed but no network is attached")
+
+    def try_recv(self, peer, count, now):
+        raise BlockedError("recv executed but no network is attached")
+
+
+class Core:
+    """One in-order core executing an assembled :class:`Program`."""
+
+    def __init__(
+        self,
+        program,
+        memory,
+        patch=None,
+        comm=None,
+        core_id=0,
+        taken_branch_penalty=1,
+        profile=False,
+    ):
+        self.program = program
+        self.memory = memory
+        self.patch = patch
+        self.comm = comm if comm is not None else NullComm()
+        self.core_id = core_id
+        self.taken_branch_penalty = taken_branch_penalty
+        self.profile = profile
+
+        self.regs = [0] * 16
+        self.pc = 0
+        self.cycles = 0
+        self.instret = 0
+        self.halted = False
+
+        self.block_counts = {}
+        self.spm_only_accesses = {}  # program index -> all addresses in SPM
+        self.mem_ranges = {}         # program index -> [min addr, max addr]
+        self._is_leader = None
+        if profile:
+            leaders = [False] * len(program)
+            for block in program.basic_blocks():
+                leaders[block.start] = True
+                self.block_counts[block.start] = 0
+            self._is_leader = leaders
+
+        self.cfg_table = getattr(program, "cfg_table", None)
+
+    # -- register helpers ----------------------------------------------------
+
+    def write_reg(self, index, value):
+        if index != 0:
+            self.regs[index] = wrap32(value)
+
+    def set_regs(self, **named):
+        """Harness helper: ``core.set_regs(r1=addr, r2=count)``."""
+        for name, value in named.items():
+            self.write_reg(int(name[1:]), value)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, max_instructions=None, max_cycles=None):
+        """Run until halt, a blocking receive, or a limit; resumable."""
+        program = self.program.instructions
+        regs = self.regs
+        memory = self.memory
+        fetch = memory.fetch
+        profile = self.profile
+        leaders = self._is_leader
+        block_counts = self.block_counts
+        penalty = self.taken_branch_penalty
+        start_instret = self.instret
+
+        while not self.halted:
+            if max_instructions is not None and self.instret - start_instret >= max_instructions:
+                return RunResult(STOP_LIMIT, self.cycles, self.instret)
+            if max_cycles is not None and self.cycles >= max_cycles:
+                return RunResult(STOP_LIMIT, self.cycles, self.instret)
+            pc = self.pc
+            if pc >= len(program):
+                raise IndexError(
+                    f"core {self.core_id}: pc {pc} ran off the end of "
+                    f"{self.program.name!r} (missing halt?)"
+                )
+            instr = program[pc]
+            op = instr.op
+            if profile and leaders[pc]:
+                block_counts[pc] += 1
+
+            cost = fetch(pc, instr.words) - (instr.words - 1)
+            # fetch() returns hit_latency per word + miss stalls; the
+            # issue slot already covers one cycle, extra words overlap.
+            next_pc = pc + 1
+
+            if op is Op.LW:
+                addr = (regs[instr.ra] + instr.imm) & 0xFFFFFFFF
+                value, mem_cycles = memory.read(addr)
+                if instr.rd != 0:
+                    regs[instr.rd] = value
+                cost += mem_cycles - 1
+                if profile:
+                    self._note_region(pc, addr)
+            elif op is Op.SW:
+                addr = (regs[instr.ra] + instr.imm) & 0xFFFFFFFF
+                cost += memory.write(addr, regs[instr.rd]) - 1
+                if profile:
+                    self._note_region(pc, addr)
+            elif op is Op.ADD:
+                if instr.rd != 0:
+                    regs[instr.rd] = wrap32(regs[instr.ra] + regs[instr.rb])
+            elif op is Op.ADDI:
+                if instr.rd != 0:
+                    regs[instr.rd] = wrap32(regs[instr.ra] + instr.imm)
+            elif op is Op.SUB:
+                if instr.rd != 0:
+                    regs[instr.rd] = wrap32(regs[instr.ra] - regs[instr.rb])
+            elif op is Op.MUL:
+                if instr.rd != 0:
+                    regs[instr.rd] = wrap32(regs[instr.ra] * regs[instr.rb])
+            elif op is Op.MULH:
+                if instr.rd != 0:
+                    regs[instr.rd] = eval_mul(op, regs[instr.ra], regs[instr.rb])
+            elif op in (Op.AND, Op.OR, Op.XOR, Op.SLT, Op.SLTU, Op.SEQ):
+                if instr.rd != 0:
+                    regs[instr.rd] = eval_alu(op, regs[instr.ra], regs[instr.rb])
+            elif op in (Op.ANDI, Op.ORI, Op.XORI, Op.SLTI):
+                base = {
+                    Op.ANDI: Op.AND, Op.ORI: Op.OR,
+                    Op.XORI: Op.XOR, Op.SLTI: Op.SLT,
+                }[op]
+                if instr.rd != 0:
+                    regs[instr.rd] = eval_alu(base, regs[instr.ra], instr.imm)
+            elif op in (Op.SLL, Op.SRL, Op.SRA):
+                if instr.rd != 0:
+                    regs[instr.rd] = eval_shift(op, regs[instr.ra], regs[instr.rb])
+            elif op in (Op.SLLI, Op.SRLI, Op.SRAI):
+                base = {Op.SLLI: Op.SLL, Op.SRLI: Op.SRL, Op.SRAI: Op.SRA}[op]
+                if instr.rd != 0:
+                    regs[instr.rd] = eval_shift(base, regs[instr.ra], instr.imm)
+            elif op is Op.MOV:
+                if instr.rd != 0:
+                    regs[instr.rd] = regs[instr.ra]
+            elif op is Op.MOVI:
+                if instr.rd != 0:
+                    regs[instr.rd] = instr.imm
+            elif op is Op.CIX:
+                outs = self._execute_cix(instr)
+                for reg, value in zip(instr.outs, outs):
+                    if reg != 0:
+                        regs[reg] = wrap32(value)
+            elif op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU):
+                lhs = regs[instr.ra]
+                rhs = regs[instr.rb]
+                if op is Op.BEQ:
+                    taken = lhs == rhs
+                elif op is Op.BNE:
+                    taken = lhs != rhs
+                elif op is Op.BLT:
+                    taken = lhs < rhs
+                elif op is Op.BGE:
+                    taken = lhs >= rhs
+                elif op is Op.BLTU:
+                    taken = (lhs & 0xFFFFFFFF) < (rhs & 0xFFFFFFFF)
+                else:
+                    taken = (lhs & 0xFFFFFFFF) >= (rhs & 0xFFFFFFFF)
+                if taken:
+                    next_pc = instr.target
+                    cost += penalty
+            elif op is Op.JMP:
+                next_pc = instr.target
+                cost += penalty
+            elif op is Op.JAL:
+                regs[15] = pc + 1
+                next_pc = instr.target
+                cost += penalty
+            elif op is Op.JR:
+                next_pc = regs[instr.ra]
+                cost += penalty
+            elif op is Op.HALT:
+                self.halted = True
+            elif op is Op.NOP:
+                pass
+            elif op is Op.SEND:
+                peer = regs[instr.ra]
+                base = regs[instr.rb]
+                count = regs[instr.rd]
+                values = memory.dump(base, count)  # NIC DMA bypasses the cache
+                finish = self.comm.send(peer, values, self.cycles)
+                self.cycles = finish
+                self.pc = next_pc
+                self.instret += 1
+                continue
+            elif op is Op.RECV:
+                peer = regs[instr.ra]
+                base = regs[instr.rb]
+                count = regs[instr.rd]
+                result = self.comm.try_recv(peer, count, self.cycles)
+                if result is None:
+                    return RunResult(STOP_RECV, self.cycles, self.instret)
+                values, finish = result
+                memory.load(base, values)  # NIC DMA bypasses the cache
+                self.cycles = finish
+                self.pc = next_pc
+                self.instret += 1
+                continue
+            else:  # pragma: no cover - all opcodes handled above
+                raise NotImplementedError(f"opcode {op}")
+
+            regs[0] = 0
+            self.cycles += cost
+            self.instret += 1
+            self.pc = next_pc
+
+        return RunResult(STOP_HALT, self.cycles, self.instret)
+
+    def _execute_cix(self, instr):
+        if self.patch is None:
+            raise BlockedError(
+                f"core {self.core_id}: cix executed but no patch is attached"
+            )
+        in_values = [self.regs[r] for r in instr.ins]
+        return self.patch.execute(instr.cfg, in_values)
+
+    def _note_region(self, pc, addr):
+        is_spm = self.memory.is_spm(addr)
+        previous = self.spm_only_accesses.get(pc)
+        self.spm_only_accesses[pc] = is_spm if previous is None else (previous and is_spm)
+        span = self.mem_ranges.get(pc)
+        if span is None:
+            self.mem_ranges[pc] = [addr, addr]
+        else:
+            if addr < span[0]:
+                span[0] = addr
+            if addr > span[1]:
+                span[1] = addr
+
+    # -- profiling ---------------------------------------------------------------
+
+    def block_instruction_counts(self):
+        """Dynamic instruction count per basic block (requires profile=True)."""
+        if not self.profile:
+            raise RuntimeError("core was created with profile=False")
+        result = {}
+        for block in self.program.basic_blocks():
+            result[block.index] = self.block_counts[block.start] * len(block)
+        return result

@@ -1,0 +1,37 @@
+"""The compiler-scheduled, bufferless inter-patch NoC (Section III-B).
+
+A second mesh, separate from the inter-core NoC, made only of wires and
+crossbar switches driven by clockless repeaters — no buffers, no
+control logic.  Each tile's switch holds a single memory-mapped
+*crossbar configuration register* written before the application
+launches; at runtime signals traverse multiple hops asynchronously
+within a single clock cycle.  The compiler guarantees contention
+freedom by reserving disjoint links per stitched pair.
+"""
+
+from repro.interpatch.switch import (
+    CrossbarSwitch,
+    PORTS,
+    PORT_E,
+    PORT_N,
+    PORT_PATCH,
+    PORT_REG,
+    PORT_S,
+    PORT_W,
+)
+from repro.interpatch.network import InterPatchNetwork, ReservationError
+from repro.interpatch.pathfinder import find_path
+
+__all__ = [
+    "CrossbarSwitch",
+    "PORTS",
+    "PORT_N",
+    "PORT_E",
+    "PORT_S",
+    "PORT_W",
+    "PORT_PATCH",
+    "PORT_REG",
+    "InterPatchNetwork",
+    "ReservationError",
+    "find_path",
+]

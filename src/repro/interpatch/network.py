@@ -1,0 +1,125 @@
+"""Inter-patch network: switches + compile-time path reservation.
+
+A stitched pair (origin tile A, remote tile B) reserves a path A -> B
+for operand delivery and the reversed path B -> A for the result's
+return (Figure 5's green and purple lines).  Reservation configures the
+crossbar switches along the way — intermediate tiles simply bypass —
+and marks the directed links used, so a later stitching that would
+contend is rejected and the compiler must pick other patches (Algorithm
+1 handles that by consulting :func:`repro.interpatch.pathfinder.find_path`
+with the current reservation set).
+"""
+
+from repro.interpatch.switch import (
+    CrossbarSwitch,
+    PORT_E,
+    PORT_N,
+    PORT_PATCH,
+    PORT_REG,
+    PORT_S,
+    PORT_W,
+)
+from repro.noc.topology import Mesh
+
+
+class ReservationError(RuntimeError):
+    """A requested path conflicts with an existing reservation."""
+
+
+def _direction(mesh, src, dst):
+    """Port name of the link src -> dst as seen from src."""
+    sx, sy = mesh.coords(src)
+    dx, dy = mesh.coords(dst)
+    if dx == sx + 1 and dy == sy:
+        return PORT_E
+    if dx == sx - 1 and dy == sy:
+        return PORT_W
+    if dy == sy + 1 and dx == sx:
+        return PORT_S
+    if dy == sy - 1 and dx == sx:
+        return PORT_N
+    raise ValueError(f"tiles {src} and {dst} are not mesh neighbours")
+
+
+_OPPOSITE = {PORT_N: PORT_S, PORT_S: PORT_N, PORT_E: PORT_W, PORT_W: PORT_E}
+
+
+class InterPatchNetwork:
+    """All switches of the inter-patch mesh plus the reservation state."""
+
+    def __init__(self, mesh=None):
+        self.mesh = mesh if mesh is not None else Mesh(4, 4)
+        self.switches = [CrossbarSwitch(t) for t in range(self.mesh.num_tiles)]
+        self.reserved_links = set()
+        self.stitchings = []  # (origin, remote, path) for reporting
+
+    def switch(self, tile):
+        return self.switches[tile]
+
+    def is_link_free(self, src, dst):
+        return (src, dst) not in self.reserved_links
+
+    def _configure_direction(self, path):
+        """Configure switches for a one-way traversal along ``path``."""
+        for index in range(len(path) - 1):
+            here, there = path[index], path[index + 1]
+            out_port = _direction(self.mesh, here, there)
+            if index == 0:
+                in_port = PORT_PATCH  # origin patch output enters its switch
+            else:
+                in_port = _OPPOSITE[_direction(self.mesh, path[index - 1], here)]
+            self.switches[here].configure(out_port, in_port)
+        # Deliver into the destination patch.
+        last, prev = path[-1], path[-2]
+        in_port = _OPPOSITE[_direction(self.mesh, prev, last)]
+        self.switches[last].configure(PORT_PATCH, in_port)
+
+    def stitch(self, path):
+        """Reserve ``path`` (origin..remote) for a fused pair, both ways.
+
+        Raises :class:`ReservationError` on any conflict and leaves the
+        network untouched in that case.
+        """
+        if len(path) < 2:
+            raise ValueError("a stitching path needs at least two tiles")
+        forward = list(zip(path, path[1:]))
+        backward = [(b, a) for (a, b) in forward]
+        for link in forward + backward:
+            if link in self.reserved_links:
+                raise ReservationError(f"link {link} already reserved")
+        # Validate adjacency before mutating anything.
+        for src, dst in forward:
+            _direction(self.mesh, src, dst)
+        snapshot = [switch.routes() for switch in self.switches]
+        try:
+            self._configure_direction(path)
+            self._configure_direction(list(reversed(path)))
+            # The origin's register file receives the returned result.
+            origin = self.switches[path[0]]
+            origin.configure(PORT_REG, origin.driver_of(PORT_PATCH))
+        except ValueError as exc:
+            for switch, routes in zip(self.switches, snapshot):
+                switch.clear()
+                for out_port, in_port in routes.items():
+                    switch.configure(out_port, in_port)
+            raise ReservationError(str(exc)) from exc
+        self.reserved_links.update(forward)
+        self.reserved_links.update(backward)
+        self.stitchings.append((path[0], path[-1], list(path)))
+        return list(path)
+
+    def hops(self, path):
+        return len(path) - 1
+
+    def reset(self):
+        for switch in self.switches:
+            switch.clear()
+        self.reserved_links.clear()
+        self.stitchings.clear()
+
+    def utilization(self):
+        """Fraction of directed mesh links reserved."""
+        total = 0
+        for tile in range(self.mesh.num_tiles):
+            total += len(self.mesh.neighbors(tile))
+        return len(self.reserved_links) / total if total else 0.0

@@ -1,0 +1,55 @@
+"""Dijkstra path search for Algorithm 1's ``FindPath``.
+
+The stitcher needs a free round-trip path between two tiles within the
+single-cycle hop budget.  Links already reserved by earlier stitchings
+are excluded (in both directions, since every stitching reserves its
+round trip).  The paper uses Dijkstra's algorithm (O(N^2)); with unit
+edge weights this degenerates to BFS but we keep the Dijkstra
+formulation — reservations may in future carry congestion weights.
+"""
+
+import heapq
+
+from repro.core.fusion import MAX_FUSION_HOPS
+
+
+def find_path(mesh, src, dst, reserved_links=(), max_hops=MAX_FUSION_HOPS):
+    """Shortest free path ``src..dst`` (inclusive) or ``None``.
+
+    A link is usable only if both directions are free, because a
+    stitching reserves the round trip.
+    """
+    if src == dst:
+        raise ValueError("a patch cannot be stitched to itself")
+    reserved = set(reserved_links)
+
+    def usable(a, b):
+        return (a, b) not in reserved and (b, a) not in reserved
+
+    distances = {src: 0}
+    previous = {}
+    heap = [(0, src)]
+    while heap:
+        dist, tile = heapq.heappop(heap)
+        if dist > distances.get(tile, float("inf")):
+            continue
+        if tile == dst:
+            break
+        if dist >= max_hops:
+            continue
+        for neighbor in mesh.neighbors(tile):
+            if not usable(tile, neighbor):
+                continue
+            candidate = dist + 1
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                previous[neighbor] = tile
+                heapq.heappush(heap, (candidate, neighbor))
+
+    if dst not in distances or distances[dst] > max_hops:
+        return None
+    path = [dst]
+    while path[-1] != src:
+        path.append(previous[path[-1]])
+    path.reverse()
+    return path

@@ -1,0 +1,103 @@
+"""The 6x6 crossbar switch of the inter-patch NoC (Figure 5).
+
+Six input and six output ports: the four mesh directions plus the
+local patch and the register file.  Each 166-bit link carries four
+32-bit operand words and 38 control bits (two 19-bit patch configs).
+The switch has no buffers and no arbitration — each output is statically
+driven by one input, chosen by the crossbar configuration register, and
+the clockless repeaters let signals bypass asynchronously to the next
+hop within the cycle.
+"""
+
+PORT_N = "N"
+PORT_E = "E"
+PORT_S = "S"
+PORT_W = "W"
+PORT_PATCH = "patch"
+PORT_REG = "reg"
+
+PORTS = (PORT_N, PORT_E, PORT_S, PORT_W, PORT_PATCH, PORT_REG)
+
+LINK_DATA_BITS = 4 * 32
+LINK_CONTROL_BITS = 38
+LINK_BITS = LINK_DATA_BITS + LINK_CONTROL_BITS  # 166
+
+_PORT_CODE = {port: index for index, port in enumerate(PORTS)}
+_CODE_PORT = dict(enumerate(PORTS))
+_FIELD_WIDTH = 3  # 6 ports + "undriven" fit in 3 bits per output
+
+
+class CrossbarSwitch:
+    """One tile's switch: a map ``output port -> input port``."""
+
+    def __init__(self, tile):
+        self.tile = tile
+        self._routes = {}
+
+    def configure(self, out_port, in_port):
+        """Drive ``out_port`` from ``in_port``.
+
+        An output can only be driven by one input; reconfiguring an
+        already-driven output is rejected (the compiler must release the
+        old route first).  An input may fan out to several outputs.
+        """
+        self._check_port(out_port)
+        self._check_port(in_port)
+        if out_port == in_port:
+            raise ValueError(f"switch {self.tile}: output {out_port} looped to itself")
+        if out_port in self._routes:
+            raise ValueError(
+                f"switch {self.tile}: output {out_port} already driven by "
+                f"{self._routes[out_port]}"
+            )
+        self._routes[out_port] = in_port
+
+    def release(self, out_port):
+        self._routes.pop(out_port, None)
+
+    def clear(self):
+        self._routes.clear()
+
+    def driver_of(self, out_port):
+        return self._routes.get(out_port)
+
+    def routes(self):
+        return dict(self._routes)
+
+    @staticmethod
+    def _check_port(port):
+        if port not in PORTS:
+            raise ValueError(f"unknown port {port!r}")
+
+    # -- memory-mapped register view -----------------------------------------
+
+    def register_value(self):
+        """Pack the configuration into the memory-mapped register format.
+
+        3 bits per output port (input code 0-5, 7 = undriven), outputs
+        in :data:`PORTS` order — 18 bits total.
+        """
+        value = 0
+        for index, out_port in enumerate(PORTS):
+            in_port = self._routes.get(out_port)
+            code = _PORT_CODE[in_port] if in_port is not None else 7
+            value |= code << (index * _FIELD_WIDTH)
+        return value
+
+    def load_register(self, value):
+        """Inverse of :meth:`register_value` (the store the CPU performs)."""
+        self.clear()
+        for index, out_port in enumerate(PORTS):
+            code = (value >> (index * _FIELD_WIDTH)) & 0b111
+            if code == 7:
+                continue
+            in_port = _CODE_PORT.get(code)
+            if in_port is None:
+                raise ValueError(f"illegal input code {code} for output {out_port}")
+            if in_port == out_port:
+                raise ValueError(f"output {out_port} looped to itself")
+            self._routes[out_port] = in_port
+
+    def __repr__(self):
+        inner = ", ".join(f"{o}<-{i}" for o, i in sorted(self._routes.items()))
+        return f"CrossbarSwitch(tile {self.tile}: {inner})"

@@ -1,0 +1,61 @@
+"""Instruction-set architecture substrate for the Stitch reproduction.
+
+The paper evaluates on ARM (gem5 + the Amber core).  We reproduce the
+architectural behaviour with a compact word-oriented RISC ISA that exposes
+the same four operation classes the polymorphic-patch design is derived
+from (arithmetic/logic ``A``, shift ``S``, multiply ``M``, local-memory
+``T``), plus control flow, message-passing primitives and the two-word
+custom instruction (``cix``) that drives a configured patch.
+"""
+
+from repro.isa.instructions import (
+    Instruction,
+    Op,
+    OpClass,
+    op_class,
+    ALU_OPS,
+    SHIFT_OPS,
+    MUL_OPS,
+    eval_alu,
+    eval_shift,
+    eval_mul,
+    wrap32,
+)
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_NAMES,
+    ZERO,
+    SP,
+    LR,
+    reg_index,
+    reg_name,
+)
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.program import BasicBlock, Program
+from repro.isa.builder import Asm
+
+__all__ = [
+    "Instruction",
+    "Op",
+    "OpClass",
+    "op_class",
+    "ALU_OPS",
+    "SHIFT_OPS",
+    "MUL_OPS",
+    "eval_alu",
+    "eval_shift",
+    "eval_mul",
+    "wrap32",
+    "NUM_REGS",
+    "REG_NAMES",
+    "ZERO",
+    "SP",
+    "LR",
+    "reg_index",
+    "reg_name",
+    "AssemblerError",
+    "assemble",
+    "BasicBlock",
+    "Program",
+    "Asm",
+]

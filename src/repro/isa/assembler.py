@@ -1,0 +1,248 @@
+"""Two-pass text assembler.
+
+Syntax::
+
+    .equ  N 64            ; named constant, usable wherever an immediate is
+    loop:                 ; labels end with ':'
+        lw   r1, 0(r2)
+        addi r2, r2, 4    ; '#' and ';' start comments
+        mul  r3, r1, r1
+        add  r4, r4, r3
+        bne  r2, r5, loop
+        cix  2, (r5, r6), (r1, r2, r3, r4)
+        halt
+
+Branch/jump targets are labels.  The assembler resolves them to
+instruction indices and returns a :class:`repro.isa.program.Program`.
+"""
+
+import re
+
+from repro.isa.instructions import (
+    FMT_BR,
+    FMT_CIX,
+    FMT_COMM,
+    FMT_J,
+    FMT_JR,
+    FMT_MEM,
+    FMT_MOV,
+    FMT_MOVI,
+    FMT_NONE,
+    FMT_R3,
+    FMT_RI,
+    IMM16_MAX,
+    IMM16_MIN,
+    OP_FORMAT,
+    Instruction,
+    Op,
+)
+from repro.isa.program import Program
+from repro.isa.registers import reg_index
+
+
+class AssemblerError(ValueError):
+    """Raised on any malformed assembly input, with a line number."""
+
+
+_MNEMONICS = {op.value: op for op in Op}
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+
+
+def _strip(line):
+    for marker in ("#", ";"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _split_operands(text):
+    """Split an operand string on top-level commas, keeping (...) groups."""
+    parts = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+            current.append(ch)
+        elif ch == ")":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+class _Parser:
+    def __init__(self):
+        self.symbols = {}
+        self.instructions = []
+        self.labels = {}
+        self.pending = []  # (instr index, label, line number)
+        self.lineno = 0
+
+    def error(self, message):
+        raise AssemblerError(f"line {self.lineno}: {message}")
+
+    def reg(self, token):
+        try:
+            return reg_index(token)
+        except ValueError:
+            self.error(f"expected register, got {token!r}")
+
+    def imm(self, token, lo=IMM16_MIN, hi=IMM16_MAX):
+        token = token.strip()
+        if token in self.symbols:
+            value = self.symbols[token]
+        else:
+            try:
+                value = int(token, 0)
+            except ValueError:
+                self.error(f"expected immediate or .equ symbol, got {token!r}")
+        if not lo <= value <= hi:
+            self.error(f"immediate {value} out of range [{lo}, {hi}]")
+        return value
+
+    def reg_group(self, token, limit, what):
+        if not (token.startswith("(") and token.endswith(")")):
+            self.error(f"expected parenthesized register group for {what}")
+        body = token[1:-1].strip()
+        regs = []
+        if body:
+            for item in body.split(","):
+                item = item.strip()
+                if item == "-":
+                    continue
+                regs.append(self.reg(item))
+        if not regs:
+            self.error(f"{what} group must name at least one register")
+        if len(regs) > limit:
+            self.error(f"{what} group allows at most {limit} registers")
+        return regs
+
+    def parse_line(self, raw):
+        line = _strip(raw)
+        if not line:
+            return
+        if line.startswith(".equ"):
+            parts = line.split()
+            if len(parts) != 3:
+                self.error(".equ expects: .equ NAME VALUE")
+            _, name, value = parts
+            try:
+                self.symbols[name] = int(value, 0)
+            except ValueError:
+                self.error(f".equ value must be an integer, got {value!r}")
+            return
+        while True:
+            head, sep, rest = line.partition(":")
+            if sep and _LABEL_RE.match(head.strip()) and "," not in head:
+                label = head.strip()
+                if label in self.labels:
+                    self.error(f"duplicate label {label!r}")
+                self.labels[label] = len(self.instructions)
+                line = rest.strip()
+                if not line:
+                    return
+            else:
+                break
+        self.parse_instruction(line)
+
+    def parse_instruction(self, line):
+        mnemonic, _, operand_text = line.partition(" ")
+        mnemonic = mnemonic.strip().lower()
+        if mnemonic not in _MNEMONICS:
+            self.error(f"unknown mnemonic {mnemonic!r}")
+        op = _MNEMONICS[mnemonic]
+        ops = _split_operands(operand_text) if operand_text.strip() else []
+        fmt = OP_FORMAT[op]
+        handler = getattr(self, f"_fmt_{fmt}")
+        self.instructions.append(handler(op, ops))
+
+    def _need(self, ops, count, op):
+        if len(ops) != count:
+            self.error(f"{op.value} expects {count} operands, got {len(ops)}")
+
+    def _fmt_r3(self, op, ops):
+        self._need(ops, 3, op)
+        return Instruction(op, rd=self.reg(ops[0]), ra=self.reg(ops[1]), rb=self.reg(ops[2]))
+
+    def _fmt_ri(self, op, ops):
+        self._need(ops, 3, op)
+        return Instruction(op, rd=self.reg(ops[0]), ra=self.reg(ops[1]), imm=self.imm(ops[2]))
+
+    def _fmt_mov(self, op, ops):
+        self._need(ops, 2, op)
+        return Instruction(op, rd=self.reg(ops[0]), ra=self.reg(ops[1]))
+
+    def _fmt_movi(self, op, ops):
+        self._need(ops, 2, op)
+        value = self.imm(ops[1], lo=-(1 << 31), hi=(1 << 32) - 1)
+        if value >= 1 << 31:
+            value -= 1 << 32
+        return Instruction(op, rd=self.reg(ops[0]), imm=value)
+
+    def _fmt_mem(self, op, ops):
+        self._need(ops, 2, op)
+        match = _MEM_RE.match(ops[1].replace(" ", ""))
+        if not match:
+            self.error(f"expected offset(base), got {ops[1]!r}")
+        offset, base = match.groups()
+        return Instruction(
+            op, rd=self.reg(ops[0]), ra=self.reg(base), imm=self.imm(offset)
+        )
+
+    def _fmt_br(self, op, ops):
+        self._need(ops, 3, op)
+        instr = Instruction(op, ra=self.reg(ops[0]), rb=self.reg(ops[1]), target=ops[2])
+        self.pending.append((len(self.instructions), ops[2], self.lineno))
+        return instr
+
+    def _fmt_j(self, op, ops):
+        self._need(ops, 1, op)
+        instr = Instruction(op, target=ops[0])
+        self.pending.append((len(self.instructions), ops[0], self.lineno))
+        return instr
+
+    def _fmt_jr(self, op, ops):
+        self._need(ops, 1, op)
+        return Instruction(op, ra=self.reg(ops[0]))
+
+    def _fmt_none(self, op, ops):
+        self._need(ops, 0, op)
+        return Instruction(op)
+
+    def _fmt_comm(self, op, ops):
+        self._need(ops, 3, op)
+        return Instruction(op, ra=self.reg(ops[0]), rb=self.reg(ops[1]), rd=self.reg(ops[2]))
+
+    def _fmt_cix(self, op, ops):
+        self._need(ops, 3, op)
+        cfg = self.imm(ops[0], lo=0, hi=(1 << 16) - 1)
+        outs = self.reg_group(ops[1], 2, "output")
+        ins = self.reg_group(ops[2], 4, "input")
+        return Instruction(op, cfg=cfg, outs=outs, ins=ins)
+
+    def resolve(self):
+        for index, label, lineno in self.pending:
+            if label not in self.labels:
+                raise AssemblerError(f"line {lineno}: undefined label {label!r}")
+            self.instructions[index].target = self.labels[label]
+
+
+def assemble(source, name="program"):
+    """Assemble ``source`` text into a :class:`Program`."""
+    parser = _Parser()
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        parser.lineno = lineno
+        parser.parse_line(raw)
+    parser.resolve()
+    return Program(parser.instructions, labels=dict(parser.labels), name=name,
+                   symbols=dict(parser.symbols))

@@ -1,0 +1,189 @@
+"""Programmatic assembly builder.
+
+Larger kernels (AES, FFT, ...) are generated from Python rather than
+hand-written as flat text.  :class:`Asm` accumulates source lines with a
+method per mnemonic and assembles at the end, so builder output goes
+through the exact same parser/validation path as hand-written assembly.
+
+    asm = Asm("dot")
+    loop = asm.label("loop")
+    asm.lw("r3", 0, "r1").lw("r4", 0, "r2")
+    asm.mul("r5", "r3", "r4").add("r6", "r6", "r5")
+    asm.addi("r1", "r1", 4).addi("r2", "r2", 4)
+    asm.bne("r1", "r7", loop)
+    asm.halt()
+    program = asm.assemble()
+"""
+
+import itertools
+
+from repro.isa.assembler import assemble
+
+
+def _fmt_reg(reg):
+    if isinstance(reg, int):
+        return f"r{reg}"
+    return str(reg)
+
+
+class Asm:
+    """Fluent assembly-source builder; every emitter returns ``self``."""
+
+    _R3 = ("add", "sub", "and_", "or_", "xor", "slt", "sltu", "seq",
+           "sll", "srl", "sra", "mul", "mulh")
+    _RI = ("addi", "andi", "ori", "xori", "slti", "slli", "srli", "srai")
+    _BR = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
+
+    def __init__(self, name="program"):
+        self.name = name
+        self.lines = []
+        self._fresh = itertools.count()
+
+    # -- structure ---------------------------------------------------------
+
+    def raw(self, line):
+        """Append a raw source line (escape hatch)."""
+        self.lines.append(line)
+        return self
+
+    def comment(self, text):
+        self.lines.append(f"    # {text}")
+        return self
+
+    def equ(self, symbol, value):
+        self.lines.append(f".equ {symbol} {value}")
+        return self
+
+    def label(self, stem=None):
+        """Place a fresh (or named) label here and return its name."""
+        name = stem if stem and stem not in self._placed_labels() else (
+            f"{stem or 'L'}_{next(self._fresh)}"
+        )
+        self.lines.append(f"{name}:")
+        return name
+
+    def forward_label(self, stem="L"):
+        """Reserve a label name to be placed later via :meth:`place`."""
+        return f"{stem}_{next(self._fresh)}"
+
+    def place(self, name):
+        """Place a previously reserved forward label here."""
+        self.lines.append(f"{name}:")
+        return self
+
+    def _placed_labels(self):
+        return {line[:-1] for line in self.lines if line.endswith(":")}
+
+    # -- instructions ------------------------------------------------------
+
+    def _emit3(self, mnemonic, rd, ra, rb):
+        self.lines.append(
+            f"    {mnemonic} {_fmt_reg(rd)}, {_fmt_reg(ra)}, {_fmt_reg(rb)}"
+        )
+        return self
+
+    def _emit_ri(self, mnemonic, rd, ra, imm):
+        self.lines.append(f"    {mnemonic} {_fmt_reg(rd)}, {_fmt_reg(ra)}, {imm}")
+        return self
+
+    def mov(self, rd, ra):
+        self.lines.append(f"    mov {_fmt_reg(rd)}, {_fmt_reg(ra)}")
+        return self
+
+    def movi(self, rd, imm):
+        self.lines.append(f"    movi {_fmt_reg(rd)}, {imm}")
+        return self
+
+    def lw(self, rd, offset, base):
+        self.lines.append(f"    lw {_fmt_reg(rd)}, {offset}({_fmt_reg(base)})")
+        return self
+
+    def sw(self, rs, offset, base):
+        self.lines.append(f"    sw {_fmt_reg(rs)}, {offset}({_fmt_reg(base)})")
+        return self
+
+    def jmp(self, target):
+        self.lines.append(f"    jmp {target}")
+        return self
+
+    def jal(self, target):
+        self.lines.append(f"    jal {target}")
+        return self
+
+    def jr(self, ra):
+        self.lines.append(f"    jr {_fmt_reg(ra)}")
+        return self
+
+    def halt(self):
+        self.lines.append("    halt")
+        return self
+
+    def nop(self):
+        self.lines.append("    nop")
+        return self
+
+    def send(self, peer, base, count):
+        self.lines.append(
+            f"    send {_fmt_reg(peer)}, {_fmt_reg(base)}, {_fmt_reg(count)}"
+        )
+        return self
+
+    def recv(self, peer, base, count):
+        self.lines.append(
+            f"    recv {_fmt_reg(peer)}, {_fmt_reg(base)}, {_fmt_reg(count)}"
+        )
+        return self
+
+    def cix(self, cfg, outs, ins):
+        outs_text = ", ".join(_fmt_reg(r) for r in outs)
+        ins_text = ", ".join(_fmt_reg(r) for r in ins)
+        self.lines.append(f"    cix {cfg}, ({outs_text}), ({ins_text})")
+        return self
+
+    # -- output ------------------------------------------------------------
+
+    def source(self):
+        return "\n".join(self.lines) + "\n"
+
+    def assemble(self):
+        return assemble(self.source(), name=self.name)
+
+
+def _make_r3(mnemonic):
+    attr = mnemonic.rstrip("_")
+
+    def emit(self, rd, ra, rb):
+        return self._emit3(attr, rd, ra, rb)
+
+    emit.__name__ = mnemonic
+    emit.__doc__ = f"Emit ``{attr} rd, ra, rb``."
+    return emit
+
+
+def _make_ri(mnemonic):
+    def emit(self, rd, ra, imm):
+        return self._emit_ri(mnemonic, rd, ra, imm)
+
+    emit.__name__ = mnemonic
+    emit.__doc__ = f"Emit ``{mnemonic} rd, ra, imm``."
+    return emit
+
+
+def _make_br(mnemonic):
+    def emit(self, ra, rb, target):
+        self.lines.append(
+            f"    {mnemonic} {_fmt_reg(ra)}, {_fmt_reg(rb)}, {target}"
+        )
+        return self
+
+    emit.__name__ = mnemonic
+    emit.__doc__ = f"Emit ``{mnemonic} ra, rb, target``."
+    return emit
+
+
+for _m in Asm._R3:
+    setattr(Asm, _m, _make_r3(_m))
+for _m in Asm._RI:
+    setattr(Asm, _m, _make_ri(_m))
+for _m in Asm._BR:
+    setattr(Asm, _m, _make_br(_m))

@@ -1,0 +1,119 @@
+"""Program container and basic-block analysis.
+
+Branch targets are stored as instruction indices after assembly, so a
+program is position independent with respect to data layout and can be
+sliced into basic blocks by the standard leader algorithm.  Basic blocks
+are the unit the compiler profiles and mines for ISE candidates.
+"""
+
+from repro.isa.instructions import Op
+
+
+class BasicBlock:
+    """A maximal straight-line region ``[start, end)`` of a program."""
+
+    __slots__ = ("index", "start", "end", "instructions")
+
+    def __init__(self, index, start, end, instructions):
+        self.index = index
+        self.start = start
+        self.end = end
+        self.instructions = instructions
+
+    def __len__(self):
+        return self.end - self.start
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __repr__(self):
+        return f"BasicBlock(#{self.index}, [{self.start}:{self.end}))"
+
+
+class Program:
+    """An assembled program: instructions, labels and symbol table."""
+
+    def __init__(self, instructions, labels=None, name="program", symbols=None):
+        self.instructions = list(instructions)
+        self.labels = dict(labels or {})
+        self.symbols = dict(symbols or {})
+        self.name = name
+        self._blocks = None
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def __getitem__(self, index):
+        return self.instructions[index]
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def label_of(self, index):
+        """Return a label naming ``index``, if any."""
+        for label, target in self.labels.items():
+            if target == index:
+                return label
+        return None
+
+    def basic_blocks(self):
+        """Partition into basic blocks (leader algorithm); cached."""
+        if self._blocks is None:
+            self._blocks = self._compute_blocks()
+        return self._blocks
+
+    def _compute_blocks(self):
+        count = len(self.instructions)
+        if count == 0:
+            return []
+        leaders = {0}
+        for index, instr in enumerate(self.instructions):
+            if instr.is_branch() or instr.op is Op.HALT:
+                if index + 1 < count:
+                    leaders.add(index + 1)
+                if instr.target is not None and instr.op is not Op.JR:
+                    leaders.add(instr.target)
+        ordered = sorted(leaders)
+        blocks = []
+        for block_index, start in enumerate(ordered):
+            end = ordered[block_index + 1] if block_index + 1 < len(ordered) else count
+            blocks.append(
+                BasicBlock(block_index, start, end, self.instructions[start:end])
+            )
+        return blocks
+
+    def block_at(self, instruction_index):
+        """Return the basic block containing ``instruction_index``."""
+        for block in self.basic_blocks():
+            if block.start <= instruction_index < block.end:
+                return block
+        raise IndexError(f"no block contains instruction {instruction_index}")
+
+    def static_words(self):
+        """Encoded size in 32-bit words (movi and cix are two words)."""
+        return sum(instr.words for instr in self.instructions)
+
+    def text(self):
+        """Disassemble back to readable assembly with block markers."""
+        index_labels = {}
+        for label, target in self.labels.items():
+            index_labels.setdefault(target, []).append(label)
+        lines = []
+        for index, instr in enumerate(self.instructions):
+            for label in index_labels.get(index, ()):
+                lines.append(f"{label}:")
+            rendered = instr.text()
+            if instr.target is not None and instr.op is not Op.JR:
+                label = self.label_of(instr.target)
+                if label is not None:
+                    rendered = rendered.rsplit(" ", 1)[0] + f" {label}"
+            lines.append(f"    {rendered}")
+        return "\n".join(lines) + "\n"
+
+    def copy(self, name=None):
+        return Program(
+            [instr.copy() for instr in self.instructions],
+            labels=dict(self.labels),
+            name=name or self.name,
+            symbols=dict(self.symbols),
+        )

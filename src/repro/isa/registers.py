@@ -1,0 +1,42 @@
+"""Register file conventions.
+
+Sixteen 32-bit general-purpose registers, mirroring the 4-bit register
+specifiers of compact embedded ISAs:
+
+* ``r0`` — hardwired zero (writes are discarded),
+* ``r1`` .. ``r13`` — general purpose,
+* ``r14`` (``sp``) — stack pointer by convention,
+* ``r15`` (``lr``) — link register written by ``jal``.
+"""
+
+NUM_REGS = 16
+
+ZERO = 0
+SP = 14
+LR = 15
+
+REG_NAMES = tuple(f"r{i}" for i in range(NUM_REGS))
+
+_ALIASES = {"zero": ZERO, "sp": SP, "lr": LR}
+
+
+def reg_index(name):
+    """Return the register index for ``name`` (``r7``, ``sp``, ...).
+
+    Raises ``ValueError`` for anything that is not a register.
+    """
+    text = name.strip().lower()
+    if text in _ALIASES:
+        return _ALIASES[text]
+    if text.startswith("r") and text[1:].isdigit():
+        idx = int(text[1:])
+        if 0 <= idx < NUM_REGS:
+            return idx
+    raise ValueError(f"not a register: {name!r}")
+
+
+def reg_name(index):
+    """Return the canonical name (``rN``) for a register index."""
+    if not 0 <= index < NUM_REGS:
+        raise ValueError(f"register index out of range: {index}")
+    return REG_NAMES[index]

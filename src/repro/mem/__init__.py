@@ -1,0 +1,26 @@
+"""Memory hierarchy substrate.
+
+Per tile (Table II of the paper): a 2-way 8 KB instruction cache and
+2-way 4 KB data cache with 64-byte blocks and LRU replacement, a 4 KB
+scratchpad memory (SPM) with 1-cycle access reachable by both the CPU
+and the patch LMAU, and a 512 MB DRAM with 30-cycle access latency.
+
+Stitch is message passing: each tile owns a private memory space, so
+caches act as timing filters over an always-consistent local backing
+store and no coherence machinery is needed (Section III-C).
+"""
+
+from repro.mem.cache import Cache
+from repro.mem.dram import Dram, DRAM_LATENCY
+from repro.mem.spm import Scratchpad, SPM_BASE, SPM_SIZE
+from repro.mem.hierarchy import MemorySystem
+
+__all__ = [
+    "Cache",
+    "Dram",
+    "DRAM_LATENCY",
+    "Scratchpad",
+    "SPM_BASE",
+    "SPM_SIZE",
+    "MemorySystem",
+]

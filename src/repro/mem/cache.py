@@ -1,0 +1,87 @@
+"""Set-associative write-back, write-allocate cache timing model.
+
+Contents live in the tile's private DRAM model (always locally
+consistent — single core, no sharing), so the cache tracks only tags,
+dirty bits and LRU order and returns the cycle cost of each access.
+"""
+
+
+def _is_pow2(value):
+    return value > 0 and value & (value - 1) == 0
+
+
+class Cache:
+    """LRU set-associative cache.
+
+    Parameters mirror Table II: ``size_bytes`` total capacity,
+    ``assoc`` ways, ``line_bytes`` block size, ``hit_latency`` cycles.
+    """
+
+    def __init__(self, size_bytes, assoc, line_bytes=64, hit_latency=1, name="cache"):
+        if not (_is_pow2(size_bytes) and _is_pow2(assoc) and _is_pow2(line_bytes)):
+            raise ValueError("cache geometry must be powers of two")
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ValueError("size must be a multiple of assoc * line size")
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.hit_latency = hit_latency
+        self.name = name
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        self._set_mask = self.num_sets - 1
+        self._line_shift = line_bytes.bit_length() - 1
+        # Each set: list of [tag, dirty] in LRU order (front = LRU).
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def lookup(self, addr, write=False):
+        """Access ``addr``; returns ``(hit, writeback)``.
+
+        ``writeback`` is True when the miss evicted a dirty line (costing
+        an extra DRAM write in the hierarchy's timing model).
+        """
+        line = addr >> self._line_shift
+        set_index = line & self._set_mask
+        tag = line >> (self.num_sets.bit_length() - 1)
+        ways = self._sets[set_index]
+        for position, entry in enumerate(ways):
+            if entry[0] == tag:
+                ways.append(ways.pop(position))  # move to MRU
+                if write:
+                    entry[1] = True
+                self.hits += 1
+                return True, False
+        self.misses += 1
+        writeback = False
+        if len(ways) >= self.assoc:
+            victim = ways.pop(0)
+            if victim[1]:
+                writeback = True
+                self.writebacks += 1
+        ways.append([tag, write])
+        return False, writeback
+
+    def flush(self):
+        """Invalidate everything (no timing charged)."""
+        self._sets = [[] for _ in range(self.num_sets)]
+
+    def reset_stats(self):
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+    def hit_rate(self):
+        total = self.accesses
+        return self.hits / total if total else 1.0
+
+    def __repr__(self):
+        return (
+            f"Cache({self.name}: {self.size_bytes}B {self.assoc}-way "
+            f"{self.line_bytes}B-line, {self.num_sets} sets)"
+        )

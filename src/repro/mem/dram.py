@@ -1,0 +1,53 @@
+"""Sparse word-granular DRAM model (512 MB address space, 30-cycle access)."""
+
+from repro.isa.instructions import wrap32
+
+DRAM_LATENCY = 30
+DRAM_SIZE = 512 * 1024 * 1024
+
+
+class Dram:
+    """Private per-tile main memory.
+
+    Storage is a sparse ``{word index: value}`` map so a 512 MB space
+    costs only what a program touches.  Values are signed 32-bit ints.
+    """
+
+    def __init__(self, size_bytes=DRAM_SIZE, latency=DRAM_LATENCY):
+        self.size_bytes = size_bytes
+        self.latency = latency
+        self._words = {}
+        self.reads = 0
+        self.writes = 0
+
+    def _check(self, addr):
+        if addr % 4 != 0:
+            raise ValueError(f"unaligned word access at {addr:#x}")
+        if not 0 <= addr < self.size_bytes:
+            raise ValueError(f"DRAM address out of range: {addr:#x}")
+
+    def read_word(self, addr):
+        self._check(addr)
+        self.reads += 1
+        return self._words.get(addr >> 2, 0)
+
+    def write_word(self, addr, value):
+        self._check(addr)
+        self.writes += 1
+        self._words[addr >> 2] = wrap32(value)
+
+    def load_words(self, addr, values):
+        """Bulk-initialize memory (harness use; no timing charged)."""
+        self._check(addr)
+        base = addr >> 2
+        for offset, value in enumerate(values):
+            self._words[base + offset] = wrap32(value)
+
+    def dump_words(self, addr, count):
+        """Bulk-read memory (harness use; no timing charged)."""
+        self._check(addr)
+        base = addr >> 2
+        return [self._words.get(base + i, 0) for i in range(count)]
+
+    def footprint_words(self):
+        return len(self._words)

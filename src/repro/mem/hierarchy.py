@@ -1,0 +1,125 @@
+"""Per-tile memory system: I-cache, D-cache, SPM and DRAM composed.
+
+Two configurations are used by the evaluation:
+
+* **stitch tile** — 8 KB I$, 4 KB D$, 4 KB SPM (Table II), and
+* **baseline tile** — 8 KB I$, 8 KB D$, no SPM (Section VI-B: the
+  baseline converts the SPM budget back into data cache).
+
+Code lives in a dedicated window so instruction fetches exercise the
+I-cache without colliding with data lines.
+"""
+
+from repro.mem.cache import Cache
+from repro.mem.dram import Dram
+from repro.mem.spm import Scratchpad, SPM_BASE, SPM_SIZE
+
+CODE_BASE = 0x0800_0000
+
+
+class MemorySystem:
+    """Timing + contents for one tile's private memory."""
+
+    def __init__(
+        self,
+        icache_bytes=8 * 1024,
+        dcache_bytes=4 * 1024,
+        assoc=2,
+        line_bytes=64,
+        spm_bytes=SPM_SIZE,
+        spm_base=SPM_BASE,
+        dram_latency=30,
+    ):
+        self.icache = Cache(icache_bytes, assoc, line_bytes, name="icache")
+        self.dcache = Cache(dcache_bytes, assoc, line_bytes, name="dcache")
+        self.spm = Scratchpad(spm_base, spm_bytes) if spm_bytes else None
+        self.dram = Dram(latency=dram_latency)
+
+    @classmethod
+    def baseline(cls):
+        """Baseline tile: SPM budget folded back into the D-cache."""
+        return cls(dcache_bytes=8 * 1024, spm_bytes=0)
+
+    @classmethod
+    def stitch(cls):
+        """Stitch tile per Table II."""
+        return cls()
+
+    def is_spm(self, addr):
+        return self.spm is not None and self.spm.contains(addr)
+
+    # -- data path ----------------------------------------------------------
+
+    def read(self, addr):
+        """Data read; returns ``(value, cycles)``."""
+        if self.spm is not None and self.spm.contains(addr):
+            return self.spm.read_word(addr), self.spm.latency
+        hit, writeback = self.dcache.lookup(addr, write=False)
+        cycles = self.dcache.hit_latency
+        if not hit:
+            cycles += self.dram.latency
+        if writeback:
+            cycles += self.dram.latency
+        return self.dram.read_word(addr), cycles
+
+    def write(self, addr, value):
+        """Data write; returns cycles."""
+        if self.spm is not None and self.spm.contains(addr):
+            self.spm.write_word(addr, value)
+            return self.spm.latency
+        hit, writeback = self.dcache.lookup(addr, write=True)
+        cycles = self.dcache.hit_latency
+        if not hit:
+            cycles += self.dram.latency  # write-allocate fill
+        if writeback:
+            cycles += self.dram.latency
+        self.dram.write_word(addr, value)  # backing store kept consistent
+        return cycles
+
+    def spm_read(self, addr):
+        """LMAU-path SPM read (used inside custom instructions)."""
+        if self.spm is None:
+            raise RuntimeError("this tile has no scratchpad")
+        return self.spm.read_word(addr)
+
+    def spm_write(self, addr, value):
+        """LMAU-path SPM write (used inside custom instructions)."""
+        if self.spm is None:
+            raise RuntimeError("this tile has no scratchpad")
+        self.spm.write_word(addr, value)
+
+    # -- instruction fetch ----------------------------------------------------
+
+    def fetch(self, instruction_index, words=1):
+        """Fetch timing for the instruction at ``instruction_index``.
+
+        Multi-word encodings (movi/cix) fetch each word; sequential words
+        almost always share a line so the extra cost is one cycle.
+        """
+        cycles = 0
+        byte_addr = CODE_BASE + instruction_index * 4
+        for word in range(words):
+            hit, _ = self.icache.lookup(byte_addr + word * 4, write=False)
+            cycles += self.icache.hit_latency
+            if not hit:
+                cycles += self.dram.latency
+        return cycles
+
+    # -- harness helpers ------------------------------------------------------
+
+    def load(self, addr, values):
+        """Place data (list of ints) at ``addr`` — SPM or DRAM — untimed."""
+        if self.is_spm(addr):
+            self.spm.load_words(addr, values)
+        else:
+            self.dram.load_words(addr, values)
+
+    def dump(self, addr, count):
+        """Read ``count`` words at ``addr`` untimed."""
+        if self.is_spm(addr):
+            return self.spm.dump_words(addr, count)
+        return self.dram.dump_words(addr, count)
+
+    def reset_stats(self):
+        self.icache.reset_stats()
+        self.dcache.reset_stats()

@@ -1,0 +1,13 @@
+"""Lightweight message-passing runtime (the paper's MPI-subset library).
+
+Stitch uses message passing instead of shared memory to avoid coherence
+overhead.  :class:`MessagePassing` gives each tile a
+:class:`~repro.cpu.CommPort` backed by the inter-core NoC: ``send`` is
+asynchronous (the NIC injects and the core continues once injection
+completes), ``recv`` blocks until the requested number of words from the
+named peer has arrived.
+"""
+
+from repro.mpi.runtime import Channel, MessagePassing, TileComm
+
+__all__ = ["Channel", "MessagePassing", "TileComm"]

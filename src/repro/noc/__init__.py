@@ -1,0 +1,32 @@
+"""Inter-core network-on-chip (the conventional NoC of Table II).
+
+A 2-D mesh with XY dimension-order routing, 5-stage routers and 1-cycle
+links.  Control packets are a single flit; data packets carry up to four
+16-byte payload flits behind a head flit (1/5-flit control/data packets).
+
+Two timing views are provided and cross-validated in the tests:
+
+* an **uncontended analytic** latency formula, and
+* a **link-reservation** model that schedules every packet's flits on
+  each link along its route, capturing serialization and contention.
+"""
+
+from repro.noc.topology import Mesh
+from repro.noc.packet import (
+    FLIT_BYTES,
+    PAYLOAD_FLITS_PER_PACKET,
+    Packet,
+    packetize,
+)
+from repro.noc.network import Network, ROUTER_STAGES, LINK_CYCLES
+
+__all__ = [
+    "Mesh",
+    "Packet",
+    "packetize",
+    "FLIT_BYTES",
+    "PAYLOAD_FLITS_PER_PACKET",
+    "Network",
+    "ROUTER_STAGES",
+    "LINK_CYCLES",
+]

@@ -1,0 +1,117 @@
+"""Inter-core NoC timing models.
+
+Per Table II each hop costs a 5-stage router traversal plus a 1-cycle
+link.  For a packet of ``F`` flits over ``H`` hops, the uncontended
+pipeline latency is::
+
+    (ROUTER_STAGES + LINK_CYCLES) * H + (F - 1)
+
+(the head flit pays the full per-hop pipeline; body flits stream behind
+it).  The link-reservation model additionally serializes packets that
+compete for the same physical link, so congestion delays are captured
+without simulating individual router microarchitecture.
+"""
+
+from repro.noc.packet import packetize
+from repro.noc.topology import Mesh
+
+ROUTER_STAGES = 5
+LINK_CYCLES = 1
+
+
+class LinkSchedule:
+    """Tracks the next free cycle of one directed link."""
+
+    __slots__ = ("free_at",)
+
+    def __init__(self):
+        self.free_at = 0
+
+    def reserve(self, start, flits):
+        """Reserve the link for ``flits`` consecutive cycles from ``start``.
+
+        Returns the cycle at which the head flit actually crosses.
+        """
+        begin = max(start, self.free_at)
+        self.free_at = begin + flits
+        return begin
+
+
+class Network:
+    """The mesh NoC connecting the cores.
+
+    ``send(src, dst, nwords, time)`` returns ``(arrival, injection_done)``:
+    when the last flit reaches ``dst`` and when the source NIC finishes
+    injecting (the core is free again after ``injection_done``).
+    """
+
+    def __init__(self, mesh=None, contention=True):
+        self.mesh = mesh if mesh is not None else Mesh(4, 4)
+        self.contention = contention
+        self._links = {}
+        self.packets_sent = 0
+        self.flits_sent = 0
+        self.total_hops = 0
+
+    def _link(self, src, dst):
+        key = (src, dst)
+        schedule = self._links.get(key)
+        if schedule is None:
+            schedule = LinkSchedule()
+            self._links[key] = schedule
+        return schedule
+
+    def uncontended_latency(self, src, dst, nwords):
+        """Analytic latency of a whole message, ignoring contention."""
+        hops = self.mesh.hop_count(src, dst)
+        packets = packetize(src, dst, nwords)
+        total_flits = sum(p.flits for p in packets)
+        # Packets of one message stream back-to-back; latency is the head
+        # pipeline plus total serialization.
+        return (ROUTER_STAGES + LINK_CYCLES) * max(hops, 1) + total_flits - 1
+
+    def send(self, src, dst, nwords, time):
+        """Inject a message; returns ``(arrival_cycle, injection_done)``."""
+        if src == dst:
+            # Local loopback through the NIC: just serialization.
+            packets = packetize(src, dst, nwords)
+            flits = sum(p.flits for p in packets)
+            self.packets_sent += len(packets)
+            self.flits_sent += flits
+            return time + flits, time + flits
+        route = self.mesh.route_links(src, dst)
+        hops = len(route)
+        arrival = time
+        injection_done = time
+        cursor = time
+        for packet in packetize(src, dst, nwords):
+            flits = packet.flits
+            self.packets_sent += 1
+            self.flits_sent += flits
+            self.total_hops += hops
+            if self.contention:
+                head_time = cursor
+                for link_index, link in enumerate(route):
+                    schedule = self._link(*link)
+                    # Head flit reaches this link after the router pipeline.
+                    earliest = head_time + ROUTER_STAGES
+                    crossed = schedule.reserve(earliest, flits)
+                    head_time = crossed + LINK_CYCLES
+                    if link_index == 0:
+                        injection_done = max(injection_done, crossed + flits)
+                packet_arrival = head_time + flits - 1
+            else:
+                packet_arrival = cursor + (ROUTER_STAGES + LINK_CYCLES) * hops + flits - 1
+                injection_done = max(injection_done, cursor + flits)
+            arrival = max(arrival, packet_arrival)
+            cursor += flits  # next packet streams behind this one
+        return arrival, injection_done
+
+    def reset_stats(self):
+        self.packets_sent = 0
+        self.flits_sent = 0
+        self.total_hops = 0
+
+    def reset(self):
+        self._links.clear()
+        self.reset_stats()

@@ -1,0 +1,68 @@
+"""Packets and flits.
+
+Table II: 1-flit control packets, 5-flit data packets.  A data packet is
+one head flit plus up to four 16-byte payload flits, i.e. at most
+16 words of payload per packet; longer messages are split by
+:func:`packetize`.
+"""
+
+FLIT_BYTES = 16
+PAYLOAD_FLITS_PER_PACKET = 4
+WORDS_PER_FLIT = FLIT_BYTES // 4
+MAX_WORDS_PER_PACKET = PAYLOAD_FLITS_PER_PACKET * WORDS_PER_FLIT
+
+
+class Packet:
+    """One NoC packet: a head flit plus payload flits."""
+
+    __slots__ = ("src", "dst", "payload_words", "sequence")
+
+    def __init__(self, src, dst, payload_words, sequence=0):
+        if payload_words < 0 or payload_words > MAX_WORDS_PER_PACKET:
+            raise ValueError(
+                f"payload must be 0..{MAX_WORDS_PER_PACKET} words, "
+                f"got {payload_words}"
+            )
+        self.src = src
+        self.dst = dst
+        self.payload_words = payload_words
+        self.sequence = sequence
+
+    @property
+    def payload_flits(self):
+        words = self.payload_words
+        return (words + WORDS_PER_FLIT - 1) // WORDS_PER_FLIT
+
+    @property
+    def flits(self):
+        """Total flits: head + payload (a control packet is 1 flit)."""
+        return 1 + self.payload_flits
+
+    def is_control(self):
+        return self.payload_words == 0
+
+    def __repr__(self):
+        return (
+            f"Packet({self.src}->{self.dst}, {self.payload_words}w, "
+            f"{self.flits}f, #{self.sequence})"
+        )
+
+
+def packetize(src, dst, nwords):
+    """Split an ``nwords`` message into maximal packets.
+
+    A zero-word message still produces one control packet.
+    """
+    if nwords < 0:
+        raise ValueError("message length must be non-negative")
+    if nwords == 0:
+        return [Packet(src, dst, 0, sequence=0)]
+    packets = []
+    sequence = 0
+    remaining = nwords
+    while remaining > 0:
+        chunk = min(remaining, MAX_WORDS_PER_PACKET)
+        packets.append(Packet(src, dst, chunk, sequence=sequence))
+        sequence += 1
+        remaining -= chunk
+    return packets

@@ -1,0 +1,88 @@
+"""2-D mesh topology and XY dimension-order routing.
+
+The paper numbers tiles 1..16 starting from the top-left corner
+(Figure 2); internally tiles are 0-indexed.  :meth:`Mesh.paper_tile`
+converts for display and for reproducing the paper's figures.
+"""
+
+
+class Mesh:
+    """A ``width`` x ``height`` mesh of tiles."""
+
+    def __init__(self, width=4, height=4):
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        self.width = width
+        self.height = height
+
+    @property
+    def num_tiles(self):
+        return self.width * self.height
+
+    def coords(self, tile):
+        """(x, y) of a tile; y grows downward from the top row."""
+        self._check(tile)
+        return tile % self.width, tile // self.width
+
+    def tile_at(self, x, y):
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"coordinates out of range: ({x}, {y})")
+        return y * self.width + x
+
+    def paper_tile(self, tile):
+        """Paper numbering: 1-based from the top-left corner."""
+        self._check(tile)
+        return tile + 1
+
+    def from_paper(self, number):
+        tile = number - 1
+        self._check(tile)
+        return tile
+
+    def _check(self, tile):
+        if not 0 <= tile < self.num_tiles:
+            raise ValueError(f"tile index out of range: {tile}")
+
+    def neighbors(self, tile):
+        """Mesh neighbours (no wraparound)."""
+        x, y = self.coords(tile)
+        result = []
+        if x > 0:
+            result.append(self.tile_at(x - 1, y))
+        if x < self.width - 1:
+            result.append(self.tile_at(x + 1, y))
+        if y > 0:
+            result.append(self.tile_at(x, y - 1))
+        if y < self.height - 1:
+            result.append(self.tile_at(x, y + 1))
+        return result
+
+    def hop_count(self, src, dst):
+        """Manhattan distance."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def xy_route(self, src, dst):
+        """Tiles visited by XY routing (X first), inclusive of endpoints."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        path = [src]
+        x, y = sx, sy
+        step = 1 if dx > x else -1
+        while x != dx:
+            x += step
+            path.append(self.tile_at(x, y))
+        step = 1 if dy > y else -1
+        while y != dy:
+            y += step
+            path.append(self.tile_at(x, y))
+        return path
+
+    def route_links(self, src, dst):
+        """Directed links (tile, tile) traversed by the XY route."""
+        path = self.xy_route(src, dst)
+        return list(zip(path, path[1:]))
+
+    def __repr__(self):
+        return f"Mesh({self.width}x{self.height})"

@@ -1,0 +1,43 @@
+"""Timing, area and power models (Section VI-D).
+
+We cannot re-run Synopsys synthesis; instead the per-component numbers
+the paper publishes (Table IV delays/areas, Table III accelerator
+areas, Figure 13 breakdowns, Table I platform measurements) seed an
+analytical composition model, and the reproduction checks the
+*composition* — breakdown percentages, overhead ratios, efficiency
+improvements — for internal consistency.
+"""
+
+from repro.power.components import (
+    ACCEL_AREA_UM2,
+    NOC_SWITCH_AREA_UM2,
+    NOC_SWITCH_DELAY_NS,
+    StitchAreaModel,
+)
+from repro.power.chip import ChipModel, POWER_BREAKDOWN
+from repro.power.platforms import (
+    CORTEX_A7,
+    SENSORTAG,
+    STITCH_PLATFORM,
+    Platform,
+    WINDOWS_PER_GESTURE,
+)
+from repro.power.efficiency import EfficiencyModel
+from repro.power.relatedwork import RELATED_WORK, related_work_table
+
+__all__ = [
+    "ACCEL_AREA_UM2",
+    "NOC_SWITCH_AREA_UM2",
+    "NOC_SWITCH_DELAY_NS",
+    "StitchAreaModel",
+    "ChipModel",
+    "POWER_BREAKDOWN",
+    "Platform",
+    "SENSORTAG",
+    "CORTEX_A7",
+    "STITCH_PLATFORM",
+    "WINDOWS_PER_GESTURE",
+    "EfficiencyModel",
+    "RELATED_WORK",
+    "related_work_table",
+]

@@ -1,0 +1,78 @@
+"""Whole-chip area/power composition (Figure 13).
+
+Published anchors: the chip burns ~140 mW at 200 MHz with the patches
+plus inter-patch NoC accounting for 23 % of power and 0.5 % of area.
+The non-accelerator split below (cores / caches+SPM / inter-core NoC /
+other) is a documented model assumption — the paper's figure gives the
+accelerator share only.
+"""
+
+from repro.power.components import StitchAreaModel
+
+STITCH_POWER_MW = 139.5          # Table I
+NOFUSION_POWER_MW = 108.0        # Table I ("Stitch w/o fusion" column)
+ACCEL_POWER_FRACTION = 0.23      # Figure 13
+ACCEL_AREA_FRACTION = 0.005      # Figure 13 (0.5 % of the chip)
+CLOCK_MHZ = 200
+
+# Model assumption: how the remaining 77 % of power divides.
+POWER_BREAKDOWN = {
+    "cores": 0.45,
+    "caches+SPM": 0.20,
+    "inter-core NoC": 0.09,
+    "other (DMEM IF, clocking)": 0.03,
+    "patches + inter-patch NoC": ACCEL_POWER_FRACTION,
+}
+
+
+class ChipModel:
+    """Composes chip-level area and power from the component DB."""
+
+    def __init__(self, placement=None):
+        self.area = StitchAreaModel(placement)
+
+    # -- area ---------------------------------------------------------------
+
+    def chip_area_mm2(self):
+        """Chip area implied by the 0.5 % accelerator share."""
+        return self.area.stitch_area_um2() / ACCEL_AREA_FRACTION / 1e6
+
+    def area_breakdown(self):
+        accel = self.area.stitch_area_um2() / 1e6
+        chip = self.chip_area_mm2()
+        return {
+            "patches": self.area.patches_area_um2() / 1e6,
+            "inter-patch NoC": self.area.interpatch_noc_area_um2() / 1e6,
+            "cores + caches + NoC": chip - accel,
+        }
+
+    # -- power ---------------------------------------------------------------
+
+    def total_power_mw(self):
+        return STITCH_POWER_MW
+
+    def baseline_power_mw(self):
+        """Baseline many-core: Stitch minus the accelerator overhead."""
+        return STITCH_POWER_MW * (1.0 - ACCEL_POWER_FRACTION)
+
+    def nofusion_power_mw(self):
+        """Stitch w/o fusion: Table I's measured ~108 mW — essentially
+        the baseline plus near-idle patches (no repeater network)."""
+        return NOFUSION_POWER_MW
+
+    def locus_power_mw(self):
+        """LOCUS: accelerator power scaled by its 7.64x area."""
+        accel = STITCH_POWER_MW * ACCEL_POWER_FRACTION
+        return self.baseline_power_mw() + accel * self.area.locus_over_stitch()
+
+    def power_breakdown_mw(self):
+        return {
+            name: fraction * STITCH_POWER_MW
+            for name, fraction in POWER_BREAKDOWN.items()
+        }
+
+    def accel_power_fraction(self):
+        return ACCEL_POWER_FRACTION
+
+    def accel_area_fraction(self):
+        return self.area.stitch_area_um2() / (self.chip_area_mm2() * 1e6)

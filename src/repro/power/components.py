@@ -1,0 +1,74 @@
+"""Component-level area/delay database and accelerator composition.
+
+Table IV (40 nm synthesis): per-patch delay/area live on the
+:class:`~repro.core.patches.PatchType` objects; the inter-patch NoC
+switch is 0.17 ns / 7,423 um^2.  Table III's accelerator totals follow
+from composition:
+
+    Stitch w/o fusion =  sum of the 16 patches        (~49.9 k um^2)
+    Stitch            =  patches + 16 crossbar switches (~168.6 k um^2)
+    LOCUS             =  16 per-core SFUs               (~1.29 M um^2)
+
+and the reproduction asserts these recompose the paper's totals within
+a fraction of a percent.
+"""
+
+from repro.core.patches import LOCUS_SFU
+from repro.core.placement import DEFAULT_PLACEMENT
+
+NOC_SWITCH_DELAY_NS = 0.17
+NOC_SWITCH_AREA_UM2 = 7423
+WIRE_DELAY_PER_HOP_NS = 0.1
+
+# Table III's published totals (um^2), kept for validation.
+ACCEL_AREA_UM2 = {
+    "LOCUS": 1_288_044,
+    "Stitch w/o fusion": 49_872,
+    "Stitch": 168_568,
+}
+ACCEL_AREA_PERCENT = {
+    "LOCUS": 3.68,
+    "Stitch w/o fusion": 0.15,
+    "Stitch": 0.50,
+}
+
+
+class StitchAreaModel:
+    """Accelerator area composition over a patch placement."""
+
+    def __init__(self, placement=None):
+        self.placement = placement if placement is not None else DEFAULT_PLACEMENT
+
+    def patches_area_um2(self):
+        """Total area of the placed patches (= Stitch w/o fusion)."""
+        return sum(ptype.area_um2 for ptype in self.placement.layout)
+
+    def interpatch_noc_area_um2(self):
+        """One crossbar switch per tile."""
+        return NOC_SWITCH_AREA_UM2 * self.placement.mesh.num_tiles
+
+    def stitch_area_um2(self):
+        return self.patches_area_um2() + self.interpatch_noc_area_um2()
+
+    def locus_area_um2(self):
+        return LOCUS_SFU.area_um2 * self.placement.mesh.num_tiles
+
+    def composed(self):
+        """{architecture: composed area} mirroring Table III's rows."""
+        return {
+            "LOCUS": self.locus_area_um2(),
+            "Stitch w/o fusion": self.patches_area_um2(),
+            "Stitch": self.stitch_area_um2(),
+        }
+
+    def relative_error(self):
+        """Composed-vs-published relative error per architecture."""
+        return {
+            name: abs(self.composed()[name] - ACCEL_AREA_UM2[name])
+            / ACCEL_AREA_UM2[name]
+            for name in ACCEL_AREA_UM2
+        }
+
+    def locus_over_stitch(self):
+        """Paper: LOCUS accelerators are 7.64x larger than Stitch's."""
+        return self.locus_area_um2() / self.stitch_area_um2()

@@ -1,0 +1,52 @@
+"""Power- and area-efficiency ratios (Figures 14 and 15, Table I).
+
+Headline relations the paper derives (all at 200 MHz unless noted):
+
+* perf/W vs baseline = speedup / (P_stitch / P_baseline)
+  — with speedup 2.3x and the 23 % power overhead: 2.3 / 1.30 = 1.77x,
+* perf/area vs baseline ~= speedup (the 0.5 % area overhead is noise),
+* vs the quad-A7 smartwatch class: throughput and perf/W from the
+  platform anchors of Table I.
+"""
+
+from repro.power.chip import ChipModel
+from repro.power.platforms import CORTEX_A7
+
+
+class EfficiencyModel:
+    """Efficiency ratios for a measured speedup profile."""
+
+    def __init__(self, chip=None):
+        self.chip = chip if chip is not None else ChipModel()
+
+    # -- vs. the 16-core baseline (Figure 14) ------------------------------
+
+    def power_ratio(self):
+        """P_stitch / P_baseline (the 23 % overhead -> 1.30)."""
+        return self.chip.total_power_mw() / self.chip.baseline_power_mw()
+
+    def perf_per_watt_vs_baseline(self, speedup):
+        return speedup / self.power_ratio()
+
+    def area_ratio(self):
+        """Chip area ratio Stitch/baseline (accelerators are 0.5 %)."""
+        chip_um2 = self.chip.chip_area_mm2() * 1e6
+        return chip_um2 / (chip_um2 - self.chip.area.stitch_area_um2())
+
+    def perf_per_area_vs_baseline(self, speedup):
+        return speedup / self.area_ratio()
+
+    # -- vs. state-of-the-art wearables (Figure 15) ---------------------------
+
+    def throughput_vs_a7(self, stitch_seconds_per_item, a7_seconds_per_item):
+        return a7_seconds_per_item / stitch_seconds_per_item
+
+    def perf_per_watt_vs_a7(self, stitch_seconds_per_item, a7_seconds_per_item):
+        speedup = self.throughput_vs_a7(
+            stitch_seconds_per_item, a7_seconds_per_item
+        )
+        power_ratio = self.chip.total_power_mw() / CORTEX_A7.power_mw
+        return speedup / power_ratio
+
+    def power_vs_a7(self):
+        return self.chip.total_power_mw() / CORTEX_A7.power_mw

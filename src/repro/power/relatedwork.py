@@ -1,0 +1,69 @@
+"""Table V: the related-work classification.
+
+A static dataset — the paper's qualitative comparison of configurable
+accelerator architectures — exposed so the Table V bench can regenerate
+the table and the tests can check Stitch's unique position (the only
+tight, heterogeneous, many-core-shareable design at tiny area cost).
+"""
+
+
+class RelatedArchitecture:
+    __slots__ = (
+        "name", "integration", "granularity", "heterogeneous",
+        "sharable", "technology", "area_mm2", "area_class",
+    )
+
+    def __init__(self, name, integration, granularity, heterogeneous,
+                 sharable, technology, area_mm2, area_class):
+        self.name = name
+        self.integration = integration
+        self.granularity = granularity
+        self.heterogeneous = heterogeneous
+        self.sharable = sharable
+        self.technology = technology
+        self.area_mm2 = area_mm2
+        self.area_class = area_class
+
+
+RELATED_WORK = [
+    RelatedArchitecture("RISPP", "loose", "kernel", True, False,
+                        "FPGA-based", None, "large"),
+    RelatedArchitecture("Plasticine", "loose", "kernel", False, False,
+                        "28nm", 112.8, "large"),
+    RelatedArchitecture("MorphoSys", "loose", "kernel", False, False,
+                        "350nm", 180.0, "large"),
+    RelatedArchitecture("EGRA", "loose", "kernel", True, False,
+                        "90nm", 3.7, "medium"),
+    RelatedArchitecture("BERET", "tight", "traces", True, False,
+                        "65nm", 0.4, "small"),
+    RelatedArchitecture("CCA", "tight", "op-chains", True, False,
+                        "130nm", 0.48, "small"),
+    RelatedArchitecture("C-Cores", "tight", "kernel", True, False,
+                        "45nm", 0.326, "small"),
+    RelatedArchitecture("QsCores", "tight", "C-expression", True, False,
+                        "45nm", 0.77, "small"),
+    RelatedArchitecture("DySer", "tight", "inner most loop", False, False,
+                        "55nm", 0.92, "medium"),
+    RelatedArchitecture("LOCUS", "tight", "op-chains", False, False,
+                        "32nm", 2.3, "medium"),
+    RelatedArchitecture("Stitch", "tight", "op-chains", True, True,
+                        "40nm", 0.17, "tiny"),
+]
+
+
+def related_work_table():
+    """Render Table V as text rows."""
+    header = (
+        f"{'Architecture':<12} {'Integration':<12} {'Granularity':<16} "
+        f"{'Hetero':<7} {'Sharable':<9} {'Tech':<11} {'Area mm2':<9} Class"
+    )
+    lines = [header, "-" * len(header)]
+    for arch in RELATED_WORK:
+        area = f"{arch.area_mm2}" if arch.area_mm2 is not None else "-"
+        lines.append(
+            f"{arch.name:<12} {arch.integration:<12} {arch.granularity:<16} "
+            f"{'yes' if arch.heterogeneous else 'no':<7} "
+            f"{'yes' if arch.sharable else 'no':<9} "
+            f"{arch.technology:<11} {area:<9} {arch.area_class}"
+        )
+    return "\n".join(lines)

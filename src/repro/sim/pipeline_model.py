@@ -1,0 +1,74 @@
+"""Analytic steady-state pipeline throughput model.
+
+A multi-kernel application is a dataflow pipeline: one kernel per tile,
+items streaming through.  In steady state the throughput is set by the
+slowest stage, where a stage's per-item time is its compute cycles plus
+the NIC serialization of everything it must receive and send (hop
+latency affects pipeline fill, not steady-state rate).  This is the
+cost function Algorithm 1 greedily minimizes — ``Bottleneck(A)`` —
+and the co-simulator cross-validates it in the tests.
+"""
+
+from repro.noc.packet import WORDS_PER_FLIT, packetize
+
+
+def _serialization_cycles(nwords):
+    """NIC occupancy for one message of ``nwords`` (flit count)."""
+    return sum(p.flits for p in packetize(0, 1, nwords))
+
+
+class StageTiming:
+    """Per-item timing of one pipeline stage."""
+
+    __slots__ = ("name", "compute_cycles", "recv_words", "send_words")
+
+    def __init__(self, name, compute_cycles, recv_words=(), send_words=()):
+        self.name = name
+        self.compute_cycles = compute_cycles
+        self.recv_words = tuple(recv_words)
+        self.send_words = tuple(send_words)
+
+    @property
+    def comm_cycles(self):
+        receive = sum(
+            (w + WORDS_PER_FLIT - 1) // WORDS_PER_FLIT for w in self.recv_words
+        )
+        send = sum(_serialization_cycles(w) for w in self.send_words)
+        return receive + send
+
+    @property
+    def stage_cycles(self):
+        return self.compute_cycles + self.comm_cycles
+
+    def __repr__(self):
+        return f"StageTiming({self.name}: {self.stage_cycles} cyc/item)"
+
+
+class PipelineModel:
+    """Throughput/latency estimates for a set of stages."""
+
+    def __init__(self, stages):
+        self.stages = list(stages)
+        if not self.stages:
+            raise ValueError("a pipeline needs at least one stage")
+
+    def bottleneck(self):
+        return max(self.stages, key=lambda s: s.stage_cycles)
+
+    def cycles_per_item(self):
+        """Steady-state initiation interval."""
+        return self.bottleneck().stage_cycles
+
+    def throughput(self, freq_hz):
+        """Items per second at ``freq_hz``."""
+        return freq_hz / self.cycles_per_item()
+
+    def time_per_item_ms(self, freq_hz):
+        return self.cycles_per_item() / freq_hz * 1e3
+
+    def fill_latency(self):
+        """Pipeline fill estimate: sum of stage times (worst chain)."""
+        return sum(stage.stage_cycles for stage in self.stages)
+
+    def speedup_over(self, other):
+        return other.cycles_per_item() / self.cycles_per_item()

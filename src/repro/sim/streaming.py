@@ -1,0 +1,69 @@
+"""Wrap a (possibly ISE-rewritten) kernel program into a stream loop.
+
+The wrapped program receives its input regions from producer tiles,
+runs the original body, sends its output regions to consumer tiles and
+repeats ``items`` times.  Works on compiled programs too: the rewrite
+happens on the standalone kernel, then the stream loop is wrapped
+around the *rewritten* instructions, preserving the ``cfg_table``.
+"""
+
+from repro.isa.instructions import Instruction, Op
+from repro.isa.program import Program
+
+# r11 holds the item counter for the whole run; the comm operands use
+# r1-r3, which every kernel body re-initializes before use (kernels own
+# no cross-iteration register state by convention).
+_PEER = 1
+_ADDR = 2
+_COUNT = 3
+_ITEMS = 11
+
+
+def _comm_sequence(op, peer, region):
+    return [
+        Instruction(Op.MOVI, rd=_PEER, imm=peer),
+        Instruction(Op.MOVI, rd=_ADDR, imm=region.addr),
+        Instruction(Op.MOVI, rd=_COUNT, imm=region.nwords),
+        Instruction(op, ra=_PEER, rb=_ADDR, rd=_COUNT),
+    ]
+
+
+def wrap_streaming(program, sources, sinks, items, name=None):
+    """Build the streaming variant of ``program``.
+
+    ``sources``/``sinks`` are lists of ``(peer tile, Region)``; the
+    program must end with its single ``halt``.  Branch targets are
+    shifted past the loop header; the back-edge re-enters at the first
+    receive.
+    """
+    if not program.instructions or program.instructions[-1].op is not Op.HALT:
+        raise ValueError("expected the kernel's halt as the last instruction")
+    body = [instr.copy() for instr in program.instructions[:-1]]
+
+    head = [Instruction(Op.MOVI, rd=_ITEMS, imm=items)]
+    loop_start = len(head)
+    for peer, region in sources:
+        head.extend(_comm_sequence(Op.RECV, peer, region))
+    offset = len(head)
+
+    for instr in body:
+        if instr.target is not None and instr.op is not Op.JR:
+            instr.target += offset
+
+    tail = []
+    for peer, region in sinks:
+        tail.extend(_comm_sequence(Op.SEND, peer, region))
+    tail.append(Instruction(Op.ADDI, rd=_ITEMS, ra=_ITEMS, imm=-1))
+    tail.append(Instruction(Op.BNE, ra=_ITEMS, rb=0, target=loop_start))
+    tail.append(Instruction(Op.HALT))
+
+    instructions = head + body + tail
+    labels = {
+        label: target + offset for label, target in program.labels.items()
+    }
+    wrapped = Program(
+        instructions, labels=labels,
+        name=name or f"{program.name}.stream", symbols=dict(program.symbols),
+    )
+    wrapped.cfg_table = list(getattr(program, "cfg_table", []) or [])
+    return wrapped

@@ -1,0 +1,120 @@
+"""Multi-core co-simulator.
+
+Each tile runs until it halts or blocks on a receive; blocked tiles are
+re-polled whenever new words have been pushed toward them.  Causality
+holds because every received word carries its NoC arrival time and the
+receive completes no earlier than that, regardless of host-side
+scheduling order.  If every live tile is blocked and no channel can
+satisfy any of them, the system is deadlocked and says so.
+"""
+
+from repro.core.executor import PatchExecutor
+from repro.cpu.core import Core, STOP_HALT, STOP_RECV
+from repro.mem.hierarchy import MemorySystem
+from repro.mpi.runtime import MessagePassing
+from repro.noc.network import Network
+from repro.noc.topology import Mesh
+
+
+class DeadlockError(RuntimeError):
+    """All live tiles are blocked on receives that can never complete."""
+
+
+class TileResult:
+    """Final state summary of one tile."""
+
+    __slots__ = ("tile", "cycles", "instructions", "halted")
+
+    def __init__(self, tile, cycles, instructions, halted):
+        self.tile = tile
+        self.cycles = cycles
+        self.instructions = instructions
+        self.halted = halted
+
+    def __repr__(self):
+        state = "halted" if self.halted else "blocked"
+        return f"TileResult(tile {self.tile}: {self.cycles} cycles, {state})"
+
+
+class StitchSystem:
+    """A 4x4 tile array over the message-passing fabric."""
+
+    def __init__(self, mesh=None, contention=True, baseline_memory=False):
+        self.mesh = mesh if mesh is not None else Mesh(4, 4)
+        self.fabric = MessagePassing(
+            Network(self.mesh, contention=contention),
+            num_tiles=self.mesh.num_tiles,
+        )
+        self.memories = [
+            MemorySystem.baseline() if baseline_memory else MemorySystem.stitch()
+            for _ in range(self.mesh.num_tiles)
+        ]
+        self.cores = [None] * self.mesh.num_tiles
+
+    def load(self, tile, program, setup=None, cfg_table=None):
+        """Place a program on a tile; returns the core.
+
+        ``cfg_table`` (or ``program.cfg_table``) attaches a patch
+        executor wired to this tile's scratchpad — and, for stitched
+        configurations, to every other tile's (the stitcher binds
+        ``remote_tile`` on the fused configs it places).
+        """
+        memory = self.memories[tile]
+        table = cfg_table if cfg_table is not None else getattr(program, "cfg_table", None)
+        patch = None
+        if table:
+            remote = {t: self.memories[t] for t in range(self.mesh.num_tiles)}
+            patch = PatchExecutor(table, memory, remote_memories=remote)
+        core = Core(
+            program, memory, patch=patch,
+            comm=self.fabric.port(tile), core_id=tile,
+        )
+        if setup is not None:
+            setup(core)
+        self.cores[tile] = core
+        return core
+
+    def run(self, max_instructions_per_slice=2_000_000, max_rounds=100_000):
+        """Run all tiles to completion; returns list of TileResult."""
+        live = [core for core in self.cores if core is not None]
+        blocked = {}  # core -> words pending toward it when it blocked
+        pending = list(live)
+        rounds = 0
+        while pending or blocked:
+            rounds += 1
+            if rounds > max_rounds:
+                raise RuntimeError("co-simulation exceeded the round budget")
+            progressed = False
+            next_pending = []
+            for core in pending:
+                retired_before = core.instret
+                outcome = core.run(max_instructions=max_instructions_per_slice)
+                if core.instret > retired_before or outcome.reason == STOP_HALT:
+                    progressed = True
+                if outcome.reason == STOP_RECV:
+                    blocked[core] = self.fabric.pending_words(core.core_id)
+                elif outcome.reason != STOP_HALT:
+                    next_pending.append(core)
+            pending = next_pending
+            # Wake blocked cores only when new words arrived for them.
+            for core in list(blocked):
+                now_pending = self.fabric.pending_words(core.core_id)
+                if now_pending > blocked[core]:
+                    del blocked[core]
+                    pending.append(core)
+                    progressed = True
+            if not progressed and not pending:
+                if blocked:
+                    tiles = sorted(core.core_id for core in blocked)
+                    raise DeadlockError(
+                        f"tiles {tiles} blocked on receives with no data in flight"
+                    )
+                break
+        return [
+            TileResult(core.core_id, core.cycles, core.instret, core.halted)
+            for core in live
+        ]
+
+    def makespan(self, results=None):
+        results = results if results is not None else self.run()
+        return max(result.cycles for result in results)

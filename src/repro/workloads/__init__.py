@@ -1,0 +1,28 @@
+"""Wearable workloads: kernels and multi-kernel applications.
+
+Every kernel is written in the reproduction ISA (generated through
+:class:`repro.isa.Asm`), carries a pure-Python reference implementation,
+and fits its hot data in the 4 KB scratchpad (Section III-C reports
+kernels needing 256 B — 4 KB).  Kernels exist in two forms:
+
+* **standalone** — inputs preloaded, one item, ``halt`` at the end;
+  used for profiling, ISE compilation and per-kernel speedups (Fig. 11),
+* **streaming** — wrapped in a receive/compute/send loop over the
+  message-passing fabric; used by the 16-core pipeline applications
+  (Figs. 9, 10, 12).
+
+The four applications of Section VI-A are built in
+:mod:`repro.workloads.apps`.
+"""
+
+from repro.workloads.base import Kernel, Region, STREAM_COUNT_REG
+from repro.workloads.suite import kernel_suite, make_kernel, KERNEL_FACTORIES
+
+__all__ = [
+    "Kernel",
+    "Region",
+    "STREAM_COUNT_REG",
+    "kernel_suite",
+    "make_kernel",
+    "KERNEL_FACTORIES",
+]

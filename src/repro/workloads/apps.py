@@ -1,0 +1,239 @@
+"""The four 16-kernel wearable applications of Section VI-A (Figure 9).
+
+Every application is a dataflow pipeline of 16 kernels (one per tile)
+connected by typed channels; sizes are checked at construction.  Source
+stages read their preloaded sensor/frame data each item (standing in
+for sensor DMA); sink stages' outputs are the application results.
+
+* **APP1** — finger gesture recognition: sense -> 6x FFT -> update /
+  filter -> 6x IFFT -> classify (Figure 7).
+* **APP2** — CNN image recognition: 13 convolution kernels, 2 pooling,
+  1 fully connected.
+* **APP3** — SVM anomaly recognition + AES encryption.
+* **APP4** — transportation context detection: AES decrypt -> 8x DTW
+  -> AES re-encrypt.
+"""
+
+from repro.workloads.kernels import (
+    AesDecryptKernel,
+    AesEncryptKernel,
+    ClassifyKernel,
+    Conv2dKernel,
+    DtwKernel,
+    FcKernel,
+    FftKernel,
+    HistogramKernel,
+    IfftKernel,
+    PoolKernel,
+    SpecFilterKernel,
+    SvmKernel,
+    UpdateFeatureKernel,
+)
+
+NUM_STAGES = 16
+
+
+class Stage:
+    """One pipeline stage: a kernel instance with an id."""
+
+    __slots__ = ("id", "kernel")
+
+    def __init__(self, stage_id, kernel):
+        self.id = stage_id
+        self.kernel = kernel
+
+    def __repr__(self):
+        return f"Stage({self.id}: {self.kernel.name})"
+
+
+class Channel:
+    """A region-to-region link between two stages."""
+
+    __slots__ = ("src", "src_region", "dst", "dst_region")
+
+    def __init__(self, src, src_region, dst, dst_region):
+        self.src = src
+        self.src_region = src_region
+        self.dst = dst
+        self.dst_region = dst_region
+
+    def __repr__(self):
+        return (
+            f"Channel({self.src}.{self.src_region} -> "
+            f"{self.dst}.{self.dst_region})"
+        )
+
+
+class App:
+    """A validated 16-stage pipeline application."""
+
+    def __init__(self, name, stages, channels):
+        if len(stages) != NUM_STAGES:
+            raise ValueError(f"{name}: expected {NUM_STAGES} stages, got {len(stages)}")
+        self.name = name
+        self.stages = list(stages)
+        self.channels = list(channels)
+        self._validate()
+
+    def _validate(self):
+        by_id = {stage.id: stage for stage in self.stages}
+        if sorted(by_id) != list(range(NUM_STAGES)):
+            raise ValueError(f"{self.name}: stage ids must be 0..15")
+        for channel in self.channels:
+            src = by_id[channel.src].kernel.get_region(channel.src_region)
+            dst = by_id[channel.dst].kernel.get_region(channel.dst_region)
+            if src.nwords != dst.nwords:
+                raise ValueError(
+                    f"{self.name}: channel {channel!r} size mismatch "
+                    f"({src.nwords} vs {dst.nwords} words)"
+                )
+            if channel.src == channel.dst:
+                raise ValueError(f"{self.name}: self channel {channel!r}")
+
+    def stage(self, stage_id):
+        return self.stages[stage_id]
+
+    def producers_of(self, stage_id):
+        return [c for c in self.channels if c.dst == stage_id]
+
+    def consumers_of(self, stage_id):
+        return [c for c in self.channels if c.src == stage_id]
+
+    def source_stages(self):
+        fed = {c.dst for c in self.channels}
+        return [s for s in self.stages if s.id not in fed]
+
+    def kernel_names(self):
+        return [stage.kernel.name for stage in self.stages]
+
+    def comm_words(self, stage_id, placement=None):
+        """(recv word counts, send word counts) per item for a stage."""
+        recv = [
+            self.stage(c.dst).kernel.get_region(c.dst_region).nwords
+            for c in self.producers_of(stage_id)
+        ]
+        send = [
+            self.stage(c.src).kernel.get_region(c.src_region).nwords
+            for c in self.consumers_of(stage_id)
+        ]
+        return recv, send
+
+    def __repr__(self):
+        return f"App({self.name}, 16 stages, {len(self.channels)} channels)"
+
+
+def app1_gesture(seed=1):
+    """Finger gesture recognition (Section V / Figure 7)."""
+    stages = [
+        Stage(0, SpecFilterKernel(n=128, seed=seed)),          # sense
+        Stage(1, FftKernel(seed=seed + 1)),
+        Stage(2, FftKernel(seed=seed + 2)),
+        Stage(3, FftKernel(seed=seed + 3)),
+        Stage(4, FftKernel(seed=seed + 4)),
+        Stage(5, FftKernel(seed=seed + 5)),
+        Stage(6, FftKernel(seed=seed + 6)),
+        Stage(7, UpdateFeatureKernel(n=64, seed=seed + 7)),
+        Stage(8, SpecFilterKernel(n=128, seed=seed + 8)),      # filter
+        Stage(9, IfftKernel(seed=seed + 9)),
+        Stage(10, IfftKernel(seed=seed + 10)),
+        Stage(11, IfftKernel(seed=seed + 11)),
+        Stage(12, IfftKernel(seed=seed + 12)),
+        Stage(13, IfftKernel(seed=seed + 13)),
+        Stage(14, IfftKernel(seed=seed + 14)),
+        Stage(15, ClassifyKernel(dim=64, seed=seed + 15)),
+    ]
+    channels = [
+        Channel(0, "filtered", f, "cplx") for f in range(1, 7)
+    ] + [
+        Channel(1, "cplx", 7, "cplx"),          # spectrum into update
+        Channel(2, "cplx", 8, "spectrum"),      # spectrum into filter
+        Channel(7, "cplx", 9, "cplx"),          # update forwards spectrum
+        Channel(8, "filtered", 10, "cplx"),
+        Channel(3, "cplx", 11, "cplx"),
+        Channel(4, "cplx", 12, "cplx"),
+        Channel(5, "cplx", 13, "cplx"),
+        Channel(6, "cplx", 14, "cplx"),
+        Channel(9, "feature", 15, "feature"),   # IFFT feature to classify
+    ]
+    return App("APP1-gesture", stages, channels)
+
+
+def app2_cnn(seed=1):
+    """CNN image recognition: 13 conv + 2 pool + 1 fc (Figure 9)."""
+    stages = []
+    for i in range(9):                          # layer-1 convolutions
+        stages.append(Stage(i, Conv2dKernel(width=18, seed=seed + i)))
+    stages.append(Stage(9, PoolKernel(width=16, seed=seed + 9)))
+    stages.append(Stage(10, PoolKernel(width=16, seed=seed + 10)))
+    for i in range(4):                          # layer-2 convolutions
+        stages.append(Stage(11 + i, Conv2dKernel(width=8, seed=seed + 11 + i)))
+    stages.append(Stage(15, FcKernel(in_dim=36, out_dim=16, seed=seed + 15)))
+    channels = [
+        Channel(0, "out", 9, "fmap"),
+        Channel(1, "out", 10, "fmap"),
+        Channel(9, "pooled", 11, "image"),
+        Channel(9, "pooled", 12, "image"),
+        Channel(10, "pooled", 13, "image"),
+        Channel(10, "pooled", 14, "image"),
+        Channel(11, "out", 15, "x"),
+    ]
+    return App("APP2-cnn", stages, channels)
+
+
+def app3_svm(seed=1):
+    """SVM anomaly recognition + AES encryption of results."""
+    stages = [
+        Stage(i, HistogramKernel(seed=seed + i)) for i in range(6)
+    ] + [
+        Stage(6, SvmKernel(dim=256, classes=2, seed=seed + 6)),
+        Stage(7, SvmKernel(dim=256, classes=2, seed=seed + 7)),
+        Stage(8, ClassifyKernel(dim=256, classes=2, seed=seed + 8)),
+        Stage(9, UpdateFeatureKernel(n=128, seed=seed + 9)),
+        Stage(10, ClassifyKernel(dim=128, classes=4, seed=seed + 10)),
+        Stage(11, AesEncryptKernel(seed=seed + 11)),
+        Stage(12, AesEncryptKernel(seed=seed + 12)),
+        Stage(13, AesEncryptKernel(seed=seed + 13)),
+        Stage(14, AesEncryptKernel(seed=seed + 14)),
+        Stage(15, AesEncryptKernel(seed=seed + 15)),
+    ]
+    channels = [
+        Channel(0, "hist", 6, "features"),
+        Channel(1, "hist", 7, "features"),
+        Channel(2, "hist", 8, "feature"),
+        Channel(3, "hist", 9, "cplx"),
+        Channel(9, "feature", 10, "feature"),
+        Channel(11, "state", 12, "state"),     # encryption cascade
+        Channel(12, "state", 13, "state"),
+        Channel(13, "state", 14, "state"),
+        Channel(14, "state", 15, "state"),
+    ]
+    return App("APP3-svm", stages, channels)
+
+
+def app4_transport(seed=1):
+    """Transport context detection: decrypt -> DTW -> re-encrypt."""
+    stages = [
+        Stage(i, AesDecryptKernel(seed=seed + i)) for i in range(4)
+    ]
+    for i in range(8):
+        stages.append(Stage(4 + i, DtwKernel(n=16, seed=seed + 4 + i)))
+    for i in range(4):
+        stages.append(Stage(12 + i, AesEncryptKernel(seed=seed + 12 + i)))
+    channels = []
+    for d in range(4):
+        channels.append(Channel(d, "state", 4 + 2 * d, "a"))
+        channels.append(Channel(d, "state", 5 + 2 * d, "a"))
+        channels.append(Channel(d, "state", 12 + d, "state"))
+    return App("APP4-transport", stages, channels)
+
+
+APP_FACTORIES = {
+    "APP1": app1_gesture,
+    "APP2": app2_cnn,
+    "APP3": app3_svm,
+    "APP4": app4_transport,
+}
+
+
+def all_apps(seed=1):
+    return [factory(seed=seed) for factory in APP_FACTORIES.values()]

@@ -1,0 +1,82 @@
+"""Deterministic synthetic input generators.
+
+The paper evaluates on live sensor traces (accelerometer/gyroscope at
+128 Hz, camera frames); those are substituted with seeded fixed-point
+synthetic equivalents — the kernels are control-flow data-independent
+(FFT, conv, AES, ...) or exercised across representative inputs (DTW,
+A*), so cycle counts keep the paper's shape (see DESIGN.md §1).
+"""
+
+import math
+import random
+
+
+def sensor_signal(n, seed=1, amplitude=1 << 12):
+    """Fixed-point multi-tone sensor trace (Q15-bounded)."""
+    rng = random.Random(seed)
+    phase = rng.random() * 2 * math.pi
+    f1 = rng.uniform(0.02, 0.08)
+    f2 = rng.uniform(0.1, 0.25)
+    samples = []
+    for i in range(n):
+        value = (
+            0.6 * math.sin(2 * math.pi * f1 * i + phase)
+            + 0.3 * math.sin(2 * math.pi * f2 * i)
+            + 0.1 * (rng.random() * 2 - 1)
+        )
+        samples.append(int(value * amplitude))
+    return samples
+
+
+def image(width, height, seed=1, depth=256):
+    """Pseudo-natural image: smooth gradient plus speckle, 0..depth-1."""
+    rng = random.Random(seed)
+    cx, cy = rng.uniform(0, width), rng.uniform(0, height)
+    pixels = []
+    for y in range(height):
+        for x in range(width):
+            base = 128 + 100 * math.sin((x - cx) / 5.0) * math.cos((y - cy) / 7.0)
+            value = int(base + rng.gauss(0, 12))
+            pixels.append(max(0, min(depth - 1, value)))
+    return pixels
+
+
+def weights(n, seed=1, lo=-128, hi=127):
+    """Small signed fixed-point weights."""
+    rng = random.Random(seed)
+    return [rng.randint(lo, hi) for _ in range(n)]
+
+
+def byte_block(n, seed=1):
+    """Random bytes (one per word)."""
+    rng = random.Random(seed)
+    return [rng.randint(0, 255) for _ in range(n)]
+
+
+def walk_sequence(n, seed=1, start=0, step=64):
+    """Random-walk sequence (DTW inputs)."""
+    rng = random.Random(seed)
+    value = start
+    out = []
+    for _ in range(n):
+        value += rng.randint(-step, step)
+        out.append(value)
+    return out
+
+
+def obstacle_grid(width, height, seed=1, density=0.25):
+    """0/1 grid with a guaranteed clear snake path border-to-border."""
+    rng = random.Random(seed)
+    grid = [
+        1 if rng.random() < density else 0
+        for _ in range(width * height)
+    ]
+    # Clear the top row, right column and a diagonal-ish channel so a
+    # path from (0,0) to (width-1, height-1) always exists.
+    for x in range(width):
+        grid[x] = 0
+    for y in range(height):
+        grid[y * width + (width - 1)] = 0
+    grid[0] = 0
+    grid[width * height - 1] = 0
+    return grid

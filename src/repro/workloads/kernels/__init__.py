@@ -1,0 +1,39 @@
+"""The wearable kernel suite (Figure 11's x-axis).
+
+Signal chain: :mod:`fft`, :mod:`ifft`, :mod:`specfilter`,
+:mod:`update`, :mod:`classify`, :mod:`fir`; vision: :mod:`conv2d`,
+:mod:`pool`, :mod:`fc`, :mod:`histogram`; learning: :mod:`svm`,
+:mod:`dtw`; crypto: :mod:`aes` (encrypt/decrypt); search: :mod:`astar`.
+"""
+
+from repro.workloads.kernels.fir import FirKernel
+from repro.workloads.kernels.histogram import HistogramKernel
+from repro.workloads.kernels.pool import PoolKernel
+from repro.workloads.kernels.fc import FcKernel
+from repro.workloads.kernels.specfilter import SpecFilterKernel
+from repro.workloads.kernels.update import UpdateFeatureKernel
+from repro.workloads.kernels.fft import FftKernel, IfftKernel
+from repro.workloads.kernels.conv2d import Conv2dKernel
+from repro.workloads.kernels.svm import SvmKernel
+from repro.workloads.kernels.classify import ClassifyKernel
+from repro.workloads.kernels.dtw import DtwKernel
+from repro.workloads.kernels.aes import AesDecryptKernel, AesEncryptKernel
+from repro.workloads.kernels.astar import AstarKernel
+
+__all__ = [
+    "FirKernel",
+    "HistogramKernel",
+    "PoolKernel",
+    "FcKernel",
+    "SpecFilterKernel",
+    "UpdateFeatureKernel",
+    "FftKernel",
+    "IfftKernel",
+    "Conv2dKernel",
+    "SvmKernel",
+    "ClassifyKernel",
+    "DtwKernel",
+    "AesEncryptKernel",
+    "AesDecryptKernel",
+    "AstarKernel",
+]

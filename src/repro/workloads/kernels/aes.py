@@ -1,0 +1,377 @@
+"""AES-128 block encryption/decryption (APP3 encrypts, APP4 decrypts).
+
+State bytes are stored one-per-word (column-major, FIPS-197 order) so
+the assembly works in whole words; the S-boxes and the expanded key
+schedule live in the scratchpad (the paper cites AES as the smallest
+SPM user at 256 B — the S-box).  MixColumns runs on inline ``xtime``
+chains (shift/and/xor), InvMixColumns stages its GF(2^8) multiples
+through a 16-word scratch area.
+
+The pure-Python reference below follows FIPS-197 directly and is
+checked against the specification's Appendix B vector in the tests.
+"""
+
+from repro.workloads.base import Kernel
+from repro.workloads.generators import byte_block
+
+# -- FIPS-197 reference ------------------------------------------------------
+
+SBOX = [
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B,
+    0xFE, 0xD7, 0xAB, 0x76, 0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0,
+    0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0, 0xB7, 0xFD, 0x93, 0x26,
+    0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2,
+    0xEB, 0x27, 0xB2, 0x75, 0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0,
+    0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84, 0x53, 0xD1, 0x00, 0xED,
+    0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F,
+    0x50, 0x3C, 0x9F, 0xA8, 0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5,
+    0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2, 0xCD, 0x0C, 0x13, 0xEC,
+    0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14,
+    0xDE, 0x5E, 0x0B, 0xDB, 0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C,
+    0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79, 0xE7, 0xC8, 0x37, 0x6D,
+    0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F,
+    0x4B, 0xBD, 0x8B, 0x8A, 0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E,
+    0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E, 0xE1, 0xF8, 0x98, 0x11,
+    0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F,
+    0xB0, 0x54, 0xBB, 0x16,
+]
+
+INV_SBOX = [0] * 256
+for _i, _v in enumerate(SBOX):
+    INV_SBOX[_v] = _i
+
+# new[i] = old[SHIFT_PERM[i]] (column-major flat state, s[r][c] = st[r+4c])
+SHIFT_PERM = [(i + 4 * (i % 4)) % 16 for i in range(16)]
+INV_SHIFT_PERM = [0] * 16
+for _i, _p in enumerate(SHIFT_PERM):
+    INV_SHIFT_PERM[_p] = _i
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def xtime(value):
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def gmul(a, b):
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = xtime(a)
+        b >>= 1
+    return result
+
+
+def expand_key(key_bytes):
+    """176-byte AES-128 key schedule (flat list)."""
+    if len(key_bytes) != 16:
+        raise ValueError("AES-128 key must be 16 bytes")
+    words = [list(key_bytes[4 * i:4 * i + 4]) for i in range(4)]
+    for i in range(4, 44):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= _RCON[i // 4 - 1]
+        words.append([t ^ p for t, p in zip(temp, words[i - 4])])
+    return [b for word in words for b in word]
+
+
+def _add_round_key(state, schedule, rnd):
+    return [s ^ k for s, k in zip(state, schedule[16 * rnd:16 * rnd + 16])]
+
+
+def _mix_single_column(col):
+    t = col[0] ^ col[1] ^ col[2] ^ col[3]
+    return [
+        col[i] ^ t ^ xtime(col[i] ^ col[(i + 1) % 4]) for i in range(4)
+    ]
+
+
+def _inv_mix_single_column(col):
+    return [
+        gmul(col[i], 14) ^ gmul(col[(i + 1) % 4], 11)
+        ^ gmul(col[(i + 2) % 4], 13) ^ gmul(col[(i + 3) % 4], 9)
+        for i in range(4)
+    ]
+
+
+def aes_encrypt_block(block, schedule):
+    state = _add_round_key(list(block), schedule, 0)
+    for rnd in range(1, 10):
+        state = [SBOX[b] for b in state]
+        state = [state[SHIFT_PERM[i]] for i in range(16)]
+        cols = [state[4 * c:4 * c + 4] for c in range(4)]
+        state = [b for col in cols for b in _mix_single_column(col)]
+        state = _add_round_key(state, schedule, rnd)
+    state = [SBOX[b] for b in state]
+    state = [state[SHIFT_PERM[i]] for i in range(16)]
+    return _add_round_key(state, schedule, 10)
+
+
+def aes_decrypt_block(block, schedule):
+    state = _add_round_key(list(block), schedule, 10)
+    for rnd in range(9, 0, -1):
+        state = [state[INV_SHIFT_PERM[i]] for i in range(16)]
+        state = [INV_SBOX[b] for b in state]
+        state = _add_round_key(state, schedule, rnd)
+        cols = [state[4 * c:4 * c + 4] for c in range(4)]
+        state = [b for col in cols for b in _inv_mix_single_column(col)]
+    state = [state[INV_SHIFT_PERM[i]] for i in range(16)]
+    state = [INV_SBOX[b] for b in state]
+    return _add_round_key(state, schedule, 0)
+
+
+# -- assembly emission ---------------------------------------------------------
+
+def _emit_xtime(asm, x, t):
+    """x = xtime(x) using temp register t (x holds a byte)."""
+    asm.srli(t, x, 7)
+    asm.sub(t, "r0", t)        # 0 or -1
+    asm.andi(t, t, 0x1B)
+    asm.slli(x, x, 1)
+    asm.xor(x, x, t)
+    asm.andi(x, x, 0xFF)
+
+
+class _AesBase(Kernel):
+    """Shared layout: state, S-box, permutation, key schedule, scratch."""
+
+    decrypt = False
+
+    def __init__(self, seed=1, key=None):
+        self.key = key if key is not None else byte_block(16, seed=seed + 40)
+        super().__init__(seed=seed)
+
+    def configure(self):
+        self.state = self.region("state", 16)
+        self.tmp = self.region("tmp", 16)
+        self.sbox_region = self.region("sbox", 256)
+        self.perm_region = self.region("perm", 16)
+        self.rk_region = self.region("roundkeys", 176)
+        self.scratch = self.region("scratch", 16)
+        # Round-loop state (key pointer, round counter) lives in the
+        # SPM rather than pinned registers, leaving r14/r15 free for
+        # the ISE compiler's constant pool.
+        self.spill = self.region("spill", 2)
+        self.block = byte_block(16, seed=self.seed)
+        schedule = expand_key(self.key)
+        if self.decrypt:
+            sbox = INV_SBOX
+            perm = INV_SHIFT_PERM
+            order = [10] + list(range(9, 0, -1)) + [0]
+            # The input block is a real ciphertext so decryption is
+            # meaningful end to end.
+            self.block = aes_encrypt_block(self.block, schedule)
+        else:
+            sbox = SBOX
+            perm = SHIFT_PERM
+            order = list(range(11))
+        rk_words = []
+        for rnd in order:
+            rk_words.extend(schedule[16 * rnd:16 * rnd + 16])
+        self.schedule = schedule
+        self.inputs = [(self.state, self.block)]
+        self.consts = [
+            (self.sbox_region, list(sbox)),
+            (self.perm_region, [4 * p for p in perm]),
+            (self.rk_region, rk_words),
+        ]
+        self.outputs = [self.state]
+
+    # -- emission helpers (key pointer and round counter spill to SPM) --
+
+    def _emit_key_init(self, asm):
+        asm.movi("r1", self.spill.addr)
+        asm.movi("r2", self.rk_region.addr)
+        asm.sw("r2", 0, "r1")        # spill[0] = round-key pointer
+
+    def _emit_round_init(self, asm, rounds=9):
+        asm.movi("r1", self.spill.addr)
+        asm.movi("r2", rounds)
+        asm.sw("r2", 4, "r1")        # spill[1] = round counter
+
+    def _emit_round_branch(self, asm, target):
+        asm.movi("r1", self.spill.addr)
+        asm.lw("r2", 4, "r1")
+        asm.addi("r2", "r2", -1)
+        asm.sw("r2", 4, "r1")
+        asm.bne("r2", "r0", target)
+
+    def _emit_ark(self, asm, tag):
+        asm.movi("r5", self.spill.addr)
+        asm.lw("r4", 0, "r5")        # running round-key pointer
+        asm.movi("r1", self.state.addr)
+        asm.movi("r2", self.state.end)
+        loop = asm.label(f"ark_{tag}")
+        asm.lw("r3", 0, "r1")
+        asm.lw("r6", 0, "r4")
+        asm.xor("r3", "r3", "r6")
+        asm.sw("r3", 0, "r1")
+        asm.addi("r1", "r1", 4)
+        asm.addi("r4", "r4", 4)
+        asm.bne("r1", "r2", loop)
+        asm.movi("r5", self.spill.addr)
+        asm.sw("r4", 0, "r5")
+
+    def _emit_subbytes(self, asm, tag):
+        asm.movi("r1", self.state.addr)
+        asm.movi("r2", self.state.end)
+        asm.movi("r3", self.sbox_region.addr)
+        loop = asm.label(f"sub_{tag}")
+        asm.lw("r4", 0, "r1")
+        asm.slli("r4", "r4", 2)
+        asm.add("r4", "r4", "r3")
+        asm.lw("r4", 0, "r4")
+        asm.sw("r4", 0, "r1")
+        asm.addi("r1", "r1", 4)
+        asm.bne("r1", "r2", loop)
+
+    def _emit_shiftrows(self, asm, tag):
+        asm.movi("r1", self.perm_region.addr)
+        asm.movi("r2", self.perm_region.end)
+        asm.movi("r3", self.state.addr)
+        asm.movi("r4", self.tmp.addr)
+        gather = asm.label(f"sr_gather_{tag}")
+        asm.lw("r5", 0, "r1")
+        asm.add("r5", "r5", "r3")
+        asm.lw("r5", 0, "r5")
+        asm.sw("r5", 0, "r4")
+        asm.addi("r1", "r1", 4)
+        asm.addi("r4", "r4", 4)
+        asm.bne("r1", "r2", gather)
+        asm.movi("r1", self.state.addr)
+        asm.movi("r2", self.state.end)
+        asm.movi("r4", self.tmp.addr)
+        copy = asm.label(f"sr_copy_{tag}")
+        asm.lw("r5", 0, "r4")
+        asm.sw("r5", 0, "r1")
+        asm.addi("r1", "r1", 4)
+        asm.addi("r4", "r4", 4)
+        asm.bne("r1", "r2", copy)
+
+
+class AesEncryptKernel(_AesBase):
+    name = "aes"
+    decrypt = False
+
+    def build(self, asm):
+        self._emit_key_init(asm)
+        self._emit_ark(asm, "init")
+        self._emit_round_init(asm)
+        round_top = asm.label("enc_round")
+        self._emit_subbytes(asm, "enc")
+        self._emit_shiftrows(asm, "enc")
+        self._emit_mixcolumns(asm)
+        self._emit_ark(asm, "enc")
+        self._emit_round_branch(asm, round_top)
+        self._emit_subbytes(asm, "fin")
+        self._emit_shiftrows(asm, "fin")
+        self._emit_ark(asm, "fin")
+
+    def _emit_mixcolumns(self, asm):
+        asm.movi("r1", self.state.addr)
+        asm.movi("r2", self.state.end)
+        col = asm.label("mix_col")
+        asm.lw("r3", 0, "r1")
+        asm.lw("r4", 4, "r1")
+        asm.lw("r5", 8, "r1")
+        asm.lw("r6", 12, "r1")
+        asm.xor("r7", "r3", "r4")
+        asm.xor("r8", "r5", "r6")
+        asm.xor("r7", "r7", "r8")      # t = a0^a1^a2^a3
+        for index, (a, b) in enumerate(
+            (("r3", "r4"), ("r4", "r5"), ("r5", "r6"), ("r6", "r3"))
+        ):
+            asm.xor("r8", a, b)
+            _emit_xtime(asm, "r8", "r9")
+            asm.xor("r8", "r8", "r7")
+            asm.xor("r8", "r8", a)
+            asm.sw("r8", 4 * index, "r1")
+        asm.addi("r1", "r1", 16)
+        asm.bne("r1", "r2", col)
+
+    def reference(self):
+        return aes_encrypt_block(self.block, self.schedule)
+
+
+class AesDecryptKernel(_AesBase):
+    name = "aesdec"
+    decrypt = True
+
+    def build(self, asm):
+        self._emit_key_init(asm)
+        self._emit_ark(asm, "init")
+        self._emit_round_init(asm)
+        round_top = asm.label("dec_round")
+        self._emit_shiftrows(asm, "dec")
+        self._emit_subbytes(asm, "dec")
+        self._emit_ark(asm, "dec")
+        self._emit_inv_mixcolumns(asm)
+        self._emit_round_branch(asm, round_top)
+        self._emit_shiftrows(asm, "fin")
+        self._emit_subbytes(asm, "fin")
+        self._emit_ark(asm, "fin")
+
+    def _emit_inv_mixcolumns(self, asm):
+        asm.movi("r1", self.state.addr)
+        col = asm.label("imix_col")
+        # Phase A: per byte, stage m9/m11/m13/m14 into the scratch area.
+        asm.movi("r5", 0)               # byte index within the column
+        asm.movi("r6", self.scratch.addr)
+        byte_loop = asm.label("imix_byte")
+        asm.add("r2", "r1", "r5")
+        asm.lw("r3", 0, "r2")           # a
+        asm.mov("r4", "r3")
+        _emit_xtime(asm, "r4", "r7")    # x1 = 2a
+        asm.mov("r8", "r4")
+        _emit_xtime(asm, "r8", "r7")    # x2 = 4a
+        asm.mov("r9", "r8")
+        _emit_xtime(asm, "r9", "r7")    # x3 = 8a
+        asm.xor("r7", "r9", "r3")
+        asm.sw("r7", 0, "r6")           # m9 = x3 ^ a
+        asm.xor("r7", "r9", "r4")
+        asm.xor("r7", "r7", "r3")
+        asm.sw("r7", 4, "r6")           # m11 = x3 ^ x1 ^ a
+        asm.xor("r7", "r9", "r8")
+        asm.xor("r7", "r7", "r3")
+        asm.sw("r7", 8, "r6")           # m13 = x3 ^ x2 ^ a
+        asm.xor("r7", "r9", "r8")
+        asm.xor("r7", "r7", "r4")
+        asm.sw("r7", 12, "r6")          # m14 = x3 ^ x2 ^ x1
+        asm.addi("r5", "r5", 4)
+        asm.addi("r6", "r6", 16)
+        asm.movi("r7", 16)
+        asm.bne("r5", "r7", byte_loop)
+        # Phase B: combine (b_i = m14[i] ^ m11[i+1] ^ m13[i+2] ^ m9[i+3]).
+        asm.movi("r6", self.scratch.addr)
+        for i in range(4):
+            offsets = (
+                16 * i + 12,
+                16 * ((i + 1) % 4) + 4,
+                16 * ((i + 2) % 4) + 8,
+                16 * ((i + 3) % 4) + 0,
+            )
+            asm.lw("r3", offsets[0], "r6")
+            asm.lw("r4", offsets[1], "r6")
+            asm.xor("r3", "r3", "r4")
+            asm.lw("r4", offsets[2], "r6")
+            asm.xor("r3", "r3", "r4")
+            asm.lw("r4", offsets[3], "r6")
+            asm.xor("r3", "r3", "r4")
+            asm.sw("r3", 4 * i, "r1")
+        asm.addi("r1", "r1", 16)
+        asm.movi("r2", self.state.end)
+        asm.bne("r1", "r2", col)
+
+    def reference(self):
+        return aes_decrypt_block(self.block, self.schedule)

@@ -1,0 +1,165 @@
+"""A* grid search (navigation).
+
+Open-set scan + relaxation over a 10x10 obstacle grid with a
+precomputed Manhattan-heuristic table and per-cell neighbor lists
+(walls and out-of-bounds excluded at build time).  Control-heavy with
+tiny arithmetic patterns — the paper observes astar gains almost
+nothing from stitching (Section VI-C), and this kernel reproduces that.
+"""
+
+from repro.workloads.base import Kernel
+from repro.workloads.generators import obstacle_grid
+
+_BIG = 1 << 20
+
+
+class AstarKernel(Kernel):
+    name = "astar"
+
+    def __init__(self, width=10, seed=1):
+        self.width = width
+        super().__init__(seed=seed)
+
+    def configure(self):
+        w = self.width
+        cells = w * w
+        self.cells = cells
+        self.goal = cells - 1
+        self.grid = obstacle_grid(w, w, seed=self.seed)
+        self.h_table = self.region("heur", cells)
+        self.nbrs = self.region("nbrs", cells * 4)
+        self.g = self.region("g", cells)
+        self.status = self.region("status", cells)
+        self.out = self.region("pathcost", 1)
+
+        gx, gy = self.goal % w, self.goal // w
+        h_words = [abs(i % w - gx) + abs(i // w - gy) for i in range(cells)]
+        nbr_words = []
+        for i in range(cells):
+            x, y = i % w, i // w
+            entries = []
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nx, ny = x + dx, y + dy
+                j = ny * w + nx
+                if 0 <= nx < w and 0 <= ny < w and not self.grid[j]:
+                    entries.append(4 * j)       # neighbor byte offset
+            entries += [-1] * (4 - len(entries))
+            nbr_words.extend(entries)
+        self.consts = [(self.h_table, h_words), (self.nbrs, nbr_words)]
+        # The obstacle grid itself is the per-item input (a new map per
+        # navigation request); neighbor lists derive from it.
+        self.inputs = []
+        self.outputs = [self.out]
+
+    def build(self, asm):
+        cells = self.cells
+        end_off = 4 * cells
+        # init g = BIG, status = 0; start cell opened with g = 0.
+        asm.movi("r1", self.g.addr)
+        asm.movi("r2", self.g.end)
+        asm.movi("r3", _BIG)
+        ginit = asm.label("as_ginit")
+        asm.sw("r3", 0, "r1")
+        asm.addi("r1", "r1", 4)
+        asm.bne("r1", "r2", ginit)
+        asm.movi("r1", self.status.addr)
+        asm.movi("r2", self.status.end)
+        sinit = asm.label("as_sinit")
+        asm.sw("r0", 0, "r1")
+        asm.addi("r1", "r1", 4)
+        asm.bne("r1", "r2", sinit)
+        asm.movi("r1", self.g.addr)
+        asm.sw("r0", 0, "r1")
+        asm.movi("r1", self.status.addr)
+        asm.movi("r3", 1)
+        asm.sw("r3", 0, "r1")
+
+        asm.movi("r5", self.status.addr)
+        asm.movi("r6", self.g.addr)
+        asm.movi("r7", self.h_table.addr)
+        main = asm.label("as_main")
+        # scan for the open cell with minimal f = g + h
+        asm.movi("r1", -1)             # best offset (none)
+        asm.movi("r2", 2 * _BIG)       # best f
+        asm.movi("r3", 0)              # scan offset
+        scan = asm.label("as_scan")
+        skip = asm.forward_label("as_skip")
+        asm.add("r4", "r5", "r3")
+        asm.lw("r4", 0, "r4")
+        asm.movi("r8", 1)
+        asm.bne("r4", "r8", skip)      # not open
+        asm.add("r4", "r6", "r3")
+        asm.lw("r4", 0, "r4")          # g
+        asm.add("r8", "r7", "r3")
+        asm.lw("r8", 0, "r8")          # h
+        asm.add("r4", "r4", "r8")      # f
+        asm.bge("r4", "r2", skip)
+        asm.mov("r2", "r4")
+        asm.mov("r1", "r3")
+        asm.place(skip)
+        asm.addi("r3", "r3", 4)
+        asm.movi("r8", end_off)
+        asm.bne("r3", "r8", scan)
+        finish = asm.forward_label("as_done")
+        asm.blt("r1", "r0", finish)    # open set empty: unreachable
+        asm.movi("r8", 4 * self.goal)
+        asm.beq("r1", "r8", finish)    # goal expanded
+        # close the best cell
+        asm.add("r4", "r5", "r1")
+        asm.movi("r8", 2)
+        asm.sw("r8", 0, "r4")
+        asm.add("r4", "r6", "r1")
+        asm.lw("r14", 0, "r4")
+        asm.addi("r14", "r14", 1)      # candidate g via this cell
+        # neighbor table entry: nbrs.addr + best*4 (4 words per cell)
+        asm.slli("r4", "r1", 2)
+        asm.movi("r8", self.nbrs.addr)
+        asm.add("r4", "r4", "r8")
+        for k in range(4):
+            skip_k = asm.forward_label(f"as_nb{k}")
+            asm.lw("r8", 4 * k, "r4")
+            asm.blt("r8", "r0", skip_k)
+            asm.add("r9", "r6", "r8")
+            asm.lw("r3", 0, "r9")      # g[nbr]
+            asm.bge("r14", "r3", skip_k)
+            asm.sw("r14", 0, "r9")     # improve
+            asm.add("r9", "r5", "r8")
+            asm.movi("r3", 1)
+            asm.sw("r3", 0, "r9")      # (re)open
+            asm.place(skip_k)
+        asm.jmp(main)
+        asm.place(finish)
+        asm.movi("r1", 4 * self.goal)
+        asm.add("r1", "r6", "r1")
+        asm.lw("r2", 0, "r1")
+        asm.movi("r1", self.out.addr)
+        asm.sw("r2", 0, "r1")
+
+    def reference(self):
+        cells = self.cells
+        h = self.consts[0][1]
+        nbrs = self.consts[1][1]
+        g = [_BIG] * cells
+        status = [0] * cells
+        g[0] = 0
+        status[0] = 1
+        while True:
+            best, best_f = -1, 2 * _BIG
+            for i in range(cells):
+                if status[i] == 1:
+                    f = g[i] + h[i]
+                    if f < best_f:
+                        best_f, best = f, i
+            if best < 0 or best == self.goal:
+                break
+            status[best] = 2
+            ng = g[best] + 1
+            for k in range(4):
+                off = nbrs[4 * best + k]
+                if off < 0:
+                    continue
+                j = off // 4
+                if ng < g[j]:
+                    g[j] = ng
+                    status[j] = 1
+        return [g[self.goal]]

@@ -1,0 +1,82 @@
+"""Nearest-centroid gesture classifier (the gesture pipeline's tail).
+
+L1 distance of the feature vector to each class centroid, argmin.
+"""
+
+from repro.workloads.base import Kernel
+from repro.workloads.generators import sensor_signal
+
+
+class ClassifyKernel(Kernel):
+    name = "classify"
+
+    def __init__(self, dim=64, classes=8, seed=1):
+        self.dim = dim
+        self.classes = classes
+        super().__init__(seed=seed)
+
+    def configure(self):
+        self.x = self.region("feature", self.dim)
+        self.c = self.region("centroids", self.dim * self.classes)
+        self.dists = self.region("dists", self.classes)
+        self.label = self.region("label", 1)
+        self.x_data = [abs(v) for v in sensor_signal(self.dim, seed=self.seed)]
+        self.c_data = []
+        for k in range(self.classes):
+            self.c_data.extend(
+                abs(v) for v in sensor_signal(self.dim, seed=self.seed + 20 + k)
+            )
+        self.inputs = [(self.x, self.x_data)]
+        self.consts = [(self.c, self.c_data)]
+        self.outputs = [self.label, self.dists]
+
+    def build(self, asm):
+        asm.movi("r1", self.c.addr)
+        asm.movi("r2", self.dists.addr)
+        asm.movi("r8", self.dists.end)
+        outer = asm.label("cls_outer")
+        asm.movi("r4", 0)               # distance accumulator
+        asm.movi("r5", self.x.addr)
+        asm.movi("r9", self.x.end)
+        inner = asm.label("cls_inner")
+        asm.lw("r6", 0, "r1")
+        asm.lw("r7", 0, "r5")
+        asm.sub("r6", "r6", "r7")
+        asm.srai("r7", "r6", 31)        # |diff|
+        asm.xor("r6", "r6", "r7")
+        asm.sub("r6", "r6", "r7")
+        asm.add("r4", "r4", "r6")
+        asm.addi("r1", "r1", 4)
+        asm.addi("r5", "r5", 4)
+        asm.bne("r5", "r9", inner)
+        asm.sw("r4", 0, "r2")
+        asm.addi("r2", "r2", 4)
+        asm.bne("r2", "r8", outer)
+        # Argmin.
+        asm.movi("r1", self.dists.addr)
+        asm.lw("r4", 0, "r1")
+        asm.movi("r5", 0)
+        asm.movi("r6", 0)
+        scan = asm.label("cls_argmin")
+        asm.lw("r7", 0, "r1")
+        keep = asm.forward_label("cls_keep")
+        asm.bge("r7", "r4", keep)
+        asm.mov("r4", "r7")
+        asm.mov("r5", "r6")
+        asm.place(keep)
+        asm.addi("r6", "r6", 1)
+        asm.addi("r1", "r1", 4)
+        asm.movi("r7", self.dists.end)
+        asm.bne("r1", "r7", scan)
+        asm.movi("r1", self.label.addr)
+        asm.sw("r5", 0, "r1")
+
+    def reference(self):
+        dists = []
+        for k in range(self.classes):
+            dists.append(sum(
+                abs(self.c_data[k * self.dim + i] - self.x_data[i])
+                for i in range(self.dim)
+            ))
+        best = min(range(self.classes), key=lambda k: (dists[k], k))
+        return [best] + dists

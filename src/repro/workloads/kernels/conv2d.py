@@ -1,0 +1,82 @@
+"""3x3 convolution over a square image (CNN feature extractor).
+
+The inner loop walks a 9-entry (pixel byte-offset, weight) schedule:
+address add -> load -> multiply -> accumulate, the full {AT-MA} chain
+— the paper singles out 2dconv as the kernel that gains most from
+{AT-MA} (Section VI-C).
+"""
+
+from repro.isa.instructions import wrap32
+from repro.workloads.base import Kernel
+from repro.workloads.generators import image, weights
+
+
+class Conv2dKernel(Kernel):
+    name = "2dconv"
+
+    def __init__(self, width=16, seed=1):
+        self.width = width
+        super().__init__(seed=seed)
+
+    def configure(self):
+        w = self.width
+        out_w = w - 2
+        self.src = self.region("image", w * w)
+        self.coef = self.region("coef", 9 * 2)   # (offset, weight) pairs
+        self.dst = self.region("out", out_w * out_w)
+        self.src_data = image(w, w, seed=self.seed)
+        self.k_data = weights(9, seed=self.seed + 3, lo=-16, hi=16)
+        coef_words = []
+        for dy in range(3):
+            for dx in range(3):
+                coef_words.append(4 * (dy * w + dx))
+                coef_words.append(self.k_data[dy * 3 + dx])
+        self.inputs = [(self.src, self.src_data)]
+        self.consts = [(self.coef, coef_words)]
+        self.outputs = [self.dst]
+
+    def build(self, asm):
+        w = self.width
+        out_w = w - 2
+        asm.movi("r1", self.src.addr)   # window origin
+        asm.movi("r2", self.dst.addr)
+        asm.movi("r8", self.dst.end)
+        asm.movi("r6", 0)               # column counter
+        outer = asm.label("conv_outer")
+        asm.movi("r4", 0)               # accumulator
+        asm.movi("r5", self.coef.addr)
+        asm.movi("r9", self.coef.end)
+        inner = asm.label("conv_inner")
+        asm.lw("r3", 0, "r5")           # pixel offset
+        asm.add("r3", "r3", "r1")       # pixel address
+        asm.lw("r3", 0, "r3")           # pixel
+        asm.lw("r7", 4, "r5")           # weight
+        asm.mul("r3", "r3", "r7")
+        asm.add("r4", "r4", "r3")
+        asm.addi("r5", "r5", 8)
+        asm.bne("r5", "r9", inner)
+        asm.srai("r4", "r4", 4)
+        asm.sw("r4", 0, "r2")
+        asm.addi("r2", "r2", 4)
+        asm.addi("r1", "r1", 4)
+        asm.addi("r6", "r6", 1)
+        asm.movi("r7", out_w)
+        asm.bne("r6", "r7", outer)
+        asm.movi("r6", 0)
+        asm.addi("r1", "r1", 8)         # skip the two edge columns
+        asm.bne("r2", "r8", outer)
+
+    def reference(self):
+        w = self.width
+        out = []
+        for y in range(w - 2):
+            for x in range(w - 2):
+                acc = 0
+                for dy in range(3):
+                    for dx in range(3):
+                        acc = wrap32(acc + wrap32(
+                            self.src_data[(y + dy) * w + (x + dx)]
+                            * self.k_data[dy * 3 + dx]
+                        ))
+                out.append(acc >> 4)
+        return out

@@ -1,0 +1,105 @@
+"""Dynamic time warping (transportation context detection, APP4).
+
+Classic O(n*m) DP with two rolling rows; cell cost is |a_i - b_j|,
+recurrence ``d[i][j] = cost + min(left, up, diag)``.  The paper finds
+dtw benefits most from {AT-AS} (Section VI-C) — the abs-diff chain is
+shift+ALU — while the min selection stays branchy.
+"""
+
+from repro.workloads.base import Kernel
+from repro.workloads.generators import walk_sequence
+
+_BIG = 1 << 28
+
+
+class DtwKernel(Kernel):
+    name = "dtw"
+
+    def __init__(self, n=24, seed=1):
+        self.n = n
+        super().__init__(seed=seed)
+
+    def configure(self):
+        n = self.n
+        self.a = self.region("a", n)
+        self.b = self.region("b", n)
+        self.prev = self.region("prev_row", n + 1)
+        self.curr = self.region("curr_row", n + 1)
+        self.out = self.region("distance", 1)
+        self.a_data = walk_sequence(n, seed=self.seed)
+        self.b_data = walk_sequence(n, seed=self.seed + 1)
+        self.inputs = [(self.a, self.a_data), (self.b, self.b_data)]
+        self.outputs = [self.out]
+
+    def build(self, asm):
+        n = self.n
+        # prev row = [0, BIG, BIG, ...]; rows swap via pointer registers.
+        asm.movi("r1", self.prev.addr)
+        asm.movi("r2", self.prev.end)
+        asm.movi("r3", _BIG)
+        init = asm.label("dtw_init")
+        asm.sw("r3", 0, "r1")
+        asm.addi("r1", "r1", 4)
+        asm.bne("r1", "r2", init)
+        asm.movi("r1", self.prev.addr)
+        asm.sw("r0", 0, "r1")
+        # r1 = prev row base, r2 = curr row base, r3 = a pointer.
+        asm.movi("r2", self.curr.addr)
+        asm.movi("r3", self.a.addr)
+        row = asm.label("dtw_row")
+        asm.movi("r4", _BIG)
+        asm.sw("r4", 0, "r2")          # curr[0] = BIG
+        asm.lw("r4", 0, "r3")          # a_i
+        asm.movi("r5", self.b.addr)    # b pointer
+        asm.movi("r6", 0)              # j (word offset within the row)
+        col = asm.label("dtw_col")
+        asm.lw("r7", 0, "r5")          # b_j
+        asm.sub("r7", "r4", "r7")
+        asm.srai("r8", "r7", 31)
+        asm.xor("r7", "r7", "r8")
+        asm.sub("r7", "r7", "r8")      # cost = |a_i - b_j|
+        # min(prev[j], prev[j+1], curr[j]) with j indexing word offsets.
+        asm.add("r8", "r1", "r6")
+        asm.lw("r9", 0, "r8")          # diag = prev[j]
+        asm.lw("r8", 4, "r8")          # up = prev[j+1]
+        take_up = asm.forward_label("dtw_take")
+        asm.bge("r8", "r9", take_up)
+        asm.mov("r9", "r8")
+        asm.place(take_up)
+        asm.add("r8", "r2", "r6")
+        asm.lw("r8", 0, "r8")          # left = curr[j]
+        take_left = asm.forward_label("dtw_left")
+        asm.bge("r8", "r9", take_left)
+        asm.mov("r9", "r8")
+        asm.place(take_left)
+        asm.add("r7", "r7", "r9")      # cell = cost + min
+        asm.add("r8", "r2", "r6")
+        asm.sw("r7", 4, "r8")          # curr[j+1] = cell
+        asm.addi("r5", "r5", 4)
+        asm.addi("r6", "r6", 4)
+        asm.movi("r8", 4 * n)
+        asm.bne("r6", "r8", col)
+        # Swap rows, advance a.
+        asm.mov("r7", "r1")
+        asm.mov("r1", "r2")
+        asm.mov("r2", "r7")
+        asm.addi("r3", "r3", 4)
+        asm.movi("r8", self.a.end)
+        asm.bne("r3", "r8", row)
+        # Result = prev[n] (prev holds the last written row after swap).
+        asm.movi("r8", 4 * n)
+        asm.add("r8", "r1", "r8")
+        asm.lw("r7", 0, "r8")
+        asm.movi("r8", self.out.addr)
+        asm.sw("r7", 0, "r8")
+
+    def reference(self):
+        n = self.n
+        prev = [0] + [_BIG] * n
+        for i in range(n):
+            curr = [_BIG] * (n + 1)
+            for j in range(n):
+                cost = abs(self.a_data[i] - self.b_data[j])
+                curr[j + 1] = cost + min(prev[j], prev[j + 1], curr[j])
+            prev = curr
+        return [prev[n]]

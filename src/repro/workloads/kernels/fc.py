@@ -1,0 +1,71 @@
+"""Fully connected layer with ReLU (CNN classifier head).
+
+``y[o] = relu(((sum_i W[o][i] * x[i]) >> 8) + b[o])`` with branchless
+ReLU: ``m = y >> 31; y = y & ~m``.
+"""
+
+from repro.isa.instructions import wrap32
+from repro.workloads.base import Kernel
+from repro.workloads.generators import sensor_signal, weights
+
+
+class FcKernel(Kernel):
+    name = "fc"
+
+    def __init__(self, in_dim=32, out_dim=16, seed=1):
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        super().__init__(seed=seed)
+
+    def configure(self):
+        self.x = self.region("x", self.in_dim)
+        self.w = self.region("w", self.in_dim * self.out_dim)
+        self.b = self.region("b", self.out_dim)
+        self.y = self.region("y", self.out_dim)
+        self.x_data = [v >> 4 for v in sensor_signal(self.in_dim, seed=self.seed)]
+        self.w_data = weights(self.in_dim * self.out_dim, seed=self.seed + 7)
+        self.b_data = weights(self.out_dim, seed=self.seed + 13, lo=-512, hi=512)
+        self.inputs = [(self.x, self.x_data)]
+        self.consts = [(self.w, self.w_data), (self.b, self.b_data)]
+        self.outputs = [self.y]
+
+    def build(self, asm):
+        asm.movi("r1", self.w.addr)     # weight pointer (row major)
+        asm.movi("r2", self.y.addr)     # output pointer
+        asm.movi("r3", self.b.addr)     # bias pointer
+        asm.movi("r8", self.y.end)
+        outer = asm.label("fc_outer")
+        asm.movi("r4", 0)               # accumulator
+        asm.movi("r5", self.x.addr)
+        asm.movi("r9", self.x.end)
+        inner = asm.label("fc_inner")
+        asm.lw("r6", 0, "r1")
+        asm.lw("r7", 0, "r5")
+        asm.mul("r6", "r6", "r7")
+        asm.add("r4", "r4", "r6")
+        asm.addi("r1", "r1", 4)
+        asm.addi("r5", "r5", 4)
+        asm.bne("r5", "r9", inner)
+        asm.srai("r4", "r4", 8)
+        asm.lw("r6", 0, "r3")
+        asm.add("r4", "r4", "r6")
+        # ReLU.
+        asm.srai("r6", "r4", 31)
+        asm.xori("r6", "r6", -1)
+        asm.and_("r4", "r4", "r6")
+        asm.sw("r4", 0, "r2")
+        asm.addi("r2", "r2", 4)
+        asm.addi("r3", "r3", 4)
+        asm.bne("r2", "r8", outer)
+
+    def reference(self):
+        out = []
+        for o in range(self.out_dim):
+            acc = 0
+            for i in range(self.in_dim):
+                acc = wrap32(acc + wrap32(
+                    self.w_data[o * self.in_dim + i] * self.x_data[i]
+                ))
+            value = (acc >> 8) + self.b_data[o]
+            out.append(max(0, value))
+        return out

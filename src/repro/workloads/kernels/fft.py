@@ -1,0 +1,226 @@
+"""Fixed-point radix-2 FFT / IFFT (the gesture pipeline's heavy stages).
+
+A compile-time *schedule* drives the kernel: the bit-reversal swap
+pairs and every butterfly's operand addresses + Q14 twiddles are laid
+out in the scratchpad, so the inner loop is a pure
+load/multiply/sub/shift/store stream — the richest source of fusible
+patterns in the suite.  Each butterfly scales by ``>> 1`` to prevent
+overflow (a standard fixed-point FFT guard), and the Python reference
+executes the identical schedule word-for-word.
+
+The IFFT kernel uses conjugate twiddles and appends the extra
+update-feature pass the paper attributes to the IFFT stages
+(Section V: they "incorporate additional processing, such as another
+Update feature processing").
+"""
+
+import math
+
+from repro.isa.instructions import wrap32
+from repro.workloads.base import Kernel, Region
+from repro.workloads.generators import sensor_signal
+
+
+def _bitrev(value, bits):
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+def build_schedule(n, re_addr, invert):
+    """(swap pairs, butterfly tuples) for an n-point transform.
+
+    Swap pairs are index pairs; butterflies are
+    ``(addr_a, addr_b, wr, wi)`` with absolute SPM byte addresses into
+    the ``re`` array (the ``im`` array sits at a fixed +4n offset).
+    """
+    bits = n.bit_length() - 1
+    if 1 << bits != n:
+        raise ValueError("FFT size must be a power of two")
+    swaps = []
+    for i in range(n):
+        rev = _bitrev(i, bits)
+        if rev > i:
+            swaps.append((i, rev))
+    sign = 1.0 if invert else -1.0
+    butterflies = []
+    m = 2
+    while m <= n:
+        half = m // 2
+        for k in range(0, n, m):
+            for j in range(half):
+                angle = sign * 2.0 * math.pi * j / m
+                wr = int(round(math.cos(angle) * (1 << 14)))
+                wi = int(round(math.sin(angle) * (1 << 14)))
+                butterflies.append(
+                    (re_addr + 4 * (k + j), re_addr + 4 * (k + j + half), wr, wi)
+                )
+        m *= 2
+    return swaps, butterflies
+
+
+class FftKernel(Kernel):
+    name = "fft"
+    invert = False
+    extra_update = False
+    update_passes = 0
+
+    def __init__(self, n=64, seed=1):
+        self.n = n
+        super().__init__(seed=seed)
+
+    def configure(self):
+        n = self.n
+        self.re = self.region("re", n)
+        self.im = self.region("im", n)
+        self.im_offset = self.im.addr - self.re.addr
+        swaps, butterflies = build_schedule(n, self.re.addr, self.invert)
+        self.swaps = swaps
+        self.butterflies = butterflies
+        swap_words = []
+        for i, j in swaps:
+            swap_words.extend((self.re.addr + 4 * i, self.re.addr + 4 * j))
+        bf_words = []
+        for addr_a, addr_b, wr, wi in butterflies:
+            bf_words.extend((addr_a, addr_b, wr, wi))
+        self.swap_table = self.region("swaps", len(swap_words))
+        self.bf_table = self.region("butterflies", len(bf_words))
+        self.re_data = sensor_signal(n, seed=self.seed)
+        self.im_data = sensor_signal(n, seed=self.seed + 1)
+        self.inputs = [(self.re, self.re_data), (self.im, self.im_data)]
+        self.consts = [
+            (self.swap_table, swap_words),
+            (self.bf_table, bf_words),
+        ]
+        self.outputs = [self.re, self.im]
+        # re and im are allocated back to back: expose the whole complex
+        # buffer as one region for pipeline channels.
+        self.composites["cplx"] = Region("cplx", self.re.addr, 2 * n)
+        if self.extra_update:
+            self.feat = self.region("feature", n)
+            self.feat_init = [abs(v) >> 1 for v in sensor_signal(n, seed=self.seed + 2)]
+            self.consts.append((self.feat, self.feat_init))
+            self.outputs.append(self.feat)
+
+    def build(self, asm):
+        im_off = self.im_offset
+        # Phase 1: bit-reversal swaps.
+        if self.swaps:
+            asm.movi("r1", self.swap_table.addr)
+            asm.movi("r2", self.swap_table.end)
+            swap = asm.label("fft_swap")
+            asm.lw("r3", 0, "r1")
+            asm.lw("r4", 4, "r1")
+            asm.lw("r5", 0, "r3")
+            asm.lw("r6", 0, "r4")
+            asm.sw("r6", 0, "r3")
+            asm.sw("r5", 0, "r4")
+            asm.lw("r5", im_off, "r3")
+            asm.lw("r6", im_off, "r4")
+            asm.sw("r6", im_off, "r3")
+            asm.sw("r5", im_off, "r4")
+            asm.addi("r1", "r1", 8)
+            asm.bne("r1", "r2", swap)
+        # Phase 2: butterflies.
+        asm.movi("r1", self.bf_table.addr)
+        asm.movi("r2", self.bf_table.end)
+        loop = asm.label("fft_bf")
+        asm.lw("r3", 0, "r1")          # addr_a
+        asm.lw("r4", 4, "r1")          # addr_b
+        asm.lw("r5", 8, "r1")          # wr
+        asm.lw("r6", 12, "r1")         # wi
+        asm.lw("r7", 0, "r4")          # re_b
+        asm.lw("r8", im_off, "r4")     # im_b
+        asm.mul("r9", "r5", "r7")
+        asm.mul("r14", "r6", "r8")
+        asm.sub("r9", "r9", "r14")
+        asm.srai("r9", "r9", 14)       # tr
+        asm.mul("r5", "r5", "r8")
+        asm.mul("r6", "r6", "r7")
+        asm.add("r5", "r5", "r6")
+        asm.srai("r5", "r5", 14)       # ti
+        asm.lw("r7", 0, "r3")          # re_a
+        asm.sub("r8", "r7", "r9")
+        asm.srai("r8", "r8", 1)
+        asm.sw("r8", 0, "r4")
+        asm.add("r7", "r7", "r9")
+        asm.srai("r7", "r7", 1)
+        asm.sw("r7", 0, "r3")
+        asm.lw("r7", im_off, "r3")     # im_a
+        asm.sub("r8", "r7", "r5")
+        asm.srai("r8", "r8", 1)
+        asm.sw("r8", im_off, "r4")
+        asm.add("r7", "r7", "r5")
+        asm.srai("r7", "r7", 1)
+        asm.sw("r7", im_off, "r3")
+        asm.addi("r1", "r1", 16)
+        asm.bne("r1", "r2", loop)
+        if self.extra_update:
+            self._build_update(asm, im_off)
+
+    def _build_update(self, asm, im_off):
+        # The paper's IFFT kernels "incorporate additional processing,
+        # such as another Update feature processing, resulting in longer
+        # execution time" (Section V): several smoothing passes over the
+        # feature vector.
+        for _pass in range(self.update_passes):
+            self._build_update_pass(asm, im_off)
+
+    def _build_update_pass(self, asm, im_off):
+        asm.movi("r1", self.re.addr)
+        asm.movi("r3", self.feat.addr)
+        asm.movi("r8", self.re.end)
+        loop = asm.label("ifft_update")
+        asm.lw("r4", 0, "r1")
+        asm.srai("r5", "r4", 31)
+        asm.xor("r4", "r4", "r5")
+        asm.sub("r4", "r4", "r5")      # |re|
+        asm.lw("r6", im_off, "r1")
+        asm.srai("r5", "r6", 31)
+        asm.xor("r6", "r6", "r5")
+        asm.sub("r6", "r6", "r5")      # |im|
+        asm.add("r4", "r4", "r6")
+        asm.srai("r4", "r4", 1)
+        asm.lw("r7", 0, "r3")
+        asm.sub("r4", "r4", "r7")
+        asm.srai("r4", "r4", 3)
+        asm.add("r7", "r7", "r4")
+        asm.sw("r7", 0, "r3")
+        asm.addi("r1", "r1", 4)
+        asm.addi("r3", "r3", 4)
+        asm.bne("r1", "r8", loop)
+
+    def reference(self):
+        re = list(self.re_data)
+        im = list(self.im_data)
+        base = self.re.addr
+        for i, j in self.swaps:
+            re[i], re[j] = re[j], re[i]
+            im[i], im[j] = im[j], im[i]
+        for addr_a, addr_b, wr, wi in self.butterflies:
+            a = (addr_a - base) >> 2
+            b = (addr_b - base) >> 2
+            tr = wrap32(wrap32(wr * re[b]) - wrap32(wi * im[b])) >> 14
+            ti = wrap32(wrap32(wr * im[b]) + wrap32(wi * re[b])) >> 14
+            re[b] = wrap32(re[a] - tr) >> 1
+            re[a] = wrap32(re[a] + tr) >> 1
+            im[b] = wrap32(im[a] - ti) >> 1
+            im[a] = wrap32(im[a] + ti) >> 1
+        out = re + im
+        if self.extra_update:
+            feat = list(self.feat_init)
+            for _pass in range(self.update_passes):
+                for index, (r, i) in enumerate(zip(re, im)):
+                    mag = (abs(r) + abs(i)) >> 1
+                    feat[index] += (mag - feat[index]) >> 3
+            out = out + feat
+        return out
+
+
+class IfftKernel(FftKernel):
+    name = "ifft"
+    invert = True
+    extra_update = True
+    update_passes = 3

@@ -1,0 +1,61 @@
+"""Time-domain FIR filter (sensor smoothing).
+
+``y[i] = (sum_k x[i - k] * h[k]) >> 8`` for ``i = K-1 .. N-1``.
+Inner loop is the classic load/load/multiply/accumulate chain.
+"""
+
+from repro.isa.instructions import wrap32
+from repro.workloads.base import Kernel
+from repro.workloads.generators import sensor_signal, weights
+
+
+class FirKernel(Kernel):
+    name = "fir"
+
+    def __init__(self, n=96, taps=16, seed=1):
+        self.n = n
+        self.taps = taps
+        super().__init__(seed=seed)
+
+    def configure(self):
+        self.x = self.region("x", self.n)
+        self.h = self.region("h", self.taps)
+        self.y = self.region("y", self.n - self.taps + 1)
+        self.x_data = sensor_signal(self.n, seed=self.seed)
+        self.h_data = weights(self.taps, seed=self.seed + 100)
+        self.inputs = [(self.x, self.x_data)]
+        self.consts = [(self.h, self.h_data)]
+        self.outputs = [self.y]
+
+    def build(self, asm):
+        first = self.x.addr + 4 * (self.taps - 1)
+        asm.movi("r1", first)               # newest sample of the window
+        asm.movi("r2", self.y.addr)         # output pointer
+        asm.movi("r8", self.x.end)          # end of input
+        asm.movi("r9", self.h.end)          # end of taps
+        outer = asm.label("fir_outer")
+        asm.movi("r4", 0)                   # accumulator
+        asm.movi("r5", self.h.addr)         # tap pointer
+        asm.mov("r6", "r1")                 # sample pointer (walks back)
+        inner = asm.label("fir_inner")
+        asm.lw("r7", 0, "r5")
+        asm.lw("r3", 0, "r6")
+        asm.mul("r7", "r7", "r3")
+        asm.add("r4", "r4", "r7")
+        asm.addi("r5", "r5", 4)
+        asm.addi("r6", "r6", -4)
+        asm.bne("r5", "r9", inner)
+        asm.srai("r4", "r4", 8)
+        asm.sw("r4", 0, "r2")
+        asm.addi("r2", "r2", 4)
+        asm.addi("r1", "r1", 4)
+        asm.bne("r1", "r8", outer)
+
+    def reference(self):
+        out = []
+        for i in range(self.taps - 1, self.n):
+            acc = 0
+            for k in range(self.taps):
+                acc = wrap32(acc + wrap32(self.x_data[i - k] * self.h_data[k]))
+            out.append(acc >> 8)
+        return out

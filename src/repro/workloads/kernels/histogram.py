@@ -1,0 +1,54 @@
+"""256-bin histogram of byte-valued samples.
+
+The paper notes the histogram kernel is the largest SPM user (4 KB);
+samples and bins both live in the scratchpad.  The increment chain —
+shift, address add, load, add-1, store — is a showcase pattern for the
+{AT-SA} patch with its LMAU.
+"""
+
+from repro.workloads.base import Kernel
+from repro.workloads.generators import byte_block
+
+
+class HistogramKernel(Kernel):
+    name = "histogram"
+
+    def __init__(self, n=512, bins=256, seed=1):
+        self.n = n
+        self.bins = bins
+        super().__init__(seed=seed)
+
+    def configure(self):
+        self.samples = self.region("samples", self.n)
+        self.hist = self.region("hist", self.bins)
+        self.sample_data = byte_block(self.n, seed=self.seed)
+        self.inputs = [(self.samples, self.sample_data)]
+        self.outputs = [self.hist]
+
+    def build(self, asm):
+        # Clear the bins.
+        asm.movi("r1", self.hist.addr)
+        asm.movi("r2", self.hist.end)
+        clear = asm.label("hist_clear")
+        asm.sw("r0", 0, "r1")
+        asm.addi("r1", "r1", 4)
+        asm.bne("r1", "r2", clear)
+        # Count.
+        asm.movi("r1", self.samples.addr)
+        asm.movi("r2", self.samples.end)
+        asm.movi("r3", self.hist.addr)
+        loop = asm.label("hist_loop")
+        asm.lw("r4", 0, "r1")        # sample (0..255)
+        asm.slli("r5", "r4", 2)      # byte offset of its bin
+        asm.add("r5", "r5", "r3")    # bin address
+        asm.lw("r6", 0, "r5")
+        asm.addi("r6", "r6", 1)
+        asm.sw("r6", 0, "r5")
+        asm.addi("r1", "r1", 4)
+        asm.bne("r1", "r2", loop)
+
+    def reference(self):
+        hist = [0] * self.bins
+        for value in self.sample_data:
+            hist[value] += 1
+        return hist

@@ -1,0 +1,76 @@
+"""2x2 max pooling over a square feature map (CNN layer).
+
+Branchless max: ``d = b - a; m = d >> 31; max = b - (d & m)``
+— an all-A/S chain the shifter-bearing patches accelerate well.
+"""
+
+from repro.workloads.base import Kernel
+from repro.workloads.generators import image
+
+
+class PoolKernel(Kernel):
+    name = "pool"
+
+    def __init__(self, width=16, seed=1):
+        if width % 2:
+            raise ValueError("pooling needs an even width")
+        self.width = width
+        super().__init__(seed=seed)
+
+    def configure(self):
+        w = self.width
+        self.src = self.region("fmap", w * w)
+        self.dst = self.region("pooled", (w // 2) * (w // 2))
+        self.src_data = image(w, w, seed=self.seed)
+        self.inputs = [(self.src, self.src_data)]
+        self.outputs = [self.dst]
+
+    def _emit_max(self, asm, acc, new, t1):
+        """acc = max(acc, new) without branches."""
+        asm.sub(t1, new, acc)       # d = new - acc
+        asm.srai("r9", t1, 31)      # m = d >> 31 (-1 when new < acc)
+        asm.and_(t1, t1, "r9")      # d & m
+        asm.sub(acc, new, t1)       # new - (d & m)
+
+    def build(self, asm):
+        w = self.width
+        row_bytes = 4 * w
+        asm.movi("r1", self.src.addr)     # top-left of current 2x2
+        asm.movi("r2", self.dst.addr)
+        asm.movi("r8", self.dst.end)
+        asm.movi("r6", 0)                 # column counter
+        outer = asm.label("pool_loop")
+        asm.lw("r3", 0, "r1")                  # a
+        asm.lw("r4", 4, "r1")                  # b
+        self._emit_max(asm, "r3", "r4", "r5")
+        asm.lw("r4", row_bytes, "r1")          # c
+        self._emit_max(asm, "r3", "r4", "r5")
+        asm.lw("r4", row_bytes + 4, "r1")      # d
+        self._emit_max(asm, "r3", "r4", "r5")
+        asm.sw("r3", 0, "r2")
+        asm.addi("r2", "r2", 4)
+        asm.addi("r1", "r1", 8)
+        # Row stride: after w/2 outputs, skip a full source row.
+        # Detect via output address: (dst - base) % (w/2 words) == 0.
+        # Cheaper: keep a column counter.
+        asm.addi("r6", "r6", 1)
+        asm.movi("r7", w // 2)
+        asm.bne("r6", "r7", outer)
+        asm.movi("r6", 0)
+        asm.addi("r1", "r1", row_bytes)
+        asm.bne("r2", "r8", outer)
+
+    def reference(self):
+        w = self.width
+        out = []
+        for y in range(0, w, 2):
+            for x in range(0, w, 2):
+                out.append(
+                    max(
+                        self.src_data[y * w + x],
+                        self.src_data[y * w + x + 1],
+                        self.src_data[(y + 1) * w + x],
+                        self.src_data[(y + 1) * w + x + 1],
+                    )
+                )
+        return out

@@ -1,0 +1,52 @@
+"""Spectral filter (the gesture pipeline's Filter stage).
+
+Element-wise Q14 gain applied to a complex spectrum:
+``out[i] = (x[i] * g[i]) >> 14`` over the interleaved re/im words.
+"""
+
+from repro.isa.instructions import wrap32
+from repro.workloads.base import Kernel
+from repro.workloads.generators import sensor_signal
+
+
+class SpecFilterKernel(Kernel):
+    name = "specfilter"
+
+    def __init__(self, n=128, seed=1):
+        self.n = n
+        super().__init__(seed=seed)
+
+    def configure(self):
+        self.x = self.region("spectrum", self.n)
+        self.g = self.region("gains", self.n)
+        self.y = self.region("filtered", self.n)
+        self.x_data = sensor_signal(self.n, seed=self.seed)
+        # Band-pass-ish gain profile in Q14.
+        self.g_data = [
+            (1 << 14) if self.n // 8 <= i < self.n // 2 else (1 << 12)
+            for i in range(self.n)
+        ]
+        self.inputs = [(self.x, self.x_data)]
+        self.consts = [(self.g, self.g_data)]
+        self.outputs = [self.y]
+
+    def build(self, asm):
+        asm.movi("r1", self.x.addr)
+        asm.movi("r2", self.g.addr)
+        asm.movi("r3", self.y.addr)
+        asm.movi("r8", self.x.end)
+        loop = asm.label("filter_loop")
+        asm.lw("r4", 0, "r1")
+        asm.lw("r5", 0, "r2")
+        asm.mul("r4", "r4", "r5")
+        asm.srai("r4", "r4", 14)
+        asm.sw("r4", 0, "r3")
+        asm.addi("r1", "r1", 4)
+        asm.addi("r2", "r2", 4)
+        asm.addi("r3", "r3", 4)
+        asm.bne("r1", "r8", loop)
+
+    def reference(self):
+        return [
+            wrap32(x * g) >> 14 for x, g in zip(self.x_data, self.g_data)
+        ]

@@ -1,0 +1,85 @@
+"""Linear multi-class SVM scoring (anomaly recognition, APP3).
+
+One dot product per class over the feature vector, then an argmax.
+"""
+
+from repro.isa.instructions import wrap32
+from repro.workloads.base import Kernel
+from repro.workloads.generators import sensor_signal, weights
+
+
+class SvmKernel(Kernel):
+    name = "svm"
+
+    def __init__(self, dim=64, classes=4, seed=1):
+        self.dim = dim
+        self.classes = classes
+        super().__init__(seed=seed)
+
+    def configure(self):
+        self.x = self.region("features", self.dim)
+        self.w = self.region("weights", self.dim * self.classes)
+        self.b = self.region("bias", self.classes)
+        self.scores = self.region("scores", self.classes)
+        self.label = self.region("label", 1)
+        self.x_data = [v >> 4 for v in sensor_signal(self.dim, seed=self.seed)]
+        self.w_data = weights(self.dim * self.classes, seed=self.seed + 5)
+        self.b_data = weights(self.classes, seed=self.seed + 9, lo=-1024, hi=1024)
+        self.inputs = [(self.x, self.x_data)]
+        self.consts = [(self.w, self.w_data), (self.b, self.b_data)]
+        self.outputs = [self.label, self.scores]
+
+    def build(self, asm):
+        asm.movi("r1", self.w.addr)
+        asm.movi("r2", self.scores.addr)
+        asm.movi("r3", self.b.addr)
+        asm.movi("r8", self.scores.end)
+        outer = asm.label("svm_class")
+        asm.movi("r4", 0)
+        asm.movi("r5", self.x.addr)
+        asm.movi("r9", self.x.end)
+        inner = asm.label("svm_dot")
+        asm.lw("r6", 0, "r1")
+        asm.lw("r7", 0, "r5")
+        asm.mul("r6", "r6", "r7")
+        asm.add("r4", "r4", "r6")
+        asm.addi("r1", "r1", 4)
+        asm.addi("r5", "r5", 4)
+        asm.bne("r5", "r9", inner)
+        asm.srai("r4", "r4", 6)
+        asm.lw("r6", 0, "r3")
+        asm.add("r4", "r4", "r6")
+        asm.sw("r4", 0, "r2")
+        asm.addi("r2", "r2", 4)
+        asm.addi("r3", "r3", 4)
+        asm.bne("r2", "r8", outer)
+        # Argmax over the scores.
+        asm.movi("r1", self.scores.addr)
+        asm.movi("r8", self.scores.end)
+        asm.lw("r4", 0, "r1")           # best score
+        asm.movi("r5", 0)               # best index
+        asm.movi("r6", 0)               # current index
+        scan = asm.label("svm_argmax")
+        asm.lw("r7", 0, "r1")
+        skip = asm.forward_label("svm_keep")
+        asm.bge("r4", "r7", skip)
+        asm.mov("r4", "r7")
+        asm.mov("r5", "r6")
+        asm.place(skip)
+        asm.addi("r6", "r6", 1)
+        asm.addi("r1", "r1", 4)
+        asm.bne("r1", "r8", scan)
+        asm.movi("r1", self.label.addr)
+        asm.sw("r5", 0, "r1")
+
+    def reference(self):
+        scores = []
+        for c in range(self.classes):
+            acc = 0
+            for i in range(self.dim):
+                acc = wrap32(acc + wrap32(
+                    self.w_data[c * self.dim + i] * self.x_data[i]
+                ))
+            scores.append((acc >> 6) + self.b_data[c])
+        best = max(range(self.classes), key=lambda c: (scores[c], -c))
+        return [best] + scores

@@ -1,0 +1,67 @@
+"""Update-feature stage of the gesture pipeline.
+
+Per spectral bin: magnitude approximation ``(|re| + |im|) >> 1``
+followed by exponential smoothing against the running feature state:
+``f += (mag - f) >> 3``.  Absolute values use the branchless
+``s = x >> 31; |x| = (x ^ s) - s`` idiom — shift/ALU chains all the
+way down, which is why this stage loves the {AT-SA}/{AT-AS} patches
+(Section V stitches two patches for it).
+"""
+
+from repro.workloads.base import Kernel, Region
+from repro.workloads.generators import sensor_signal
+
+
+class UpdateFeatureKernel(Kernel):
+    name = "update"
+
+    def __init__(self, n=64, seed=1):
+        self.n = n
+        super().__init__(seed=seed)
+
+    def configure(self):
+        self.re = self.region("re", self.n)
+        self.im = self.region("im", self.n)
+        self.feat = self.region("feature", self.n)
+        self.re_data = sensor_signal(self.n, seed=self.seed)
+        self.im_data = sensor_signal(self.n, seed=self.seed + 1)
+        self.feat_init = [abs(v) for v in sensor_signal(self.n, seed=self.seed + 2)]
+        self.inputs = [(self.re, self.re_data), (self.im, self.im_data)]
+        self.consts = [(self.feat, self.feat_init)]
+        self.outputs = [self.feat]
+        # The untouched complex input doubles as a forwarding region so
+        # pipeline stages can pass the spectrum through this stage.
+        self.composites["cplx"] = Region("cplx", self.re.addr, 2 * self.n)
+
+    def build(self, asm):
+        asm.movi("r1", self.re.addr)
+        asm.movi("r2", self.im.addr)
+        asm.movi("r3", self.feat.addr)
+        asm.movi("r8", self.re.end)
+        loop = asm.label("update_loop")
+        asm.lw("r4", 0, "r1")
+        asm.srai("r5", "r4", 31)      # |re|
+        asm.xor("r4", "r4", "r5")
+        asm.sub("r4", "r4", "r5")
+        asm.lw("r6", 0, "r2")
+        asm.srai("r5", "r6", 31)      # |im|
+        asm.xor("r6", "r6", "r5")
+        asm.sub("r6", "r6", "r5")
+        asm.add("r4", "r4", "r6")
+        asm.srai("r4", "r4", 1)       # magnitude approx
+        asm.lw("r7", 0, "r3")         # previous feature
+        asm.sub("r4", "r4", "r7")
+        asm.srai("r4", "r4", 3)
+        asm.add("r7", "r7", "r4")     # smoothed
+        asm.sw("r7", 0, "r3")
+        asm.addi("r1", "r1", 4)
+        asm.addi("r2", "r2", 4)
+        asm.addi("r3", "r3", 4)
+        asm.bne("r1", "r8", loop)
+
+    def reference(self):
+        out = []
+        for re, im, prev in zip(self.re_data, self.im_data, self.feat_init):
+            mag = (abs(re) + abs(im)) >> 1
+            out.append(prev + ((mag - prev) >> 3))
+        return out

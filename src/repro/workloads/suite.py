@@ -1,0 +1,54 @@
+"""Kernel registry: the Figure 11 suite by name."""
+
+from repro.workloads.kernels import (
+    AesDecryptKernel,
+    AesEncryptKernel,
+    AstarKernel,
+    ClassifyKernel,
+    Conv2dKernel,
+    DtwKernel,
+    FcKernel,
+    FftKernel,
+    FirKernel,
+    HistogramKernel,
+    IfftKernel,
+    PoolKernel,
+    SpecFilterKernel,
+    SvmKernel,
+    UpdateFeatureKernel,
+)
+
+KERNEL_FACTORIES = {
+    "fft": FftKernel,
+    "ifft": IfftKernel,
+    "2dconv": Conv2dKernel,
+    "dtw": DtwKernel,
+    "aes": AesEncryptKernel,
+    "aesdec": AesDecryptKernel,
+    "histogram": HistogramKernel,
+    "svm": SvmKernel,
+    "pool": PoolKernel,
+    "fc": FcKernel,
+    "fir": FirKernel,
+    "specfilter": SpecFilterKernel,
+    "update": UpdateFeatureKernel,
+    "classify": ClassifyKernel,
+    "astar": AstarKernel,
+}
+
+
+def make_kernel(name, **kwargs):
+    """Instantiate a suite kernel by its Figure 11 name."""
+    try:
+        factory = KERNEL_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; choose from {sorted(KERNEL_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def kernel_suite(seed=1, names=None):
+    """Instantiate the full suite (or a named subset)."""
+    selected = names if names is not None else sorted(KERNEL_FACTORIES)
+    return [make_kernel(name, seed=seed) for name in selected]

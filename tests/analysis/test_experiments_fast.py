@@ -1,0 +1,41 @@
+"""The fast (model-only) experiment drivers run green end to end."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    run_fig13_breakdown,
+    run_table3_area,
+    run_table4_timing,
+    run_table5_relatedwork,
+)
+from repro.analysis.experiments.ablations import run_ablation_hoplimit
+
+
+@pytest.mark.parametrize(
+    "driver",
+    [
+        run_table3_area,
+        run_table4_timing,
+        run_table5_relatedwork,
+        run_fig13_breakdown,
+        run_ablation_hoplimit,
+    ],
+)
+def test_driver_all_records_hold(driver):
+    report = driver()
+    assert report.records, "an experiment must compare something"
+    assert report.all_hold(), [r.name for r in report.failures()]
+
+
+def test_reports_render_markdown():
+    report = run_table4_timing()
+    text = report.to_markdown()
+    assert report.exp_id in text
+    assert "4.63" in text
+
+
+def test_critical_path_record_tight():
+    report = run_table4_timing()
+    record = next(r for r in report.records if "critical path" in r.name)
+    assert record.paper == 4.63
+    assert abs(record.measured - 4.63) < 0.01

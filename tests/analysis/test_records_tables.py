@@ -1,0 +1,72 @@
+"""Unit tests for experiment records and table rendering."""
+
+from repro.analysis import ExperimentRecord, ExperimentReport, render_table
+
+
+class TestRecords:
+    def test_ratio_within_tolerance_holds(self):
+        record = ExperimentRecord("x", 2.0, 2.4, tolerance=0.25)
+        assert record.holds()
+
+    def test_ratio_outside_tolerance_fails(self):
+        record = ExperimentRecord("x", 2.0, 3.1, tolerance=0.25)
+        assert not record.holds()
+
+    def test_default_tolerance_is_half(self):
+        assert ExperimentRecord("x", 2.0, 2.9).holds()
+        assert not ExperimentRecord("x", 2.0, 3.2).holds()
+
+    def test_direction_compare(self):
+        assert ExperimentRecord("x", 1.5, 1.01, compare="direction").holds()
+        assert not ExperimentRecord("x", 1.5, 0.9, compare="direction").holds()
+
+    def test_exact_compare(self):
+        assert ExperimentRecord("x", "8/4/4", "8/4/4", compare="exact").holds()
+        assert not ExperimentRecord("x", 1, 2, compare="exact").holds()
+
+    def test_info_always_holds(self):
+        assert ExperimentRecord("x", None, 123, compare="info").holds()
+
+    def test_zero_paper_value(self):
+        assert ExperimentRecord("x", 0, 0.1, tolerance=0.2).holds()
+        assert not ExperimentRecord("x", 0, 0.5, tolerance=0.2).holds()
+
+
+class TestReport:
+    def make(self):
+        report = ExperimentReport("Fig. X", "demo")
+        report.add("good", 1.0, 1.1, "x", tolerance=0.2)
+        report.add("bad", 1.0, 9.9, "x", tolerance=0.2)
+        return report
+
+    def test_failures_listed(self):
+        report = self.make()
+        assert not report.all_hold()
+        assert [r.name for r in report.failures()] == ["bad"]
+
+    def test_markdown_contains_rows_and_status(self):
+        text = self.make().to_markdown()
+        assert "Fig. X" in text
+        assert "| good |" in text
+        assert "NO" in text
+
+    def test_summary_counts(self):
+        assert "1/2" in self.make().summary()
+
+
+class TestRenderTable:
+    def test_alignment_and_floats(self):
+        text = render_table(
+            ["name", "value"], [("a", 1.23456), ("long-name", 2.0)],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in text
+        assert "2" in text
+
+    def test_all_rows_present(self):
+        rows = [(f"k{i}", i) for i in range(5)]
+        text = render_table(["k", "v"], rows)
+        for name, _ in rows:
+            assert name in text

@@ -1,0 +1,46 @@
+"""Unit tests for the tile-map rendering."""
+
+from repro.analysis.viz import placement_map, plan_map, stitch_paths
+from repro.core.stitching import BASELINE, stitch_application
+
+
+def fabricated_plan():
+    cycles = {
+        0: {BASELINE: 1000, "AT-MA+AT-AS": 400},
+        1: {BASELINE: 900, "AT-SA": 500},
+        **{sid: {BASELINE: 10} for sid in range(2, 16)},
+    }
+    return stitch_application("viz-test", cycles)
+
+
+class TestPlacementMap:
+    def test_all_sixteen_tiles_rendered(self):
+        text = placement_map()
+        for number in range(1, 17):
+            assert f"{number:>2} " in text or f"[{number} " in text
+
+    def test_patch_mix_visible(self):
+        text = placement_map()
+        assert text.count("AT-MA") == 8
+        assert text.count("AT-AS") == 4
+        assert text.count("AT-SA") == 4
+
+
+class TestPlanMap:
+    def test_accelerated_tiles_marked(self):
+        plan = fabricated_plan()
+        text = plan_map(plan)
+        assert "*" in text          # stage 0/1 accelerated on their tiles
+        assert "~" in text          # a remote patch was lent
+        assert "s0" in text
+
+    def test_stitch_paths_listed(self):
+        plan = fabricated_plan()
+        text = stitch_paths(plan)
+        assert "stage 0" in text
+        assert "->" in text
+
+    def test_no_fusion_message(self):
+        cycles = {sid: {BASELINE: 10} for sid in range(16)}
+        plan = stitch_application("none", cycles)
+        assert "no fused pairs" in stitch_paths(plan)

@@ -1,0 +1,120 @@
+"""Unit tests for DFG construction over basic blocks."""
+
+from repro.compiler import DFG
+from repro.isa import Op, assemble
+from repro.isa.instructions import OpClass
+from repro.mem import SPM_BASE
+
+
+def block_dfg(source, spm_only=frozenset()):
+    program = assemble(source)
+    blocks = program.basic_blocks()
+    return DFG(blocks[0], spm_only=spm_only)
+
+
+class TestConstruction:
+    def test_value_edges_follow_defs(self):
+        dfg = block_dfg("add r1, r2, r3\nmul r4, r1, r1\nhalt")
+        mul = dfg.nodes[1]
+        assert mul.value_pred_ids() == [0, 0]
+        assert dfg.consumers(0) == [1, 1]
+
+    def test_live_in_registers_are_reg_refs(self):
+        dfg = block_dfg("add r1, r2, r3\nhalt")
+        assert dfg.nodes[0].inputs == (("reg", 2), ("reg", 3))
+
+    def test_immediate_forms(self):
+        dfg = block_dfg("addi r1, r2, 5\nhalt")
+        assert dfg.nodes[0].inputs == (("reg", 2), ("imm", 5))
+        assert dfg.nodes[0].base is Op.ADD
+
+    def test_mov_is_wiring(self):
+        dfg = block_dfg("add r1, r2, r3\nmov r4, r1\nsub r5, r4, r2\nhalt")
+        assert len(dfg.nodes) == 2  # mov is not a node
+        sub = dfg.nodes[1]
+        assert ("node", 0) in sub.inputs
+
+    def test_movi_folds_constants(self):
+        dfg = block_dfg("movi r1, 7\nadd r2, r1, r3\nhalt")
+        assert dfg.nodes[0].inputs == (("imm", 7), ("reg", 3))
+
+    def test_r0_reads_become_zero_constants(self):
+        dfg = block_dfg("add r1, r0, r2\nhalt")
+        assert dfg.nodes[0].inputs == (("imm", 0), ("reg", 2))
+
+    def test_memory_nodes_and_order(self):
+        dfg = block_dfg("lw r1, 4(r2)\nsw r1, 0(r3)\nhalt")
+        load, store = dfg.nodes
+        assert load.is_mem and load.mem_offset == 4
+        assert store.inputs[0] == ("node", 0)  # stored value
+        assert dfg.mem_order == [0, 1]
+
+    def test_live_out_marks_final_defs(self):
+        dfg = block_dfg("add r1, r2, r3\nadd r1, r1, r1\nhalt")
+        assert not dfg.nodes[0].live_out
+        assert dfg.nodes[1].live_out
+
+    def test_branch_reads_count_as_uses(self):
+        dfg = block_dfg("add r1, r2, r3\nbeq r1, r0, out\nout: halt")
+        assert dfg.nodes[0].uses == [1]
+
+
+class TestEligibility:
+    def test_spm_safety_gates_memory_nodes(self):
+        source = "lw r1, 0(r2)\nadd r3, r1, r1\nhalt"
+        without = block_dfg(source)
+        assert [n.op for n in without.eligible_nodes()] == [Op.ADD]
+        program = assemble(source)
+        with_spm = DFG(program.basic_blocks()[0], spm_only={0})
+        assert len(with_spm.eligible_nodes()) == 2
+
+    def test_sltu_not_mappable(self):
+        dfg = block_dfg("sltu r1, r2, r3\nadd r4, r1, r1\nhalt")
+        assert [n.op for n in dfg.eligible_nodes()] == [Op.ADD]
+
+
+class TestCandidateQueries:
+    def test_external_inputs_dedup(self):
+        dfg = block_dfg("add r1, r2, r2\nmul r3, r1, r2\nhalt")
+        refs = dfg.external_inputs({0, 1})
+        assert refs == [("reg", 2)]
+
+    def test_mem_offset_counts_as_input(self):
+        dfg = block_dfg("lw r1, 8(r2)\nadd r3, r1, r1\nhalt", spm_only=frozenset({0}))
+        refs = dfg.external_inputs({0, 1})
+        assert ("imm", 8) in refs
+
+    def test_outputs_external_consumer(self):
+        # r1 is overwritten afterwards so the add is not live out; the
+        # mul feeds the sub outside the candidate.
+        dfg = block_dfg(
+            "add r1, r2, r3\nmul r4, r1, r1\nsub r5, r4, r2\nmovi r1, 0\nhalt"
+        )
+        assert dfg.outputs({0, 1}) == [1]
+
+    def test_outputs_live_out(self):
+        dfg = block_dfg("add r1, r2, r3\nmul r4, r1, r1\nhalt")
+        # Both are final defs of their registers, hence live out.
+        assert dfg.outputs({0, 1}) == [0, 1]
+
+    def test_convexity_violation(self):
+        dfg = block_dfg(
+            "add r1, r2, r3\n"     # node 0
+            "sltu r4, r1, r2\n"    # node 1 (outside any candidate)
+            "mul r5, r4, r1\n"     # node 2
+            "halt"
+        )
+        assert not dfg.is_convex({0, 2})
+        assert dfg.is_convex({0, 1, 2})
+
+    def test_mem_span_violation(self):
+        source = (
+            "lw r1, 0(r2)\n"   # node 0 (SPM)
+            "sw r1, 0(r4)\n"   # node 1 (not SPM-safe, outside)
+            "lw r3, 4(r2)\n"   # node 2 (SPM)
+            "add r5, r1, r3\nhalt"
+        )
+        program = assemble(source)
+        dfg = DFG(program.basic_blocks()[0], spm_only={0, 2})
+        assert not dfg.is_convex({0, 2, 3})
+        assert dfg.is_convex({2, 3})

@@ -1,0 +1,88 @@
+"""Unit tests for ISE candidate enumeration."""
+
+from repro.compiler import DFG, enumerate_candidates
+from repro.isa import assemble
+
+
+def candidates_of(source, spm_only=frozenset(), **kwargs):
+    program = assemble(source)
+    dfg = DFG(program.basic_blocks()[0], spm_only=spm_only)
+    return dfg, enumerate_candidates(dfg, **kwargs)
+
+
+class TestEnumeration:
+    def test_simple_chain_enumerated(self):
+        _, cands = candidates_of(
+            "add r1, r2, r3\nsll r4, r1, r5\nmovi r1, 0\nmovi r4, 0\nhalt"
+        )
+        # Only one eligible pair {add, sll}; both dead afterwards except
+        # the chain's own uses.
+        assert any(c.size == 2 for c in cands)
+
+    def test_each_subgraph_once(self):
+        _, cands = candidates_of(
+            "add r1, r2, r3\nadd r4, r1, r3\nadd r5, r4, r3\nhalt"
+        )
+        seen = [c.node_ids for c in cands]
+        assert len(seen) == len(set(seen))
+
+    def test_respects_input_limit(self):
+        source = (
+            "add r1, r2, r3\n"
+            "add r4, r5, r6\n"
+            "add r7, r8, r9\n"
+            "add r10, r1, r4\n"
+            "add r11, r10, r7\n"
+            "halt"
+        )
+        _, cands = candidates_of(source)
+        for candidate in cands:
+            assert len(candidate.inputs) <= 4
+
+    def test_respects_output_limit(self):
+        # A producer feeding three external consumers still yields only
+        # candidates with <= 2 outputs.
+        source = (
+            "add r1, r2, r3\n"
+            "mul r4, r1, r1\n"
+            "sub r5, r1, r2\n"
+            "xor r6, r1, r2\n"
+            "halt"
+        )
+        _, cands = candidates_of(source)
+        for candidate in cands:
+            assert len(candidate.outputs) <= 2
+
+    def test_larger_candidates_first(self):
+        _, cands = candidates_of(
+            "add r1, r2, r3\nadd r4, r1, r3\nadd r5, r4, r3\nhalt"
+        )
+        sizes = [c.size for c in cands]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_max_size_respected(self):
+        source = "\n".join(
+            f"add r1, r1, r2" for _ in range(12)
+        ) + "\nhalt"
+        _, cands = candidates_of(source, max_size=4)
+        assert max(c.size for c in cands) <= 4
+
+    def test_signature_orders_by_position(self):
+        dfg, cands = candidates_of(
+            "mul r1, r2, r3\nadd r4, r1, r5\nsrl r6, r4, r7\n"
+            "movi r1, 0\nmovi r4, 0\nhalt"
+        )
+        full = next(c for c in cands if c.size == 3)
+        assert full.signature() == "MAS"
+
+    def test_store_only_candidate_allowed(self):
+        source = "add r1, r2, r3\nsw r1, 0(r4)\nmovi r1, 0\nhalt"
+        _, cands = candidates_of(source, spm_only={1})
+        pair = [c for c in cands if c.size == 2]
+        assert pair and pair[0].outputs == []
+
+    def test_limit_truncates_enumeration(self):
+        source = "\n".join("add r1, r1, r2" for _ in range(20)) + "\nhalt"
+        _, few = candidates_of(source, limit=10)
+        _, many = candidates_of(source, limit=10000)
+        assert len(few) <= len(many)

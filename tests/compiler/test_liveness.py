@@ -1,0 +1,85 @@
+"""Unit tests for the CFG liveness analysis."""
+
+from repro.compiler.liveness import block_successors, block_use_def, liveness
+from repro.isa import assemble
+
+
+class TestSuccessors:
+    def test_fallthrough_and_branch(self):
+        program = assemble("""
+            movi r1, 0
+        loop:
+            addi r1, r1, 1
+            bne r1, r2, loop
+            halt
+        """)
+        blocks = program.basic_blocks()
+        assert block_successors(program, blocks[0]) == [1]
+        assert sorted(block_successors(program, blocks[1])) == [1, 2]
+        assert block_successors(program, blocks[2]) == []
+
+    def test_jmp_has_single_successor(self):
+        program = assemble("jmp end\nnop\nend: halt")
+        blocks = program.basic_blocks()
+        assert block_successors(program, blocks[0]) == [2]
+
+    def test_jr_conservative(self):
+        program = assemble("jr r1\nhalt")
+        blocks = program.basic_blocks()
+        assert block_successors(program, blocks[0]) == [0, 1]
+
+
+class TestUseDef:
+    def test_upward_exposed_only(self):
+        program = assemble("movi r1, 5\nadd r2, r1, r3\nhalt")
+        use, define = block_use_def(program.basic_blocks()[0])
+        assert 3 in use and 1 not in use  # r1 defined before its use
+        assert define == {1, 2}
+
+
+class TestLiveness:
+    def test_loop_carried_register_live(self):
+        program = assemble("""
+            movi r1, 0
+            movi r3, 5
+        loop:
+            addi r1, r1, 1
+            bne r1, r3, loop
+            halt
+        """)
+        live_in, live_out = liveness(program, exit_live=frozenset())
+        loop_index = 1
+        assert 1 in live_in[loop_index]   # the counter crosses the back edge
+        assert 3 in live_in[loop_index]   # the bound too
+        assert 1 in live_out[loop_index]
+
+    def test_dead_temporary_not_live(self):
+        program = assemble("""
+            movi r1, 0
+            movi r3, 5
+        loop:
+            mul r4, r1, r1
+            addi r1, r1, 1
+            bne r1, r3, loop
+            halt
+        """)
+        _, live_out = liveness(program, exit_live=frozenset())
+        assert 4 not in live_out[1]  # r4 recomputed every iteration
+
+    def test_exit_live_reaches_final_block(self):
+        program = assemble("movi r6, 7\nhalt")
+        _, live_out = liveness(program, exit_live=frozenset({6}))
+        assert 6 in live_out[0]
+        _, live_out = liveness(program, exit_live=frozenset())
+        assert 6 not in live_out[0]
+
+    def test_branch_condition_live_across_blocks(self):
+        program = assemble("""
+            movi r1, 1
+            beq r1, r2, done
+            add r3, r2, r2
+        done:
+            halt
+        """)
+        live_in, _ = liveness(program, exit_live=frozenset())
+        assert 2 in live_in[0]  # r2 never defined: live from entry

@@ -1,0 +1,92 @@
+"""Unit tests for the op-chain LCS study (Section III-A machinery)."""
+
+import pytest
+
+from repro.compiler import DFG, critical_path_classes, lcs_rounds
+from repro.compiler.opchain import OpChainRound, patch_mix_from_rounds
+from repro.isa import assemble
+
+
+def path_of(source, spm_only=frozenset()):
+    program = assemble(source)
+    return critical_path_classes(DFG(program.basic_blocks()[0], spm_only=spm_only))
+
+
+class TestCriticalPath:
+    def test_linear_chain(self):
+        assert path_of(
+            "mul r1, r2, r3\nadd r4, r1, r5\nsrl r6, r4, r7\nhalt"
+        ) == "MAS"
+
+    def test_parallel_branches_take_longest(self):
+        source = (
+            "add r1, r2, r3\n"          # short branch
+            "mul r4, r5, r6\n"          # long branch: M -> A -> S
+            "add r7, r4, r2\n"
+            "sll r8, r7, r3\n"
+            "halt"
+        )
+        assert path_of(source) == "MAS"
+
+    def test_memory_in_path(self):
+        assert path_of(
+            "lw r1, 0(r2)\nadd r3, r1, r4\nhalt", spm_only={0}
+        ) == "TA"
+
+    def test_moves_excluded(self):
+        assert path_of("mov r1, r2\nadd r3, r1, r4\nhalt") == "A"
+
+    def test_empty_block(self):
+        assert path_of("halt") == ""
+
+
+class TestLcsRounds:
+    def test_common_pair_found(self):
+        rounds = lcs_rounds({
+            "k1": ["ATMA"], "k2": ["ATAS"], "k3": ["XATX".replace('X','S')],
+        })
+        assert rounds[0].chain == "AT"
+        assert rounds[0].rate == pytest.approx(1.0)
+
+    def test_excision_reveals_next_chain(self):
+        rounds = lcs_rounds({"k1": ["ATMA"], "k2": ["ATMA"]}, max_len=2)
+        chains = [r.chain for r in rounds]
+        assert chains[0] in ("AT", "MA", "TM")
+        assert len(chains) >= 2
+
+    def test_rates_over_kernel_population(self):
+        rounds = lcs_rounds(
+            {"a": ["ATAT"], "b": ["SS"], "c": ["SS"], "d": ["SS"]}, max_len=2
+        )
+        by_chain = {r.chain: r.rate for r in rounds}
+        assert by_chain.get("AT") == pytest.approx(0.25)
+        assert by_chain.get("SS") == pytest.approx(0.75)
+
+    def test_empty_input(self):
+        assert lcs_rounds({}) == []
+
+    def test_max_rounds_respected(self):
+        rounds = lcs_rounds({"k": ["ASMTASMTASMT"]}, max_rounds=3)
+        assert len(rounds) <= 3
+
+
+class TestPatchMix:
+    def paper_rounds(self):
+        return [
+            OpChainRound("AT", 0.957, 22),
+            OpChainRound("MA", 0.478, 11),
+            OpChainRound("AA", 0.348, 8),
+            OpChainRound("AS", 0.217, 5),
+            OpChainRound("SA", 0.217, 5),
+        ]
+
+    def test_reproduces_paper_8_4_4(self):
+        mix = patch_mix_from_rounds(self.paper_rounds())
+        assert mix == {"MA": 8, "AS": 4, "SA": 4}
+
+    def test_mix_sums_to_tiles(self):
+        mix = patch_mix_from_rounds(self.paper_rounds(), num_tiles=16)
+        assert sum(mix.values()) == 16
+
+    def test_no_tail_chains(self):
+        assert patch_mix_from_rounds([OpChainRound("AT", 1.0, 10)]) == {}

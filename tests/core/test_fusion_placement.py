@@ -1,0 +1,104 @@
+"""Unit tests for fusion timing (Table IV arithmetic) and placement."""
+
+import pytest
+
+from repro.core import (
+    AT_AS,
+    AT_MA,
+    AT_SA,
+    DEFAULT_PLACEMENT,
+    FusedConfig,
+    FusionTiming,
+    PatchConfig,
+    Placement,
+    UnitConfig,
+)
+from repro.core.fusion import MAX_FUSION_HOPS
+from repro.core.units import Source
+from repro.isa import Op
+
+
+class TestFusionTiming:
+    def test_single_patch_delays_match_paper(self):
+        # Paper: single {AT-SA} incl. NoC overhead = 1.02 + 2 x 0.17 = 1.36.
+        assert FusionTiming.single_delay(AT_SA) == pytest.approx(1.36)
+        assert FusionTiming.single_delay(AT_MA) == pytest.approx(1.72)
+
+    def test_critical_path_is_4_63ns(self):
+        # Paper: {AT-MA} + {AT-AS}, 3 hops apart -> 4.63 ns.
+        assert FusionTiming.fused_delay(AT_MA, AT_AS, 3) == pytest.approx(4.63)
+
+    def test_all_legal_fusions_fit_the_200mhz_clock(self):
+        for a in (AT_MA, AT_AS, AT_SA):
+            for b in (AT_MA, AT_AS, AT_SA):
+                for hops in range(1, MAX_FUSION_HOPS + 1):
+                    delay = FusionTiming.fused_delay(a, b, hops)
+                    assert FusionTiming.fits_single_cycle(delay)
+
+    def test_max_fused_delay_under_clock(self):
+        assert FusionTiming.max_fused_delay() < FusionTiming.clock_ns
+
+    def test_zero_hop_fusion_rejected(self):
+        with pytest.raises(ValueError):
+            FusionTiming.fused_delay(AT_MA, AT_AS, 0)
+
+    def test_validate_placement_hop_limit(self):
+        cfg = PatchConfig(AT_MA, u0=UnitConfig(Op.ADD, Source.EXT0, Source.EXT1))
+        fused = FusedConfig(cfg, cfg, b_ext=("a_out0", "ext1", "ext2", "ext3"),
+                            outs=("b_out0",))
+        fused.validate_placement(hops=MAX_FUSION_HOPS)
+        with pytest.raises(ValueError):
+            fused.validate_placement(hops=MAX_FUSION_HOPS + 1)
+
+
+class TestPlacement:
+    def test_paper_patch_mix(self):
+        assert DEFAULT_PLACEMENT.counts() == {"AT-MA": 8, "AT-AS": 4, "AT-SA": 4}
+
+    def test_figure5_example_layout(self):
+        # Paper tiles 2 and 10 carry {AT-AS} with tile 6 between them.
+        mesh = DEFAULT_PLACEMENT.mesh
+        assert DEFAULT_PLACEMENT.type_of(mesh.from_paper(2)) == AT_AS
+        assert DEFAULT_PLACEMENT.type_of(mesh.from_paper(10)) == AT_AS
+        assert mesh.xy_route(mesh.from_paper(2), mesh.from_paper(10)) == [
+            mesh.from_paper(2), mesh.from_paper(6), mesh.from_paper(10)
+        ]
+
+    def test_every_type_within_fusion_radius_of_every_tile(self):
+        placement = DEFAULT_PLACEMENT
+        for tile in range(16):
+            for ptype in (AT_MA, AT_AS, AT_SA):
+                available = placement.type_of(tile) == ptype or any(
+                    other != tile and placement.hops(tile, other) <= MAX_FUSION_HOPS
+                    for other in placement.tiles_of(ptype)
+                )
+                assert available, f"tile {tile} cannot reach any {ptype.name}"
+
+    def test_same_type_pairs_exist_within_radius(self):
+        # Fusing two patches of the same type (e.g. {AT-AS, AT-AS} in
+        # Figure 5) must be possible for every type.
+        placement = DEFAULT_PLACEMENT
+        for ptype in (AT_MA, AT_AS, AT_SA):
+            tiles = placement.tiles_of(ptype)
+            assert any(
+                placement.hops(a, b) <= MAX_FUSION_HOPS
+                for i, a in enumerate(tiles)
+                for b in tiles[i + 1:]
+            )
+
+    def test_tiles_of_partitions_the_mesh(self):
+        placement = DEFAULT_PLACEMENT
+        all_tiles = sorted(
+            placement.tiles_of(AT_MA)
+            + placement.tiles_of(AT_AS)
+            + placement.tiles_of(AT_SA)
+        )
+        assert all_tiles == list(range(16))
+
+    def test_homogeneous_ablation_layout(self):
+        placement = Placement.homogeneous(AT_MA)
+        assert placement.counts() == {"AT-MA": 16, "AT-AS": 0, "AT-SA": 0}
+
+    def test_wrong_layout_size_rejected(self):
+        with pytest.raises(ValueError):
+            Placement(layout=(AT_MA,) * 15)

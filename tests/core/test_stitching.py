@@ -1,0 +1,132 @@
+"""Unit tests for Algorithm 1 and the plan variants."""
+
+import pytest
+
+from repro.core.stitching import (
+    BASELINE,
+    stitch_application,
+    stitch_best,
+    upgrade_plan,
+)
+
+
+def tables(entries):
+    """Helper: {sid: {option: cycles}} with baseline first."""
+    return {
+        sid: dict(options) for sid, options in entries.items()
+    }
+
+
+class TestAlgorithm1:
+    def test_bottleneck_gets_best_patch(self):
+        cycles = tables({
+            0: {BASELINE: 1000, "AT-MA": 600, "AT-AS": 700},
+            1: {BASELINE: 100},
+        })
+        plan = stitch_application("t", cycles)
+        assert plan.assignments[0].option == "AT-MA"
+        assert plan.assignments[0].cycles == 600
+        assert plan.assignments[1].option == BASELINE
+
+    def test_origin_tile_carries_local_type(self):
+        cycles = tables({0: {BASELINE: 1000, "AT-AS": 500}})
+        plan = stitch_application("t", cycles)
+        tile = plan.assignments[0].tile
+        from repro.core import DEFAULT_PLACEMENT
+        assert DEFAULT_PLACEMENT.type_of(tile).name == "AT-AS"
+
+    def test_fused_option_reserves_remote_patch_and_path(self):
+        cycles = tables({0: {BASELINE: 1000, "AT-MA+AT-AS": 400}})
+        plan = stitch_application("t", cycles)
+        assignment = plan.assignments[0]
+        assert assignment.fused
+        assert assignment.path is not None
+        assert len(plan.network.stitchings) == 1
+        from repro.core import DEFAULT_PLACEMENT
+        assert DEFAULT_PLACEMENT.type_of(assignment.tile).name == "AT-MA"
+        assert DEFAULT_PLACEMENT.type_of(assignment.remote_tile).name == "AT-AS"
+
+    def test_patch_exhaustion(self):
+        # 5 identical kernels wanting AT-AS pairs; only 4 AS patches.
+        cycles = tables({
+            sid: {BASELINE: 1000, "AT-AS+AT-AS": 400} for sid in range(5)
+        })
+        plan = stitch_application("t", cycles)
+        fused = plan.fused_pairs()
+        assert len(fused) == 2
+        assert plan.bottleneck_cycles() == 1000  # three kernels starve
+
+    def test_stops_when_bottleneck_unimprovable(self):
+        cycles = tables({
+            0: {BASELINE: 1000},                 # no options at all
+            1: {BASELINE: 900, "AT-MA": 100},
+        })
+        plan = stitch_application("t", cycles)
+        # Bottleneck (0) cannot improve -> algorithm returns; stage 1
+        # keeps its baseline per the paper's early return.
+        assert plan.assignments[1].option == BASELINE
+
+    def test_all_stages_get_distinct_tiles(self):
+        cycles = tables({
+            sid: {BASELINE: 100 + sid, "AT-MA": 50} for sid in range(16)
+        })
+        plan = stitch_application("t", cycles)
+        tiles = [a.tile for a in plan.assignments.values()]
+        assert sorted(tiles) == list(range(16))
+
+    def test_remote_tile_may_host_another_kernel(self):
+        # Stage 0 fuses; its remote tile still hosts some stage.
+        cycles = tables({
+            0: {BASELINE: 1000, "AT-MA+AT-AS": 300},
+            **{sid: {BASELINE: 10} for sid in range(1, 16)},
+        })
+        plan = stitch_application("t", cycles)
+        remote = plan.assignments[0].remote_tile
+        hosts = [a.tile for a in plan.assignments.values()]
+        assert remote in hosts
+
+    def test_allowed_filter(self):
+        cycles = tables({
+            0: {BASELINE: 1000, "AT-MA": 600, "AT-MA+AT-AS": 300},
+        })
+        plan = stitch_application("t", cycles, allowed={"AT-MA"})
+        assert plan.assignments[0].option == "AT-MA"
+
+
+class TestPlanVariants:
+    def starved_tables(self):
+        # Six replicated heavy kernels: pairs starve; singles cover all.
+        return tables({
+            sid: {BASELINE: 1000, "AT-MA": 700, "AT-MA+AT-MA": 600}
+            for sid in range(6)
+        })
+
+    def test_pure_greedy_starves(self):
+        plan = stitch_application("t", self.starved_tables())
+        assert plan.bottleneck_cycles() == 1000
+
+    def test_stitch_best_recovers(self):
+        plan = stitch_best("t", self.starved_tables())
+        assert plan.bottleneck_cycles() <= 700
+
+    def test_upgrade_pass_uses_leftover_patches(self):
+        cycles = self.starved_tables()
+        singles = {"AT-MA"}
+        base_plan = stitch_application("t", cycles, allowed=singles)
+        assert base_plan.bottleneck_cycles() == 700
+        upgraded = upgrade_plan(base_plan, cycles)
+        # 8 MA patches: 6 kernels hold one each; the leftovers upgrade
+        # whichever bottleneck tile has a free MA within the hop limit.
+        assert upgraded.bottleneck_cycles() == 700
+        assert len(upgraded.fused_pairs()) >= 1
+
+    def test_stitch_best_never_worse_than_singles(self):
+        cycles = self.starved_tables()
+        best = stitch_best("t", cycles)
+        singles = stitch_best("t", cycles, allowed={"AT-MA"})
+        assert best.bottleneck_cycles() <= singles.bottleneck_cycles()
+
+    def test_too_many_stages_rejected(self):
+        cycles = tables({sid: {BASELINE: 1} for sid in range(17)})
+        with pytest.raises(ValueError):
+            stitch_application("t", cycles)

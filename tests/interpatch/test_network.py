@@ -1,0 +1,141 @@
+"""Unit tests for inter-patch path reservation and Dijkstra search."""
+
+import pytest
+
+from repro.interpatch import (
+    InterPatchNetwork,
+    PORT_N,
+    PORT_PATCH,
+    PORT_REG,
+    PORT_S,
+    ReservationError,
+    find_path,
+)
+from repro.noc import Mesh
+
+
+def paper(net, number):
+    return net.mesh.from_paper(number)
+
+
+class TestStitching:
+    def test_figure5_scenario(self):
+        """patch2 + patch10 stitched; patch6's switch bypasses both ways."""
+        net = InterPatchNetwork()
+        t2, t6, t10 = (paper(net, n) for n in (2, 6, 10))
+        path = net.stitch([t2, t6, t10])
+        assert path == [t2, t6, t10]
+        # Tile 6 bypasses: southbound output driven by the north input,
+        # and vice versa; its own patch port is untouched.
+        bypass = net.switch(t6)
+        assert bypass.driver_of(PORT_S) == PORT_N
+        assert bypass.driver_of(PORT_N) == PORT_S
+        assert bypass.driver_of(PORT_PATCH) is None
+        # Origin injects its patch output southward and returns the
+        # remote result to both its patch input and register file.
+        origin = net.switch(t2)
+        assert origin.driver_of(PORT_S) == PORT_PATCH
+        assert origin.driver_of(PORT_PATCH) == PORT_S
+        assert origin.driver_of(PORT_REG) == PORT_S
+        # Remote receives from the north and sends its output back north.
+        remote = net.switch(t10)
+        assert remote.driver_of(PORT_PATCH) == PORT_N
+        assert remote.driver_of(PORT_N) == PORT_PATCH
+
+    def test_round_trip_links_reserved(self):
+        net = InterPatchNetwork()
+        net.stitch([0, 1, 2])
+        assert not net.is_link_free(0, 1)
+        assert not net.is_link_free(1, 0)
+        assert net.is_link_free(2, 3)
+
+    def test_conflicting_stitch_rejected_atomically(self):
+        net = InterPatchNetwork()
+        net.stitch([0, 1, 2])
+        before = [s.routes() for s in net.switches]
+        with pytest.raises(ReservationError):
+            net.stitch([1, 2])  # reuses link (1, 2)
+        assert [s.routes() for s in net.switches] == before
+
+    def test_switch_port_conflict_rolls_back(self):
+        net = InterPatchNetwork()
+        net.stitch([0, 1])
+        # Path [4, 0] needs tile 0's patch port, already driven.
+        with pytest.raises(ReservationError):
+            net.stitch([0, 4])
+        assert net.reserved_links == {(0, 1), (1, 0)}
+
+    def test_non_adjacent_path_rejected(self):
+        net = InterPatchNetwork()
+        with pytest.raises(ValueError):
+            net.stitch([0, 5])
+
+    def test_too_short_path_rejected(self):
+        net = InterPatchNetwork()
+        with pytest.raises(ValueError):
+            net.stitch([0])
+
+    def test_disjoint_stitchings_coexist(self):
+        net = InterPatchNetwork()
+        net.stitch([0, 1, 2])
+        net.stitch([4, 5, 6])
+        net.stitch([8, 9, 10])
+        assert len(net.stitchings) == 3
+        assert net.utilization() == pytest.approx(12 / 48)
+
+    def test_reset(self):
+        net = InterPatchNetwork()
+        net.stitch([0, 1])
+        net.reset()
+        assert net.reserved_links == set()
+        assert net.switch(0).routes() == {}
+
+
+class TestPathfinder:
+    def test_shortest_path_found(self):
+        mesh = Mesh()
+        path = find_path(mesh, 0, 2)
+        assert path == [0, 1, 2]
+
+    def test_hop_limit_enforced(self):
+        mesh = Mesh()
+        assert find_path(mesh, 0, 15) is None  # 6 hops > limit 3
+        assert find_path(mesh, 0, 15, max_hops=6) is not None
+
+    def test_detour_around_reservation(self):
+        mesh = Mesh()
+        reserved = {(0, 1), (1, 0)}
+        path = find_path(mesh, 0, 5, reserved_links=reserved)
+        assert path == [0, 4, 5]
+
+    def test_no_detour_within_hop_budget(self):
+        mesh = Mesh()
+        # Any detour from 0 to 2 around link (0,1) needs 4 hops > 3.
+        assert find_path(mesh, 0, 2, reserved_links={(0, 1)}) is None
+
+    def test_reservation_in_either_direction_blocks(self):
+        mesh = Mesh()
+        # Only the reverse direction is reserved; round trips need both.
+        path = find_path(mesh, 0, 1, reserved_links={(1, 0)})
+        assert path is None or (0, 1) not in set(zip(path, path[1:]))
+
+    def test_fully_blocked_returns_none(self):
+        mesh = Mesh()
+        reserved = set()
+        for neighbor in mesh.neighbors(0):
+            reserved.add((0, neighbor))
+        assert find_path(mesh, 0, 5, reserved_links=reserved) is None
+
+    def test_self_stitch_rejected(self):
+        with pytest.raises(ValueError):
+            find_path(Mesh(), 3, 3)
+
+    def test_integration_with_network(self):
+        # Endpoint patches must be fresh; intermediate tiles (like 1
+        # below) may still originate their own stitching.
+        net = InterPatchNetwork()
+        net.stitch(find_path(net.mesh, 0, 2))
+        second = find_path(net.mesh, 1, 5, reserved_links=net.reserved_links)
+        assert second == [1, 5]
+        net.stitch(second)  # must not raise
+        assert len(net.stitchings) == 2

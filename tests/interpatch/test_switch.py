@@ -1,0 +1,99 @@
+"""Unit tests for the crossbar switch and its config register."""
+
+import pytest
+
+from repro.interpatch import (
+    CrossbarSwitch,
+    PORT_E,
+    PORT_N,
+    PORT_PATCH,
+    PORT_REG,
+    PORT_S,
+    PORT_W,
+    PORTS,
+)
+from repro.interpatch.switch import LINK_BITS, LINK_CONTROL_BITS
+
+
+class TestSwitch:
+    def test_six_by_six(self):
+        assert len(PORTS) == 6
+
+    def test_link_is_166_bits(self):
+        # Figure 5: four 32-bit words plus 38 control bits.
+        assert LINK_BITS == 166
+        assert LINK_CONTROL_BITS == 38
+
+    def test_configure_and_query(self):
+        switch = CrossbarSwitch(0)
+        switch.configure(PORT_E, PORT_PATCH)
+        assert switch.driver_of(PORT_E) == PORT_PATCH
+        assert switch.driver_of(PORT_W) is None
+
+    def test_output_single_driver(self):
+        switch = CrossbarSwitch(0)
+        switch.configure(PORT_E, PORT_PATCH)
+        with pytest.raises(ValueError):
+            switch.configure(PORT_E, PORT_N)
+
+    def test_input_fanout_allowed(self):
+        switch = CrossbarSwitch(0)
+        switch.configure(PORT_E, PORT_PATCH)
+        switch.configure(PORT_S, PORT_PATCH)
+        assert switch.driver_of(PORT_S) == PORT_PATCH
+
+    def test_self_loop_rejected(self):
+        switch = CrossbarSwitch(0)
+        with pytest.raises(ValueError):
+            switch.configure(PORT_N, PORT_N)
+
+    def test_unknown_port_rejected(self):
+        switch = CrossbarSwitch(0)
+        with pytest.raises(ValueError):
+            switch.configure("NE", PORT_N)
+
+    def test_release_then_reconfigure(self):
+        switch = CrossbarSwitch(0)
+        switch.configure(PORT_E, PORT_PATCH)
+        switch.release(PORT_E)
+        switch.configure(PORT_E, PORT_N)
+        assert switch.driver_of(PORT_E) == PORT_N
+
+
+class TestConfigRegister:
+    def test_empty_register_all_undriven(self):
+        switch = CrossbarSwitch(0)
+        value = switch.register_value()
+        for index in range(6):
+            assert (value >> (index * 3)) & 0b111 == 7
+
+    def test_register_roundtrip(self):
+        switch = CrossbarSwitch(0)
+        switch.configure(PORT_E, PORT_W)      # straight-through bypass
+        switch.configure(PORT_PATCH, PORT_N)
+        switch.configure(PORT_REG, PORT_PATCH)
+        value = switch.register_value()
+        other = CrossbarSwitch(1)
+        other.load_register(value)
+        assert other.routes() == switch.routes()
+
+    def test_register_fits_one_word(self):
+        switch = CrossbarSwitch(0)
+        for out_port, in_port in ((PORT_N, PORT_S), (PORT_E, PORT_W),
+                                  (PORT_S, PORT_N), (PORT_W, PORT_E),
+                                  (PORT_PATCH, PORT_REG), (PORT_REG, PORT_PATCH)):
+            switch.configure(out_port, in_port)
+        assert switch.register_value() < (1 << 18)
+
+    def test_load_register_rejects_self_loop(self):
+        switch = CrossbarSwitch(0)
+        # Output index 0 is N; input code for N is 0 -> self loop.
+        with pytest.raises(ValueError):
+            switch.load_register(0b000 | (7 << 3) | (7 << 6) | (7 << 9) | (7 << 12) | (7 << 15))
+
+    def test_load_register_rejects_bad_code(self):
+        switch = CrossbarSwitch(0)
+        value = 6  # code 6 is not a port and not "undriven"
+        value |= sum(7 << (i * 3) for i in range(1, 6))
+        with pytest.raises(ValueError):
+            switch.load_register(value)

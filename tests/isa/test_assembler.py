@@ -1,0 +1,143 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import AssemblerError, Op, assemble
+
+
+SAMPLE = """
+.equ N 64
+# accumulate squares
+start:
+    movi r4, 0
+    movi r2, 0
+    movi r5, N
+loop:
+    lw   r1, 0(r2)      ; load element
+    mul  r3, r1, r1
+    add  r4, r4, r3
+    addi r2, r2, 4
+    bne  r2, r5, loop
+    halt
+"""
+
+
+class TestBasicParsing:
+    def test_instruction_count(self):
+        program = assemble(SAMPLE)
+        assert len(program) == 9
+
+    def test_labels_resolved_to_indices(self):
+        program = assemble(SAMPLE)
+        branch = program[7]
+        assert branch.op is Op.BNE
+        assert branch.target == program.labels["loop"] == 3
+
+    def test_equ_symbol_substitution(self):
+        program = assemble(SAMPLE)
+        assert program[2].imm == 64
+        assert program.symbols["N"] == 64
+
+    def test_comments_both_styles(self):
+        program = assemble("add r1, r2, r3 # x\nsub r1, r2, r3 ; y\n")
+        assert len(program) == 2
+
+    def test_label_on_same_line_as_instruction(self):
+        program = assemble("top: addi r1, r1, 1\n jmp top")
+        assert program.labels["top"] == 0
+        assert program[1].target == 0
+
+    def test_register_aliases(self):
+        program = assemble("mov sp, lr\nmov zero, r3")
+        assert program[0].rd == 14 and program[0].ra == 15
+        assert program[1].rd == 0
+
+    def test_negative_and_hex_immediates(self):
+        program = assemble("addi r1, r1, -8\nandi r2, r2, 0xFF")
+        assert program[0].imm == -8
+        assert program[1].imm == 0xFF
+
+    def test_memory_operand(self):
+        program = assemble("lw r1, -4(r2)\nsw r3, 8(sp)")
+        assert (program[0].rd, program[0].ra, program[0].imm) == (1, 2, -4)
+        assert (program[1].rd, program[1].ra, program[1].imm) == (3, 14, 8)
+
+    def test_comm_operands(self):
+        program = assemble("send r1, r2, r3\nrecv r4, r5, r6")
+        send = program[0]
+        assert send.op is Op.SEND
+        assert send.reads() == (1, 2, 3)
+
+    def test_cix_groups(self):
+        program = assemble("cix 7, (r5, r6), (r1, r2, r3, r4)")
+        instr = program[0]
+        assert instr.cfg == 7
+        assert instr.outs == [5, 6]
+        assert instr.ins == [1, 2, 3, 4]
+
+    def test_cix_placeholder_dash(self):
+        program = assemble("cix 0, (r5, -), (r1, -, -, -)")
+        assert program[0].outs == [5]
+        assert program[0].ins == [1]
+
+    def test_movi_full_range(self):
+        program = assemble("movi r1, 0xDEADBEEF\nmovi r2, -2147483648")
+        assert program[0].imm == 0xDEADBEEF - (1 << 32)
+        assert program[1].imm == -(1 << 31)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source, fragment",
+        [
+            ("frob r1, r2, r3", "unknown mnemonic"),
+            ("add r1, r2", "expects 3 operands"),
+            ("add r1, r2, 5", "expected register"),
+            ("addi r1, r2, 40000", "out of range"),
+            ("jmp nowhere", "undefined label"),
+            ("x: add r1, r1, r1\nx: halt", "duplicate label"),
+            ("lw r1, r2", "expected offset(base)"),
+            ("cix 1, r5, (r1)", "parenthesized"),
+            ("cix 1, (r5, r6, r7), (r1)", "at most 2"),
+            ("cix 1, (r5), (r1, r2, r3, r4, r5)", "at most 4"),
+            ("cix 1, (), (r1)", "at least one"),
+            (".equ ONLYNAME", ".equ expects"),
+            ("add r99, r1, r1", "expected register"),
+        ],
+    )
+    def test_rejects(self, source, fragment):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble(source)
+        assert fragment in str(excinfo.value)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("nop\nnop\nbogus r1")
+        assert "line 3" in str(excinfo.value)
+
+
+class TestProgramAnalysis:
+    def test_basic_blocks_of_loop(self):
+        program = assemble(SAMPLE)
+        blocks = program.basic_blocks()
+        assert [(b.start, b.end) for b in blocks] == [(0, 3), (3, 8), (8, 9)]
+
+    def test_block_at(self):
+        program = assemble(SAMPLE)
+        assert program.block_at(4).index == 1
+        with pytest.raises(IndexError):
+            program.block_at(99)
+
+    def test_static_words_counts_two_word_encodings(self):
+        program = assemble("movi r1, 5\nadd r1, r1, r1\ncix 0, (r1), (r1)")
+        assert program.static_words() == 2 + 1 + 2
+
+    def test_text_roundtrip_reassembles(self):
+        program = assemble(SAMPLE)
+        again = assemble(program.text())
+        assert len(again) == len(program)
+        assert [i.op for i in again] == [i.op for i in program]
+        assert again[7].target == program[7].target
+
+    def test_empty_program_has_no_blocks(self):
+        assert assemble("").basic_blocks() == []

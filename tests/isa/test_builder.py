@@ -1,0 +1,85 @@
+"""Unit tests for the programmatic assembly builder."""
+
+from repro.isa import Asm, Op
+
+
+class TestBuilder:
+    def test_fluent_chain_assembles(self):
+        asm = Asm("dot")
+        loop = asm.label("loop")
+        (
+            asm.lw("r3", 0, "r1")
+            .lw("r4", 0, "r2")
+            .mul("r5", "r3", "r4")
+            .add("r6", "r6", "r5")
+            .addi("r1", "r1", 4)
+            .addi("r2", "r2", 4)
+            .bne("r1", "r7", loop)
+            .halt()
+        )
+        program = asm.assemble()
+        assert program.name == "dot"
+        assert [i.op for i in program] == [
+            Op.LW, Op.LW, Op.MUL, Op.ADD, Op.ADDI, Op.ADDI, Op.BNE, Op.HALT,
+        ]
+        assert program[6].target == 0
+
+    def test_integer_register_arguments(self):
+        asm = Asm()
+        asm.add(1, 2, 3).halt()
+        program = asm.assemble()
+        assert (program[0].rd, program[0].ra, program[0].rb) == (1, 2, 3)
+
+    def test_fresh_labels_are_unique(self):
+        asm = Asm()
+        first = asm.label()
+        asm.nop()
+        second = asm.label()
+        asm.nop()
+        assert first != second
+
+    def test_named_label_reused_stem_gets_suffix(self):
+        asm = Asm()
+        a = asm.label("loop")
+        asm.nop()
+        b = asm.label("loop")
+        asm.nop()
+        assert a == "loop"
+        assert b != "loop" and b.startswith("loop")
+
+    def test_forward_label_placed_later(self):
+        asm = Asm()
+        done = asm.forward_label("done")
+        asm.beq("r1", "r0", done)
+        asm.addi("r1", "r1", 1)
+        asm.place(done)
+        asm.halt()
+        program = asm.assemble()
+        assert program[0].target == 2
+
+    def test_equ_and_movi(self):
+        asm = Asm()
+        asm.equ("SIZE", 128).movi("r1", "SIZE").halt()
+        program = asm.assemble()
+        assert program[0].imm == 128
+
+    def test_cix_emission(self):
+        asm = Asm()
+        asm.cix(3, ["r5", "r6"], ["r1", "r2"]).halt()
+        program = asm.assemble()
+        assert program[0].cfg == 3
+        assert program[0].outs == [5, 6]
+
+    def test_comment_and_raw_do_not_emit_instructions(self):
+        asm = Asm()
+        asm.comment("nothing").raw("    nop").halt()
+        assert len(asm.assemble()) == 2
+
+    def test_all_branch_variants(self):
+        asm = Asm()
+        top = asm.label("top")
+        for branch in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            getattr(asm, branch)("r1", "r2", top)
+        asm.halt()
+        program = asm.assemble()
+        assert all(program[i].target == 0 for i in range(6))

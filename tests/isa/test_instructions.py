@@ -1,0 +1,158 @@
+"""Unit tests for instruction metadata and reference semantics."""
+
+import pytest
+
+from repro.isa import (
+    Instruction,
+    Op,
+    OpClass,
+    eval_alu,
+    eval_mul,
+    eval_shift,
+    op_class,
+    wrap32,
+)
+from repro.isa.instructions import BASE_OP, OP_CLASS, OP_FORMAT, base_op
+
+
+class TestWrap32:
+    def test_identity_in_range(self):
+        assert wrap32(123) == 123
+        assert wrap32(-123) == -123
+
+    def test_positive_overflow(self):
+        assert wrap32(0x80000000) == -0x80000000
+        assert wrap32(0xFFFFFFFF) == -1
+        assert wrap32(0x100000000) == 0
+
+    def test_negative_overflow(self):
+        assert wrap32(-0x80000001) == 0x7FFFFFFF
+
+    def test_extremes(self):
+        assert wrap32(0x7FFFFFFF) == 0x7FFFFFFF
+        assert wrap32(-0x80000000) == -0x80000000
+
+
+class TestAluSemantics:
+    def test_add_wraps(self):
+        assert eval_alu(Op.ADD, 0x7FFFFFFF, 1) == -0x80000000
+
+    def test_sub_wraps(self):
+        assert eval_alu(Op.SUB, -0x80000000, 1) == 0x7FFFFFFF
+
+    def test_logic(self):
+        assert eval_alu(Op.AND, 0b1100, 0b1010) == 0b1000
+        assert eval_alu(Op.OR, 0b1100, 0b1010) == 0b1110
+        assert eval_alu(Op.XOR, 0b1100, 0b1010) == 0b0110
+
+    def test_slt_signed(self):
+        assert eval_alu(Op.SLT, -1, 0) == 1
+        assert eval_alu(Op.SLT, 0, -1) == 0
+
+    def test_sltu_treats_negative_as_large(self):
+        assert eval_alu(Op.SLTU, -1, 0) == 0
+        assert eval_alu(Op.SLTU, 0, -1) == 1
+
+    def test_seq(self):
+        assert eval_alu(Op.SEQ, 5, 5) == 1
+        assert eval_alu(Op.SEQ, 5, 6) == 0
+
+    def test_rejects_non_alu(self):
+        with pytest.raises(ValueError):
+            eval_alu(Op.MUL, 1, 2)
+
+
+class TestShiftSemantics:
+    def test_sll(self):
+        assert eval_shift(Op.SLL, 1, 31) == -0x80000000
+
+    def test_srl_is_logical(self):
+        assert eval_shift(Op.SRL, -1, 28) == 0xF
+
+    def test_sra_is_arithmetic(self):
+        assert eval_shift(Op.SRA, -16, 2) == -4
+
+    def test_amount_masked_to_5_bits(self):
+        assert eval_shift(Op.SLL, 1, 32) == 1
+        assert eval_shift(Op.SLL, 1, 33) == 2
+
+
+class TestMulSemantics:
+    def test_mul_low_word(self):
+        assert eval_mul(Op.MUL, 0x10000, 0x10000) == 0
+
+    def test_mulh_high_word(self):
+        assert eval_mul(Op.MULH, 0x10000, 0x10000) == 1
+
+    def test_mulh_signed(self):
+        assert eval_mul(Op.MULH, -1, 1) == -1
+
+
+class TestClassification:
+    def test_every_op_has_format_and_class(self):
+        for op in Op:
+            assert op in OP_FORMAT
+            assert op in OP_CLASS
+
+    def test_paper_classes(self):
+        assert op_class(Op.ADD) is OpClass.A
+        assert op_class(Op.SLLI) is OpClass.S
+        assert op_class(Op.MUL) is OpClass.M
+        assert op_class(Op.LW) is OpClass.T
+        assert op_class(Op.SW) is OpClass.T
+        assert op_class(Op.MOV) is OpClass.MOVE
+
+    def test_immediate_forms_share_base_op(self):
+        assert base_op(Op.ADDI) is Op.ADD
+        assert base_op(Op.SRAI) is Op.SRA
+        assert base_op(Op.ADD) is Op.ADD
+        for imm_op, reg_op in BASE_OP.items():
+            assert op_class(imm_op) is op_class(reg_op)
+
+
+class TestInstructionAccessors:
+    def test_r3_reads_writes(self):
+        instr = Instruction(Op.ADD, rd=3, ra=1, rb=2)
+        assert instr.reads() == (1, 2)
+        assert instr.writes() == (3,)
+        assert instr.words == 1
+
+    def test_store_reads_value_and_base(self):
+        instr = Instruction(Op.SW, rd=7, ra=2, imm=4)
+        assert instr.reads() == (7, 2)
+        assert instr.writes() == ()
+
+    def test_load_writes(self):
+        instr = Instruction(Op.LW, rd=7, ra=2, imm=4)
+        assert instr.reads() == (2,)
+        assert instr.writes() == (7,)
+
+    def test_jal_writes_link_register(self):
+        instr = Instruction(Op.JAL, target=0)
+        assert instr.writes() == (15,)
+
+    def test_cix_two_words(self):
+        instr = Instruction(Op.CIX, cfg=3, outs=[5, 6], ins=[1, 2, 3, 4])
+        assert instr.words == 2
+        assert instr.reads() == (1, 2, 3, 4)
+        assert instr.writes() == (5, 6)
+
+    def test_movi_two_words(self):
+        assert Instruction(Op.MOVI, rd=1, imm=7).words == 2
+
+    def test_copy_is_deep_for_lists(self):
+        instr = Instruction(Op.CIX, cfg=3, outs=[5], ins=[1, 2])
+        dup = instr.copy()
+        dup.ins.append(3)
+        assert instr.ins == [1, 2]
+
+    def test_text_roundtrip_shapes(self):
+        samples = [
+            Instruction(Op.ADD, rd=3, ra=1, rb=2),
+            Instruction(Op.ADDI, rd=3, ra=1, imm=-4),
+            Instruction(Op.LW, rd=3, ra=1, imm=8),
+            Instruction(Op.MOVI, rd=3, imm=100000),
+            Instruction(Op.HALT),
+        ]
+        for instr in samples:
+            assert instr.op.value in instr.text()

@@ -1,0 +1,112 @@
+"""Unit tests for the set-associative LRU cache model."""
+
+import pytest
+
+from repro.mem import Cache
+
+
+def small_cache():
+    # 4 sets x 2 ways x 64B lines = 512B
+    return Cache(512, assoc=2, line_bytes=64)
+
+
+class TestGeometry:
+    def test_table2_dcache_geometry(self):
+        cache = Cache(4 * 1024, assoc=2, line_bytes=64)
+        assert cache.num_sets == 32
+
+    def test_table2_icache_geometry(self):
+        cache = Cache(8 * 1024, assoc=2, line_bytes=64)
+        assert cache.num_sets == 64
+
+    @pytest.mark.parametrize("size,assoc,line", [(3000, 2, 64), (512, 3, 64), (512, 2, 60)])
+    def test_rejects_non_power_of_two(self, size, assoc, line):
+        with pytest.raises(ValueError):
+            Cache(size, assoc=assoc, line_bytes=line)
+
+    def test_rejects_inconsistent_geometry(self):
+        with pytest.raises(ValueError):
+            Cache(64, assoc=2, line_bytes=64)
+
+
+class TestBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        hit, _ = cache.lookup(0x100)
+        assert not hit
+        hit, _ = cache.lookup(0x104)  # same 64B line
+        assert hit
+
+    def test_line_granularity(self):
+        cache = small_cache()
+        cache.lookup(0x0)
+        hit, _ = cache.lookup(0x3C)
+        assert hit
+        hit, _ = cache.lookup(0x40)  # next line
+        assert not hit
+
+    def test_lru_eviction_order(self):
+        cache = small_cache()
+        # Three lines mapping to set 0 (stride = num_sets * line = 256B).
+        cache.lookup(0x000)
+        cache.lookup(0x100)
+        cache.lookup(0x000)  # touch to make 0x100 the LRU way
+        cache.lookup(0x200)  # evicts 0x100
+        assert cache.lookup(0x000)[0] is True
+        assert cache.lookup(0x100)[0] is False
+
+    def test_dirty_eviction_reports_writeback(self):
+        cache = small_cache()
+        cache.lookup(0x000, write=True)
+        cache.lookup(0x100)
+        _, writeback = cache.lookup(0x200)  # evicts dirty 0x000
+        assert writeback
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = small_cache()
+        cache.lookup(0x000)
+        cache.lookup(0x100)
+        _, writeback = cache.lookup(0x200)
+        assert not writeback
+
+    def test_write_hit_marks_dirty(self):
+        cache = small_cache()
+        cache.lookup(0x000)             # clean fill
+        cache.lookup(0x000, write=True)  # dirty it
+        cache.lookup(0x100)
+        _, writeback = cache.lookup(0x200)
+        assert writeback
+
+    def test_hit_rate_and_stats(self):
+        cache = small_cache()
+        cache.lookup(0x0)
+        cache.lookup(0x0)
+        cache.lookup(0x0)
+        assert cache.hits == 2 and cache.misses == 1
+        assert cache.hit_rate() == pytest.approx(2 / 3)
+        cache.reset_stats()
+        assert cache.accesses == 0
+        assert cache.hit_rate() == 1.0
+
+    def test_flush_invalidates(self):
+        cache = small_cache()
+        cache.lookup(0x0)
+        cache.flush()
+        hit, _ = cache.lookup(0x0)
+        assert not hit
+
+    def test_distinct_sets_do_not_conflict(self):
+        cache = small_cache()
+        for i in range(4):
+            cache.lookup(i * 64)
+        for i in range(4):
+            assert cache.lookup(i * 64)[0] is True
+
+    def test_fully_resident_working_set(self):
+        cache = small_cache()
+        addrs = [i * 64 for i in range(8)]  # exactly capacity
+        for addr in addrs:
+            cache.lookup(addr)
+        for addr in addrs:
+            assert cache.lookup(addr)[0] is True

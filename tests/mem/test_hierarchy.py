@@ -1,0 +1,116 @@
+"""Unit tests for the composed per-tile memory system."""
+
+import pytest
+
+from repro.mem import MemorySystem, SPM_BASE
+from repro.mem.hierarchy import CODE_BASE
+
+
+class TestConfigurations:
+    def test_stitch_tile_geometry(self):
+        mem = MemorySystem.stitch()
+        assert mem.icache.size_bytes == 8 * 1024
+        assert mem.dcache.size_bytes == 4 * 1024
+        assert mem.spm.size_bytes == 4 * 1024
+
+    def test_baseline_tile_trades_spm_for_dcache(self):
+        mem = MemorySystem.baseline()
+        assert mem.dcache.size_bytes == 8 * 1024
+        assert mem.spm is None
+
+
+class TestDataPath:
+    def test_dram_read_miss_then_hit_latency(self):
+        mem = MemorySystem.stitch()
+        mem.load(0x100, [42])
+        value, cycles = mem.read(0x100)
+        assert value == 42
+        assert cycles == 1 + 30
+        value, cycles = mem.read(0x100)
+        assert cycles == 1
+
+    def test_spm_access_is_single_cycle_and_uncached(self):
+        mem = MemorySystem.stitch()
+        mem.load(SPM_BASE, [7])
+        value, cycles = mem.read(SPM_BASE)
+        assert (value, cycles) == (7, 1)
+        assert mem.dcache.accesses == 0
+
+    def test_write_then_read_consistency(self):
+        mem = MemorySystem.stitch()
+        cycles = mem.write(0x200, -5)
+        assert cycles == 1 + 30  # write-allocate fill
+        value, cycles = mem.read(0x200)
+        assert value == -5 and cycles == 1
+
+    def test_dirty_eviction_costs_extra_dram_write(self):
+        mem = MemorySystem(dcache_bytes=128, assoc=2, line_bytes=64)
+        mem.write(0x000, 1)           # miss + dirty
+        mem.read(0x40000)             # second way of the only set
+        _, cycles = mem.read(0x80000)  # evicts dirty line -> writeback
+        assert cycles == 1 + 30 + 30
+
+    def test_spm_lmau_path(self):
+        mem = MemorySystem.stitch()
+        mem.spm_write(SPM_BASE + 4, 99)
+        assert mem.spm_read(SPM_BASE + 4) == 99
+
+    def test_lmau_path_requires_spm(self):
+        mem = MemorySystem.baseline()
+        with pytest.raises(RuntimeError):
+            mem.spm_read(SPM_BASE)
+
+    def test_baseline_reads_spm_window_as_dram(self):
+        # Without an SPM the window is ordinary cacheable memory.
+        mem = MemorySystem.baseline()
+        mem.load(SPM_BASE, [3])
+        value, cycles = mem.read(SPM_BASE)
+        assert value == 3 and cycles == 31
+        assert mem.dcache.accesses == 1
+
+
+class TestFetchPath:
+    def test_fetch_miss_then_hits_across_line(self):
+        mem = MemorySystem.stitch()
+        assert mem.fetch(0) == 31  # cold miss
+        # 64B line holds 16 single-word instructions
+        for index in range(1, 16):
+            assert mem.fetch(index) == 1
+        assert mem.fetch(16) == 31
+
+    def test_two_word_fetch_within_line(self):
+        mem = MemorySystem.stitch()
+        mem.fetch(0)
+        assert mem.fetch(1, words=2) == 2
+
+    def test_two_word_fetch_straddling_lines(self):
+        mem = MemorySystem.stitch()
+        mem.fetch(0)
+        assert mem.fetch(15, words=2) == 1 + 31
+
+    def test_code_and_data_do_not_collide(self):
+        mem = MemorySystem.stitch()
+        mem.fetch(0)
+        mem.read(CODE_BASE)  # same address via the data path
+        assert mem.icache.accesses == 1
+        assert mem.dcache.accesses == 1
+
+
+class TestHarnessHelpers:
+    def test_load_dump_dram(self):
+        mem = MemorySystem.stitch()
+        mem.load(0x300, [1, 2, 3])
+        assert mem.dump(0x300, 3) == [1, 2, 3]
+
+    def test_load_dump_spm(self):
+        mem = MemorySystem.stitch()
+        mem.load(SPM_BASE + 8, [4, 5])
+        assert mem.dump(SPM_BASE + 8, 2) == [4, 5]
+
+    def test_reset_stats(self):
+        mem = MemorySystem.stitch()
+        mem.read(0x0)
+        mem.fetch(0)
+        mem.reset_stats()
+        assert mem.dcache.accesses == 0
+        assert mem.icache.accesses == 0

@@ -1,0 +1,120 @@
+"""Unit tests for packets and the NoC timing models."""
+
+import pytest
+
+from repro.noc import (
+    LINK_CYCLES,
+    Network,
+    Packet,
+    ROUTER_STAGES,
+    packetize,
+)
+from repro.noc.packet import MAX_WORDS_PER_PACKET, WORDS_PER_FLIT
+
+
+PER_HOP = ROUTER_STAGES + LINK_CYCLES
+
+
+class TestPackets:
+    def test_control_packet_single_flit(self):
+        packet = Packet(0, 1, 0)
+        assert packet.flits == 1
+        assert packet.is_control()
+
+    def test_data_packet_five_flits(self):
+        # Table II: data packets are 5 flits (head + 4 payload).
+        packet = Packet(0, 1, MAX_WORDS_PER_PACKET)
+        assert packet.flits == 5
+
+    def test_partial_payload_rounds_to_flits(self):
+        packet = Packet(0, 1, 1)
+        assert packet.payload_flits == 1
+        packet = Packet(0, 1, WORDS_PER_FLIT + 1)
+        assert packet.payload_flits == 2
+
+    def test_packetize_splits_long_messages(self):
+        packets = packetize(0, 1, MAX_WORDS_PER_PACKET * 2 + 3)
+        assert [p.payload_words for p in packets] == [16, 16, 3]
+        assert [p.sequence for p in packets] == [0, 1, 2]
+
+    def test_packetize_zero_words_is_control(self):
+        packets = packetize(0, 1, 0)
+        assert len(packets) == 1 and packets[0].is_control()
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(0, 1, MAX_WORDS_PER_PACKET + 1)
+        with pytest.raises(ValueError):
+            packetize(0, 1, -1)
+
+
+class TestAnalyticLatency:
+    def test_single_hop_control(self):
+        net = Network()
+        assert net.uncontended_latency(0, 1, 0) == PER_HOP
+
+    def test_single_hop_full_packet(self):
+        net = Network()
+        assert net.uncontended_latency(0, 1, 16) == PER_HOP + 4
+
+    def test_latency_scales_with_hops(self):
+        net = Network()
+        close = net.uncontended_latency(0, 1, 4)
+        far = net.uncontended_latency(0, 15, 4)
+        assert far - close == 5 * PER_HOP
+
+    def test_multi_packet_serialization(self):
+        net = Network()
+        one = net.uncontended_latency(0, 1, 16)
+        two = net.uncontended_latency(0, 1, 32)
+        assert two - one == 5  # one extra 5-flit packet streams behind
+
+
+class TestLinkReservationModel:
+    def test_matches_analytic_when_uncontended(self):
+        for nwords in (0, 1, 4, 16, 35):
+            for dst in (1, 5, 15):
+                net = Network()
+                arrival, _ = net.send(0, dst, nwords, time=100)
+                assert arrival == 100 + net.uncontended_latency(0, dst, nwords)
+
+    def test_contention_delays_second_packet(self):
+        net = Network()
+        first, _ = net.send(0, 3, 16, time=0)
+        # A competing message from tile 1 crosses links (1,2),(2,3) the
+        # first message also uses.
+        second, _ = net.send(1, 3, 16, time=0)
+        lone = Network()
+        alone, _ = lone.send(1, 3, 16, time=0)
+        assert second > alone
+
+    def test_no_contention_on_disjoint_links(self):
+        net = Network()
+        net.send(0, 1, 16, time=0)
+        busy, _ = net.send(4, 5, 16, time=0)
+        lone = Network()
+        alone, _ = lone.send(4, 5, 16, time=0)
+        assert busy == alone
+
+    def test_injection_done_before_arrival(self):
+        net = Network()
+        arrival, injection_done = net.send(0, 15, 32, time=0)
+        assert injection_done < arrival
+
+    def test_loopback_costs_serialization_only(self):
+        net = Network()
+        arrival, done = net.send(3, 3, 16, time=10)
+        assert arrival == done == 10 + 5
+
+    def test_contention_disabled_mode(self):
+        net = Network(contention=False)
+        arrival, _ = net.send(0, 3, 16, time=0)
+        assert arrival == net.uncontended_latency(0, 3, 16)
+
+    def test_stats_accumulate(self):
+        net = Network()
+        net.send(0, 3, 40, time=0)
+        assert net.packets_sent == 3
+        assert net.flits_sent == 5 + 5 + 3  # 16+16+8 words
+        net.reset()
+        assert net.packets_sent == 0

@@ -1,0 +1,74 @@
+"""Unit tests for the mesh topology and XY routing."""
+
+import pytest
+
+from repro.noc import Mesh
+
+
+class TestMeshGeometry:
+    def test_default_is_4x4(self):
+        mesh = Mesh()
+        assert mesh.num_tiles == 16
+
+    def test_coords_roundtrip(self):
+        mesh = Mesh(4, 4)
+        for tile in range(16):
+            x, y = mesh.coords(tile)
+            assert mesh.tile_at(x, y) == tile
+
+    def test_paper_numbering(self):
+        mesh = Mesh()
+        assert mesh.paper_tile(0) == 1       # top-left is tile 1
+        assert mesh.from_paper(16) == 15
+        assert mesh.coords(mesh.from_paper(2)) == (1, 0)
+
+    def test_corner_neighbors(self):
+        mesh = Mesh()
+        assert sorted(mesh.neighbors(0)) == [1, 4]
+        assert sorted(mesh.neighbors(15)) == [11, 14]
+
+    def test_center_neighbors(self):
+        mesh = Mesh()
+        assert sorted(mesh.neighbors(5)) == [1, 4, 6, 9]
+
+    def test_invalid_tiles_rejected(self):
+        mesh = Mesh()
+        with pytest.raises(ValueError):
+            mesh.coords(16)
+        with pytest.raises(ValueError):
+            mesh.tile_at(4, 0)
+        with pytest.raises(ValueError):
+            Mesh(0, 4)
+
+
+class TestRouting:
+    def test_hop_count_is_manhattan(self):
+        mesh = Mesh()
+        assert mesh.hop_count(0, 15) == 6
+        assert mesh.hop_count(0, 0) == 0
+        assert mesh.hop_count(3, 12) == 6
+
+    def test_xy_route_goes_x_first(self):
+        mesh = Mesh()
+        # tile 0 is (0,0); tile 9 is (1,2): route x to 1, then y down.
+        assert mesh.xy_route(0, 9) == [0, 1, 5, 9]
+
+    def test_route_endpoints_inclusive(self):
+        mesh = Mesh()
+        path = mesh.xy_route(2, 2)
+        assert path == [2]
+
+    def test_route_links(self):
+        mesh = Mesh()
+        links = mesh.route_links(0, 2)
+        assert links == [(0, 1), (1, 2)]
+
+    def test_route_length_matches_hops(self):
+        mesh = Mesh()
+        for src in range(16):
+            for dst in range(16):
+                assert len(mesh.route_links(src, dst)) == mesh.hop_count(src, dst)
+
+    def test_negative_direction_route(self):
+        mesh = Mesh()
+        assert mesh.xy_route(15, 0) == [15, 14, 13, 12, 8, 4, 0]

@@ -1,0 +1,122 @@
+"""Unit tests for the area/power/efficiency models."""
+
+import pytest
+
+from repro.power import (
+    ACCEL_AREA_UM2,
+    ChipModel,
+    CORTEX_A7,
+    EfficiencyModel,
+    POWER_BREAKDOWN,
+    RELATED_WORK,
+    SENSORTAG,
+    StitchAreaModel,
+    related_work_table,
+)
+from repro.power.platforms import GESTURE_DEADLINE_MS, stitch_platform
+
+
+class TestAreaComposition:
+    def test_patches_compose_to_table3_nofusion(self):
+        model = StitchAreaModel()
+        assert model.patches_area_um2() == pytest.approx(
+            ACCEL_AREA_UM2["Stitch w/o fusion"], rel=0.01
+        )
+
+    def test_stitch_total_composes_to_table3(self):
+        model = StitchAreaModel()
+        assert model.stitch_area_um2() == pytest.approx(
+            ACCEL_AREA_UM2["Stitch"], rel=0.01
+        )
+
+    def test_locus_composes_to_table3(self):
+        model = StitchAreaModel()
+        assert model.locus_area_um2() == pytest.approx(
+            ACCEL_AREA_UM2["LOCUS"], rel=0.01
+        )
+
+    def test_locus_is_7_64x_stitch(self):
+        assert StitchAreaModel().locus_over_stitch() == pytest.approx(7.64, rel=0.02)
+
+    def test_all_relative_errors_small(self):
+        for name, error in StitchAreaModel().relative_error().items():
+            assert error < 0.01, name
+
+
+class TestChipModel:
+    def test_chip_area_about_34_mm2(self):
+        assert ChipModel().chip_area_mm2() == pytest.approx(33.7, rel=0.02)
+
+    def test_accel_area_fraction_is_half_percent(self):
+        assert ChipModel().accel_area_fraction() == pytest.approx(0.005, rel=0.01)
+
+    def test_power_numbers_match_table1(self):
+        chip = ChipModel()
+        assert chip.total_power_mw() == 139.5
+        assert chip.nofusion_power_mw() == 108.0
+        assert chip.baseline_power_mw() == pytest.approx(107.4, abs=0.5)
+
+    def test_power_breakdown_sums_to_one(self):
+        assert sum(POWER_BREAKDOWN.values()) == pytest.approx(1.0)
+
+    def test_locus_power_exceeds_stitch(self):
+        chip = ChipModel()
+        assert chip.locus_power_mw() > chip.total_power_mw()
+
+
+class TestEfficiency:
+    def test_perf_per_watt_matches_fig14_anchor(self):
+        # Paper: 2.3x speedup with the 23 % power overhead -> 1.77x.
+        model = EfficiencyModel()
+        assert model.perf_per_watt_vs_baseline(2.3) == pytest.approx(1.77, rel=0.01)
+
+    def test_area_efficiency_nearly_equals_speedup(self):
+        model = EfficiencyModel()
+        assert model.perf_per_area_vs_baseline(2.3) == pytest.approx(2.29, rel=0.01)
+
+    def test_vs_a7_anchors(self):
+        # Paper Section V: Stitch at 7.62 ms vs A7 at 13 ms -> 1.71x
+        # throughput and ~5.7x perf/W.
+        model = EfficiencyModel()
+        tput = model.throughput_vs_a7(7.62e-3, 13e-3)
+        assert tput == pytest.approx(1.71, rel=0.01)
+        ppw = model.perf_per_watt_vs_a7(7.62e-3, 13e-3)
+        assert ppw == pytest.approx(tput / (139.5 / 469.0), rel=0.01)
+        assert 5.0 < ppw < 6.5
+
+
+class TestPlatforms:
+    def test_published_measurements(self):
+        assert SENSORTAG.gesture_ms == 577.0
+        assert CORTEX_A7.power_mw == 469.0
+
+    def test_deadline_logic(self):
+        assert not SENSORTAG.meets_deadline()
+        assert not CORTEX_A7.meets_deadline()
+        assert stitch_platform(7.62).meets_deadline()
+        assert not stitch_platform(GESTURE_DEADLINE_MS).meets_deadline()
+
+    def test_perf_per_watt_ordering(self):
+        # The SensorTag is efficient but far too slow; Stitch beats the
+        # A7 on perf/W by a wide margin.
+        stitch = stitch_platform(7.62)
+        assert stitch.perf_per_watt() > CORTEX_A7.perf_per_watt()
+
+
+class TestRelatedWork:
+    def test_stitch_unique_position(self):
+        stitch = next(a for a in RELATED_WORK if a.name == "Stitch")
+        assert stitch.sharable and stitch.heterogeneous
+        assert stitch.integration == "tight"
+        others = [a for a in RELATED_WORK if a.name != "Stitch"]
+        assert not any(a.sharable for a in others)
+
+    def test_stitch_smallest_tight_area(self):
+        tight = [a for a in RELATED_WORK if a.integration == "tight" and a.area_mm2]
+        smallest = min(tight, key=lambda a: a.area_mm2)
+        assert smallest.name == "Stitch"
+
+    def test_table_renders_all_rows(self):
+        text = related_work_table()
+        for arch in RELATED_WORK:
+            assert arch.name in text

@@ -1,0 +1,127 @@
+"""Property-based tests: compiler invariants on random programs.
+
+The heavyweight invariant — rewritten programs compute the same values
+— runs on randomly generated SPM-loop kernels across all patch options.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import DFG, enumerate_candidates, map_candidate
+from repro.compiler.driver import ALL_OPTIONS, KernelCompiler
+from repro.core import AT_AS, AT_MA, AT_SA
+from repro.isa import Asm, assemble
+from repro.mem import SPM_BASE
+
+
+@st.composite
+def loop_kernels(draw):
+    """Random SPM map-loops: y[i] = f(x[i]) with a random op chain."""
+    chain = draw(st.lists(
+        st.sampled_from(["add", "sub", "xor", "mul", "srai", "slli", "and"]),
+        min_size=1, max_size=5,
+    ))
+    consts = draw(st.lists(
+        st.integers(min_value=1, max_value=127),
+        min_size=len(chain), max_size=len(chain),
+    ))
+    n = 16
+    asm = Asm("hyp")
+    asm.movi("r1", SPM_BASE)
+    asm.movi("r2", SPM_BASE + 4 * n)
+    for index in range(len(chain)):
+        asm.movi(f"r{6 + index % 3}", consts[index])
+    loop = asm.label("loop")
+    asm.lw("r3", 0, "r1")
+    for index, op in enumerate(chain):
+        reg = f"r{6 + index % 3}"
+        if op in ("srai", "slli"):
+            getattr(asm, op)("r3", "r3", consts[index] % 8 + 1)
+        else:
+            getattr(asm, op if op != "and" else "and_")("r3", "r3", reg)
+    asm.sw("r3", 256, "r1")
+    asm.addi("r1", "r1", 4)
+    asm.bne("r1", "r2", loop)
+    asm.halt()
+    data = draw(st.lists(
+        st.integers(min_value=-(1 << 20), max_value=1 << 20),
+        min_size=n, max_size=n,
+    ))
+    program = asm.assemble()
+
+    class Kernel:
+        name = "hyp"
+        live_out_regs = frozenset()
+
+        def __init__(self):
+            self.program = program
+
+        def setup(self, core):
+            core.memory.load(SPM_BASE, data)
+
+        def result(self, core):
+            return core.memory.dump(SPM_BASE + 256, n)
+
+    return Kernel()
+
+
+class TestCompilerInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(loop_kernels())
+    def test_every_option_preserves_semantics(self, kernel):
+        """compile() raises MiscompileError on any mismatch, so merely
+        compiling all 12 options is the assertion."""
+        compiler = KernelCompiler(kernel)
+        table = compiler.compile_options(ALL_OPTIONS)
+        assert all(c.speedup >= 0.8 for c in table.values())
+
+    @settings(max_examples=15, deadline=None)
+    @given(loop_kernels())
+    def test_speedups_never_below_baseline_structurally(self, kernel):
+        compiler = KernelCompiler(kernel)
+        compiled = compiler.best_option(ALL_OPTIONS)
+        # A cix never replaces fewer than two instructions, so accepted
+        # rewrites cannot be slower.
+        assert compiled.cycles <= compiler.baseline_cycles
+
+
+@st.composite
+def random_blocks(draw):
+    ops3 = ("add", "sub", "xor", "and", "or", "mul", "sll", "srl")
+    count = draw(st.integers(min_value=2, max_value=10))
+    lines = []
+    for _ in range(count):
+        op = draw(st.sampled_from(ops3))
+        rd = draw(st.integers(min_value=1, max_value=8))
+        ra = draw(st.integers(min_value=1, max_value=8))
+        rb = draw(st.integers(min_value=1, max_value=8))
+        lines.append(f"{op} r{rd}, r{ra}, r{rb}")
+    lines.append("halt")
+    return assemble("\n".join(lines))
+
+
+class TestCandidateInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(random_blocks())
+    def test_candidates_respect_constraints(self, program):
+        dfg = DFG(program.basic_blocks()[0])
+        for candidate in enumerate_candidates(dfg):
+            assert 2 <= candidate.size <= 8
+            assert len(candidate.inputs) <= 4
+            assert len(candidate.outputs) <= 2
+            assert dfg.is_convex(candidate.node_ids)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_blocks())
+    def test_mappings_use_only_member_ops(self, program):
+        dfg = DFG(program.basic_blocks()[0])
+        for candidate in enumerate_candidates(dfg)[:10]:
+            for target in (AT_MA, AT_AS, AT_SA, (AT_MA, AT_AS)):
+                mapping = map_candidate(candidate, target)
+                if mapping is None:
+                    continue
+                # outputs bind member registers (or r0 placeholders)
+                member_regs = {
+                    dfg.nodes[n].out_reg for n in candidate.node_ids
+                }
+                for reg in mapping.out_binding:
+                    assert reg == 0 or reg in member_regs

@@ -1,0 +1,113 @@
+"""Property-based tests: ISA semantics and the assembler."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Op, eval_alu, eval_mul, eval_shift, wrap32
+from repro.isa.assembler import assemble
+
+i32 = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+anyint = st.integers(min_value=-(1 << 40), max_value=1 << 40)
+
+
+class TestWrap32Properties:
+    @given(anyint)
+    def test_idempotent(self, x):
+        assert wrap32(wrap32(x)) == wrap32(x)
+
+    @given(anyint)
+    def test_range(self, x):
+        assert -(1 << 31) <= wrap32(x) < (1 << 31)
+
+    @given(anyint, anyint)
+    def test_congruent_mod_2_32(self, x, y):
+        if (x - y) % (1 << 32) == 0:
+            assert wrap32(x) == wrap32(y)
+
+
+class TestAluAlgebra:
+    @given(i32, i32)
+    def test_add_commutes(self, a, b):
+        assert eval_alu(Op.ADD, a, b) == eval_alu(Op.ADD, b, a)
+
+    @given(i32, i32)
+    def test_sub_is_add_of_negation(self, a, b):
+        neg_b = eval_alu(Op.SUB, 0, b)
+        assert eval_alu(Op.SUB, a, b) == eval_alu(Op.ADD, a, neg_b)
+
+    @given(i32, i32)
+    def test_xor_involution(self, a, b):
+        assert eval_alu(Op.XOR, eval_alu(Op.XOR, a, b), b) == a
+
+    @given(i32)
+    def test_and_or_identity(self, a):
+        assert eval_alu(Op.AND, a, -1) == a
+        assert eval_alu(Op.OR, a, 0) == a
+
+    @given(i32, i32)
+    def test_slt_antisymmetric(self, a, b):
+        if a != b:
+            assert eval_alu(Op.SLT, a, b) != eval_alu(Op.SLT, b, a)
+
+    @given(i32, i32)
+    def test_seq_iff_equal(self, a, b):
+        assert eval_alu(Op.SEQ, a, b) == (1 if a == b else 0)
+
+
+class TestShiftMulAlgebra:
+    @given(i32, st.integers(min_value=0, max_value=31))
+    def test_shift_left_then_arith_right_preserves_sign(self, a, s):
+        shifted = eval_shift(Op.SRA, a, s)
+        assert (shifted < 0) == (a < 0) or shifted == 0 or a >= 0
+
+    @given(i32, st.integers(min_value=0, max_value=31))
+    def test_srl_nonnegative(self, a, s):
+        if s > 0:
+            assert eval_shift(Op.SRL, a, s) >= 0
+
+    @given(i32, st.integers(min_value=0, max_value=30))
+    def test_sll_is_mul_by_power_of_two(self, a, s):
+        assert eval_shift(Op.SLL, a, s) == eval_mul(Op.MUL, a, wrap32(1 << s))
+
+    @given(i32, i32)
+    def test_mul_commutes(self, a, b):
+        assert eval_mul(Op.MUL, a, b) == eval_mul(Op.MUL, b, a)
+
+    @given(i32, i32)
+    def test_mulh_mul_compose_full_product(self, a, b):
+        low = eval_mul(Op.MUL, a, b) & 0xFFFFFFFF
+        high = eval_mul(Op.MULH, a, b)
+        assert (high << 32) + low == a * b
+
+
+@st.composite
+def straightline_program(draw):
+    """Random straight-line ALU programs over r1..r9 ending in halt."""
+    lines = []
+    count = draw(st.integers(min_value=1, max_value=12))
+    ops = ("add", "sub", "and", "or", "xor", "slt", "mul")
+    for _ in range(count):
+        op = draw(st.sampled_from(ops))
+        rd = draw(st.integers(min_value=1, max_value=9))
+        ra = draw(st.integers(min_value=0, max_value=9))
+        rb = draw(st.integers(min_value=0, max_value=9))
+        lines.append(f"{op} r{rd}, r{ra}, r{rb}")
+    lines.append("halt")
+    return "\n".join(lines)
+
+
+class TestAssemblerProperties:
+    @settings(max_examples=50)
+    @given(straightline_program())
+    def test_text_roundtrip(self, source):
+        program = assemble(source)
+        again = assemble(program.text())
+        assert [i.text() for i in again] == [i.text() for i in program]
+
+    @settings(max_examples=50)
+    @given(straightline_program())
+    def test_blocks_partition_program(self, source):
+        program = assemble(source)
+        covered = []
+        for block in program.basic_blocks():
+            covered.extend(range(block.start, block.end))
+        assert covered == list(range(len(program)))

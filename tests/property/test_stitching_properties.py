@@ -1,0 +1,86 @@
+"""Property-based tests: Algorithm 1's plan invariants.
+
+Whatever the cycle tables, a plan must be physically realizable: one
+kernel per tile, each patch used at most once, fused paths routed over
+adjacent tiles within the hop budget, and never slower than baseline.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DEFAULT_PLACEMENT
+from repro.core.fusion import MAX_FUSION_HOPS
+from repro.core.stitching import BASELINE, stitch_best
+
+_OPTIONS = [
+    "AT-MA", "AT-AS", "AT-SA",
+    "AT-MA+AT-AS", "AT-AS+AT-AS", "AT-MA+AT-MA", "AT-SA+AT-MA",
+]
+
+
+@st.composite
+def cycle_tables(draw):
+    count = draw(st.integers(min_value=1, max_value=16))
+    tables = {}
+    for sid in range(count):
+        baseline = draw(st.integers(min_value=100, max_value=100_000))
+        table = {BASELINE: baseline}
+        for name in draw(st.lists(st.sampled_from(_OPTIONS), max_size=5,
+                                  unique=True)):
+            factor = draw(st.floats(min_value=0.3, max_value=1.2))
+            table[name] = max(1, int(baseline * factor))
+        tables[sid] = table
+    return tables
+
+
+class TestPlanInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(cycle_tables())
+    def test_plan_is_physically_realizable(self, tables):
+        plan = stitch_best("prop", tables)
+        placement = DEFAULT_PLACEMENT
+
+        # One stage per tile.
+        tiles = [a.tile for a in plan.assignments.values()]
+        assert len(tiles) == len(set(tiles))
+
+        used_patches = set()
+        for assignment in plan.assignments.values():
+            table = tables[assignment.stage_id]
+            # Cycles must match the chosen option's table entry.
+            assert assignment.cycles == table.get(
+                assignment.option, table[BASELINE]
+            )
+            # Never slower than baseline.
+            assert assignment.cycles <= table[BASELINE]
+            if assignment.option == BASELINE:
+                continue
+            local = assignment.option.split("+", 1)[0]
+            assert placement.type_of(assignment.tile).name == local
+            assert assignment.tile not in used_patches
+            used_patches.add(assignment.tile)
+            if assignment.remote_tile is not None:
+                remote = assignment.option.split("+", 1)[1]
+                assert placement.type_of(assignment.remote_tile).name == remote
+                assert assignment.remote_tile not in used_patches
+                used_patches.add(assignment.remote_tile)
+                path = assignment.path
+                assert path[0] == assignment.tile
+                assert path[-1] == assignment.remote_tile
+                assert len(path) - 1 <= MAX_FUSION_HOPS
+                for a, b in zip(path, path[1:]):
+                    assert b in placement.mesh.neighbors(a)
+
+    @settings(max_examples=40, deadline=None)
+    @given(cycle_tables())
+    def test_bottleneck_never_above_baseline_bottleneck(self, tables):
+        plan = stitch_best("prop", tables)
+        baseline_bottleneck = max(t[BASELINE] for t in tables.values())
+        assert plan.bottleneck_cycles() <= baseline_bottleneck
+
+    @settings(max_examples=40, deadline=None)
+    @given(cycle_tables())
+    def test_fusion_never_loses_to_singles(self, tables):
+        singles = {n for n in _OPTIONS if "+" not in n}
+        full = stitch_best("prop", tables)
+        restricted = stitch_best("prop", tables, allowed=singles)
+        assert full.bottleneck_cycles() <= restricted.bottleneck_cycles()

@@ -1,0 +1,69 @@
+"""Integration: full 16-tile applications across architectures.
+
+These are the heaviest tests in the suite (each builds and runs the
+real co-simulation); one representative app keeps them affordable.
+"""
+
+import pytest
+
+from repro.sim.baselines import (
+    ARCH_BASELINE,
+    ARCH_LOCUS,
+    ARCH_NOFUSE,
+    ARCH_STITCH,
+    ARCHITECTURES,
+    AppEvaluator,
+)
+from repro.workloads.apps import all_apps, app4_transport
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return AppEvaluator(app4_transport())
+
+
+class TestApp4:
+    def test_architecture_ordering(self, evaluator):
+        t = evaluator.normalized_throughputs()
+        assert t[ARCH_BASELINE] == 1.0
+        assert t[ARCH_LOCUS] > 1.0
+        assert t[ARCH_NOFUSE] >= t[ARCH_LOCUS] * 0.95
+        assert t[ARCH_STITCH] >= t[ARCH_NOFUSE]
+
+    def test_stitch_plan_uses_fusion(self, evaluator):
+        plan = evaluator.plan(ARCH_STITCH)
+        assert plan.accelerated()
+
+    def test_cosim_outputs_match_baseline(self, evaluator):
+        base = evaluator.final_outputs(ARCH_BASELINE, items=2)
+        accel = evaluator.final_outputs(ARCH_STITCH, items=2)
+        assert base == accel
+
+    def test_cosim_agrees_with_analytic_model(self, evaluator):
+        analytic = evaluator.cycles_per_item(ARCH_BASELINE)
+        measured = evaluator.cosim_cycles_per_item(
+            ARCH_BASELINE, warm_items=2, total_items=4
+        )
+        # The analytic model ignores hop latency and contention; allow
+        # a generous band but require the right magnitude.
+        assert measured == pytest.approx(analytic, rel=0.25)
+
+    def test_cosim_speedup_direction(self, evaluator):
+        base = evaluator.cosim_cycles_per_item(ARCH_BASELINE, 2, 4)
+        stitch = evaluator.cosim_cycles_per_item(ARCH_STITCH, 2, 4)
+        assert stitch < base
+
+
+class TestAllAppsShape:
+    def test_every_app_structurally_valid(self):
+        for app in all_apps():
+            assert len(app.stages) == 16
+            assert app.source_stages()
+            # every stage reachable or a source; channels acyclic
+            order = {s.id: 0 for s in app.stages}
+            for _ in range(16):
+                for channel in app.channels:
+                    order[channel.dst] = max(
+                        order[channel.dst], order[channel.src] + 1
+                    )
+            assert max(order.values()) < 16  # no cycles blew up

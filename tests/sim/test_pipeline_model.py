@@ -1,0 +1,53 @@
+"""Unit tests for the analytic pipeline throughput model."""
+
+import pytest
+
+from repro.sim import PipelineModel, StageTiming
+
+
+class TestStageTiming:
+    def test_comm_cycles_counts_flits(self):
+        stage = StageTiming("s", 1000, recv_words=[16], send_words=[16])
+        # receive: 16 words = 4 flits drain; send: 5-flit packet.
+        assert stage.comm_cycles == 4 + 5
+        assert stage.stage_cycles == 1009
+
+    def test_no_comm(self):
+        stage = StageTiming("s", 500)
+        assert stage.comm_cycles == 0
+
+    def test_multi_channel(self):
+        stage = StageTiming("s", 0, recv_words=[4, 4], send_words=[])
+        assert stage.comm_cycles == 2
+
+
+class TestPipelineModel:
+    def stages(self):
+        return [
+            StageTiming("fast", 100),
+            StageTiming("slow", 1000),
+            StageTiming("mid", 500),
+        ]
+
+    def test_bottleneck(self):
+        model = PipelineModel(self.stages())
+        assert model.bottleneck().name == "slow"
+        assert model.cycles_per_item() == 1000
+
+    def test_throughput_at_frequency(self):
+        model = PipelineModel(self.stages())
+        assert model.throughput(200e6) == pytest.approx(200e6 / 1000)
+        assert model.time_per_item_ms(200e6) == pytest.approx(1000 / 200e6 * 1e3)
+
+    def test_fill_latency_sums(self):
+        model = PipelineModel(self.stages())
+        assert model.fill_latency() == 1600
+
+    def test_speedup_over(self):
+        fast = PipelineModel([StageTiming("s", 500)])
+        slow = PipelineModel([StageTiming("s", 1000)])
+        assert fast.speedup_over(slow) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineModel([])

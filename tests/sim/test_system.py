@@ -1,0 +1,171 @@
+"""Unit tests for the multi-core co-simulator and stream wrapping."""
+
+import pytest
+
+from repro.cpu import Core
+from repro.isa import assemble
+from repro.mem import MemorySystem, SPM_BASE
+from repro.sim import DeadlockError, StitchSystem, wrap_streaming
+from repro.workloads import make_kernel
+from repro.workloads.base import Region
+
+
+def producer_source(peer, addr, words, value):
+    return assemble(f"""
+        movi r1, {peer}
+        movi r2, {addr}
+        movi r3, {words}
+        movi r4, {value}
+        sw   r4, 0(r2)
+        sw   r4, 4(r2)
+        send r1, r2, r3
+        halt
+    """)
+
+
+def consumer_source(peer, addr, words):
+    return assemble(f"""
+        movi r1, {peer}
+        movi r2, {addr}
+        movi r3, {words}
+        recv r1, r2, r3
+        lw   r4, 0(r2)
+        halt
+    """)
+
+
+class TestCoSim:
+    def test_two_tile_handshake(self):
+        system = StitchSystem()
+        system.load(0, producer_source(1, 0x100, 2, 42))
+        system.load(1, consumer_source(0, 0x200, 2))
+        results = system.run()
+        assert all(r.halted for r in results)
+        assert system.cores[1].regs[4] == 42
+
+    def test_receiver_waits_for_network(self):
+        system = StitchSystem()
+        system.load(0, producer_source(15, 0x100, 2, 7))  # corner to corner
+        system.load(15, consumer_source(0, 0x200, 2))
+        system.run()
+        latency = system.fabric.network.uncontended_latency(0, 15, 2)
+        assert system.cores[15].cycles >= latency
+
+    def test_chain_of_three(self):
+        relay = assemble("""
+            movi r1, 0
+            movi r2, 0x100
+            movi r3, 2
+            recv r1, r2, r3
+            movi r1, 2
+            send r1, r2, r3
+            halt
+        """)
+        system = StitchSystem()
+        system.load(0, producer_source(1, 0x100, 2, 9))
+        system.load(1, relay)
+        system.load(2, consumer_source(1, 0x300, 2))
+        system.run()
+        assert system.cores[2].regs[4] == 9
+
+    def test_deadlock_detected(self):
+        # Two tiles each waiting for the other.
+        wait = "movi r1, {peer}\nmovi r2, 0x100\nmovi r3, 1\nrecv r1, r2, r3\nhalt"
+        system = StitchSystem()
+        system.load(0, assemble(wait.format(peer=1)))
+        system.load(1, assemble(wait.format(peer=0)))
+        with pytest.raises(DeadlockError):
+            system.run()
+
+    def test_makespan_is_max_tile_cycles(self):
+        system = StitchSystem()
+        system.load(0, producer_source(1, 0x100, 2, 1))
+        system.load(1, consumer_source(0, 0x200, 2))
+        results = system.run()
+        assert system.makespan(results) == max(r.cycles for r in results)
+
+    def test_partial_message_then_completion(self):
+        # Producer sends 1 word, later 2 more; consumer needs 3.
+        producer = assemble("""
+            movi r1, 1
+            movi r2, 0x100
+            movi r3, 1
+            movi r4, 5
+            sw   r4, 0(r2)
+            send r1, r2, r3
+            movi r3, 2
+            send r1, r2, r3
+            halt
+        """)
+        consumer = assemble("""
+            movi r1, 0
+            movi r2, 0x200
+            movi r3, 3
+            recv r1, r2, r3
+            halt
+        """)
+        system = StitchSystem()
+        system.load(0, producer)
+        system.load(1, consumer)
+        results = system.run()
+        assert all(r.halted for r in results)
+
+
+class TestStreaming:
+    def test_wrapped_kernel_repeats(self):
+        kernel = make_kernel("specfilter", seed=5)
+        program = wrap_streaming(kernel.program, [], [], items=3)
+        core = Core(program, MemorySystem.stitch())
+        kernel.setup(core)
+        outcome = core.run(max_instructions=1_000_000)
+        assert outcome.reason == "halt"
+        assert kernel.result(core) == kernel.reference()
+        single = Core(kernel.program, MemorySystem.stitch())
+        kernel.setup(single)
+        single.run(max_instructions=1_000_000)
+        assert core.instret > 2.5 * single.instret
+
+    def test_wrapped_program_streams_data(self):
+        # Producer tile streams two items into a consumer's region.
+        region = Region("buf", SPM_BASE, 2)
+        producer_body = assemble(f"""
+            movi r2, {SPM_BASE}
+            lw   r4, 0(r2)
+            addi r4, r4, 1
+            sw   r4, 0(r2)
+            sw   r4, 4(r2)
+            halt
+        """)
+        consumer_body = assemble(f"""
+            movi r2, {SPM_BASE}
+            lw   r4, 0(r2)
+            halt
+        """)
+        producer = wrap_streaming(producer_body, [], [(1, region)], items=2)
+        consumer = wrap_streaming(consumer_body, [(0, region)], [], items=2)
+        system = StitchSystem()
+        system.load(0, producer)
+        system.load(1, consumer)
+        system.run()
+        assert system.cores[1].regs[4] == 2  # second item's value
+
+    def test_requires_trailing_halt(self):
+        program = assemble("nop\nnop")
+        with pytest.raises(ValueError):
+            wrap_streaming(program, [], [], items=1)
+
+    def test_branch_targets_shifted(self):
+        kernel = make_kernel("fir", seed=2)
+        wrapped = wrap_streaming(kernel.program, [], [], items=2)
+        for instr in wrapped:
+            if instr.is_branch() and instr.target is not None:
+                assert 0 <= instr.target < len(wrapped)
+
+    def test_cfg_table_preserved(self):
+        from repro.compiler.driver import KernelCompiler, PatchOption
+        from repro.core import AT_MA
+
+        kernel = make_kernel("fir", seed=2)
+        compiled = KernelCompiler(kernel).compile(PatchOption("AT-MA", AT_MA))
+        wrapped = wrap_streaming(compiled.program, [], [], items=2)
+        assert wrapped.cfg_table == compiled.cfg_table

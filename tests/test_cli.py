@@ -1,0 +1,36 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_run_command(self, tmp_path, capsys):
+        source = tmp_path / "prog.s"
+        source.write_text(
+            "movi r1, 6\nmovi r2, 7\nmul r3, r1, r2\nhalt\n"
+        )
+        main(["run", str(source)])
+        out = capsys.readouterr().out
+        assert "stopped: halt" in out
+        assert "'r3': 42" in out
+
+    def test_compile_command_single_option(self, capsys):
+        main(["compile", "fir", "--option", "AT-MA"])
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "AT-MA" in out
+        assert "x" in out
+
+    def test_compile_unknown_option_exits(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "fir", "--option", "NOPE"])
+
+    def test_unknown_app_exits(self):
+        with pytest.raises(SystemExit):
+            main(["app", "APP9"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,90 @@
+"""Unit tests for the four application graphs."""
+
+import pytest
+
+from repro.workloads.apps import (
+    App,
+    Channel,
+    Stage,
+    all_apps,
+    app1_gesture,
+    app2_cnn,
+    app3_svm,
+    app4_transport,
+)
+from repro.workloads.kernels import FftKernel, SpecFilterKernel
+
+
+class TestAppStructure:
+    def test_all_apps_have_16_stages(self):
+        for app in all_apps():
+            assert len(app.stages) == 16
+
+    def test_app1_matches_figure7(self):
+        names = app1_gesture().kernel_names()
+        assert names.count("fft") == 6
+        assert names.count("ifft") == 6
+        assert "update" in names and "classify" in names
+
+    def test_app2_matches_figure9(self):
+        names = app2_cnn().kernel_names()
+        assert names.count("2dconv") == 13
+        assert names.count("pool") == 2
+        assert names.count("fc") == 1
+
+    def test_app3_mixes_svm_and_aes(self):
+        names = app3_svm().kernel_names()
+        assert names.count("svm") == 2
+        assert names.count("aes") == 5
+
+    def test_app4_decrypt_dtw_encrypt(self):
+        names = app4_transport().kernel_names()
+        assert names.count("aesdec") == 4
+        assert names.count("dtw") == 8
+        assert names.count("aes") == 4
+
+    def test_channels_acyclic(self):
+        for app in all_apps():
+            depth = {s.id: 0 for s in app.stages}
+            for _ in range(17):
+                for channel in app.channels:
+                    depth[channel.dst] = max(
+                        depth[channel.dst], depth[channel.src] + 1
+                    )
+            assert max(depth.values()) <= 16
+
+    def test_producers_consumers(self):
+        app = app4_transport()
+        assert len(app.consumers_of(0)) == 3   # two DTWs + one AES
+        assert len(app.producers_of(4)) == 1
+
+    def test_comm_words(self):
+        app = app4_transport()
+        recv, send = app.comm_words(0)
+        assert recv == [] and send == [16, 16, 16]
+        recv, send = app.comm_words(4)
+        assert recv == [16]
+
+
+class TestValidation:
+    def test_channel_size_mismatch_rejected(self):
+        stages = [Stage(0, SpecFilterKernel(n=128))] + [
+            Stage(i, FftKernel()) for i in range(1, 16)
+        ]
+        bad = [Channel(0, "filtered", 1, "re")]   # 128 words into 64
+        with pytest.raises(ValueError):
+            App("bad", stages, bad)
+
+    def test_self_channel_rejected(self):
+        stages = [Stage(i, FftKernel()) for i in range(16)]
+        with pytest.raises(ValueError):
+            App("bad", stages, [Channel(0, "cplx", 0, "cplx")])
+
+    def test_wrong_stage_count_rejected(self):
+        with pytest.raises(ValueError):
+            App("bad", [Stage(0, FftKernel())], [])
+
+    def test_unknown_region_rejected(self):
+        stages = [Stage(i, FftKernel()) for i in range(16)]
+        with pytest.raises(KeyError):
+            App("bad", stages, [Channel(0, "nonexistent", 1, "cplx")])
