@@ -8,10 +8,14 @@ Commands:
 * ``run <file.s>`` — assemble and run a program on one simulated tile,
 * ``app <APP1..APP4>`` — evaluate one application across the four
   architectures (Figure 12 row),
+* ``verify <kernel|APP1..APP4|file.s>`` — static verification
+  (stitch-lint) of a kernel, application or raw assembly file; with
+  ``--strict`` the exit code reflects the findings,
 * ``report [path]`` — regenerate the full EXPERIMENTS.md (slow).
 """
 
 import argparse
+import os
 import sys
 
 
@@ -61,11 +65,14 @@ def cmd_compile(args):
 
 def cmd_run(args):
     from repro.cpu import Core
-    from repro.isa import assemble
+    from repro.isa import AssemblerError, assemble
     from repro.mem import MemorySystem
 
     with open(args.file) as handle:
-        program = assemble(handle.read(), name=args.file)
+        try:
+            program = assemble(handle.read(), name=args.file)
+        except AssemblerError as exc:
+            sys.exit(str(exc))
     core = Core(program, MemorySystem.stitch(), profile=True)
     outcome = core.run(max_instructions=args.max_instructions)
     print(f"stopped: {outcome.reason}")
@@ -88,6 +95,50 @@ def cmd_app(args):
         print(f"  {arch:18s} {throughputs[arch]:.2f}x")
     plan = evaluator.plan(ARCH_STITCH)
     print(plan.describe())
+
+
+def cmd_verify(args):
+    import json
+
+    from repro.verify import RULES, verify_app, verify_kernel, verify_source
+
+    if args.rules:
+        print(f"{'code':6s} {'severity':8s} {'pass':12s} summary")
+        for code in sorted(RULES):
+            rule = RULES[code]
+            print(f"{rule.code:6s} {str(rule.severity):8s} "
+                  f"{rule.pass_name:12s} {rule.summary}")
+        return
+
+    if args.target is None:
+        sys.exit("verify needs a kernel name, app name or .s file")
+
+    from repro.workloads import KERNEL_FACTORIES, make_kernel
+    from repro.workloads.apps import APP_FACTORIES
+
+    target = args.target
+    if target in KERNEL_FACTORIES:
+        kernel = make_kernel(target, seed=args.seed)
+        report = verify_kernel(kernel, compile_options=not args.no_compile)
+    elif target.upper() in APP_FACTORIES:
+        app = APP_FACTORIES[target.upper()](seed=args.seed)
+        report = verify_app(app)
+    elif os.path.isfile(target):
+        with open(target) as handle:
+            report = verify_source(handle.read(), name=target)
+    else:
+        sys.exit(
+            f"unknown verify target {target!r}: not a kernel "
+            f"({sorted(KERNEL_FACTORIES)}), app ({sorted(APP_FACTORIES)}) "
+            f"or existing file"
+        )
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    if args.strict and not report.ok(strict=True):
+        sys.exit(1)
 
 
 def cmd_report(args):
@@ -118,6 +169,29 @@ def main(argv=None):
     p_app.add_argument("app", help="APP1 | APP2 | APP3 | APP4")
     p_app.add_argument("--seed", type=int, default=1)
 
+    p_verify = sub.add_parser(
+        "verify", help="statically verify a kernel, app or assembly file"
+    )
+    p_verify.add_argument(
+        "target", nargs="?",
+        help="kernel name | APP1..APP4 | path to a .s file",
+    )
+    p_verify.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero unless the report is completely clean",
+    )
+    p_verify.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_verify.add_argument(
+        "--no-compile", action="store_true",
+        help="kernel targets: program lint only, skip option compilation",
+    )
+    p_verify.add_argument("--seed", type=int, default=1)
+    p_verify.add_argument(
+        "--rules", action="store_true", help="list registered rules and exit"
+    )
+
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_report.add_argument("path", nargs="?", default="EXPERIMENTS.md")
 
@@ -127,6 +201,7 @@ def main(argv=None):
         "compile": cmd_compile,
         "run": cmd_run,
         "app": cmd_app,
+        "verify": cmd_verify,
         "report": cmd_report,
     }[args.command]
     handler(args)

@@ -11,7 +11,6 @@ from repro.compiler.driver import (
     SINGLE_OPTIONS,
 )
 from repro.compiler.opchain import patch_mix_from_rounds
-from repro.core import AT_AS, AT_MA
 from repro.cpu import Core
 from repro.isa import Asm, Op
 from repro.mem import MemorySystem, SPM_BASE

@@ -12,7 +12,6 @@ kernel chip-wide.
 """
 
 from repro.compiler.codegen import (
-    CodegenError,
     ImmPool,
     rewrite_block,
     rewrite_program,
@@ -117,10 +116,15 @@ class KernelCompiler:
     """Compiles and measures one kernel across patch options."""
 
     def __init__(self, kernel, hot_threshold=0.05, max_instructions=20_000_000,
-                 max_inputs=4, max_outputs=2, allow_replication=True):
+                 max_inputs=4, max_outputs=2, allow_replication=True,
+                 verify=False):
         self.kernel = kernel
         self.hot_threshold = hot_threshold
         self.max_instructions = max_instructions
+        # Opt-in static verification: every compiled artifact must pass
+        # the repro.verify ISE checks (and the kernel body its lint)
+        # before it is returned or cached.
+        self.verify = verify
         if not (1 <= max_outputs <= 2 and 1 <= max_inputs <= 4):
             raise ValueError(
                 "the register file provides at most 4 read / 2 write ports"
@@ -239,8 +243,35 @@ class KernelCompiler:
             self.kernel, option, new_program, cfg_table, all_mappings,
             cycles, self.baseline_cycles, replicated_regions=replicated,
         )
+        if self.verify:
+            self._verify(compiled)
         self._cache[option.name] = compiled
         return compiled
+
+    def _verify(self, compiled):
+        """Reject the artifact if the static verifier finds errors."""
+        # Local import: repro.verify pulls compiler modules for its
+        # passes, so binding it at call time keeps the graph acyclic.
+        from repro.verify.diagnostics import Report, VerificationError
+        from repro.verify.ise_checks import check_ises
+        from repro.verify.program_lint import lint_program
+
+        report = Report(f"{self.kernel.name}@{compiled.option.name}")
+        lint_program(
+            self.kernel.program,
+            kernel_conventions=True,
+            exit_live=self.kernel.live_out_regs,
+            report=report,
+        )
+        check_ises(
+            compiled.program,
+            cfg_table=compiled.cfg_table,
+            mappings=compiled.mappings,
+            original_program=self.kernel.program,
+            report=report,
+        )
+        if not report.ok():
+            raise VerificationError(report)
 
     def compile_options(self, options=ALL_OPTIONS):
         """Compile every option; returns {option name: CompiledKernel}."""

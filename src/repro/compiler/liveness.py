@@ -15,10 +15,17 @@ from repro.isa.instructions import Op
 ALL_REGS = frozenset(range(1, 16))
 
 
-def block_successors(program, block):
-    """Successor block indices of ``block``."""
-    blocks = program.basic_blocks()
-    start_to_index = {b.start: b.index for b in blocks}
+def block_successors(program, block, blocks=None, start_to_index=None):
+    """Successor block indices of ``block``.
+
+    ``blocks`` and ``start_to_index`` may be passed in when the caller
+    iterates many blocks of the same program (:func:`liveness` does), so
+    the leader map is built once per program instead of once per block.
+    """
+    if blocks is None:
+        blocks = program.basic_blocks()
+    if start_to_index is None:
+        start_to_index = {b.start: b.index for b in blocks}
     last = block.instructions[-1] if len(block) else None
     successors = []
     if last is None:
@@ -44,6 +51,17 @@ def block_successors(program, block):
     return successors
 
 
+def successor_map(program, blocks=None):
+    """``{block index: successor indices}`` for the whole program."""
+    if blocks is None:
+        blocks = program.basic_blocks()
+    start_to_index = {b.start: b.index for b in blocks}
+    return {
+        b.index: block_successors(program, b, blocks, start_to_index)
+        for b in blocks
+    }
+
+
 def block_use_def(block):
     """(upward-exposed uses, defined registers) of a block."""
     use = set()
@@ -64,7 +82,7 @@ def liveness(program, exit_live=ALL_REGS):
     Returns two dicts keyed by block index.
     """
     blocks = program.basic_blocks()
-    succs = {b.index: block_successors(program, b) for b in blocks}
+    succs = successor_map(program, blocks)
     use_def = {b.index: block_use_def(b) for b in blocks}
     exit_live = frozenset(exit_live)
     live_in = {b.index: set() for b in blocks}

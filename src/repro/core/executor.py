@@ -8,7 +8,7 @@ friends — and performs any LMAU scratchpad traffic inside the same
 cycle (Section III-C).
 """
 
-from repro.core.config import PatchConfig, TMode
+from repro.core.config import TMode
 from repro.core.fusion import FusedConfig
 from repro.core.units import Source, UnitKind
 from repro.cpu.core import PatchPort

@@ -281,7 +281,8 @@ def upgrade_plan(plan, stage_cycles, placement=None, allowed=None):
     return plan
 
 
-def stitch_best(app_name, stage_cycles, placement=None, allowed=None):
+def stitch_best(app_name, stage_cycles, placement=None, allowed=None,
+                verify=False):
     """Version selection over greedy variants (Section IV's goal).
 
     The pure bottleneck greedy can starve replicated bottleneck kernels
@@ -294,6 +295,11 @@ def stitch_best(app_name, stage_cycles, placement=None, allowed=None):
     1. the paper's greedy with all options,
     2. the greedy restricted to single patches,
     3. variant 2 followed by a fused-upgrade pass on leftover patches.
+
+    ``verify=True`` additionally proves the chosen plan against the
+    static network rules (link disjointness, hop and delay budgets) and
+    raises :class:`repro.verify.VerificationError` on any violation
+    rather than returning an invalid plan.
     """
     plans = [stitch_application(app_name, stage_cycles, placement, allowed)]
     singles = {
@@ -310,4 +316,15 @@ def stitch_best(app_name, stage_cycles, placement=None, allowed=None):
             stage_cycles, placement, allowed,
         )
     )
-    return min(plans, key=lambda plan: plan.bottleneck_cycles())
+    best = min(plans, key=lambda plan: plan.bottleneck_cycles())
+    if verify:
+        # Local import: repro.verify.plan_checks imports this module.
+        from repro.verify.diagnostics import VerificationError
+        from repro.verify.plan_checks import check_plan
+
+        report = check_plan(
+            best, placement if placement is not None else DEFAULT_PLACEMENT
+        )
+        if not report.ok():
+            raise VerificationError(report)
+    return best

@@ -21,8 +21,16 @@ from repro.interpatch.switch import (
 )
 from repro.interpatch.network import InterPatchNetwork, ReservationError
 from repro.interpatch.pathfinder import find_path
+from repro.interpatch.timing import (
+    MAX_PATH_TRAVERSALS,
+    fused_path_delay_ns,
+    path_traversals,
+)
 
 __all__ = [
+    "MAX_PATH_TRAVERSALS",
+    "fused_path_delay_ns",
+    "path_traversals",
     "CrossbarSwitch",
     "PORTS",
     "PORT_N",

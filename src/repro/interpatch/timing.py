@@ -1,0 +1,64 @@
+"""Static timing of inter-patch (stitched) paths.
+
+The stitching rules of Section III-B, in checkable form:
+
+* a fused pair's operands traverse at most :data:`MAX_PATH_TRAVERSALS`
+  link hops round trip (the reserved path is walked once out and once
+  back, so a path of ``h`` hops costs ``2 * h`` traversals),
+* the complete fused critical path — 3 switch crossings, both patch
+  chains and the round-trip wire/switch transit — must fit the 5 ns
+  clock (:data:`repro.core.fusion.CLOCK_NS`).
+
+The arithmetic itself lives in :class:`repro.core.fusion.FusionTiming`;
+this module exposes it keyed by *concrete paths and placements*, which
+is what the plan verifier works on.
+"""
+
+from repro.core.fusion import CLOCK_NS, MAX_FUSION_HOPS, FusionTiming
+
+# Round trip over a MAX_FUSION_HOPS-hop path (paper's <= 6 rule).
+MAX_PATH_TRAVERSALS = 2 * MAX_FUSION_HOPS
+
+
+def path_hops(path):
+    """One-way link hops of a reserved path (list of tiles)."""
+    if len(path) < 2:
+        raise ValueError("a stitching path visits at least two tiles")
+    return len(path) - 1
+
+
+def path_traversals(path):
+    """Round-trip link traversals of a reserved path."""
+    return 2 * path_hops(path)
+
+
+def fused_path_delay_ns(ptype_a, ptype_b, path):
+    """Critical-path delay of a fused pair stitched along ``path``."""
+    return FusionTiming.fused_delay(ptype_a, ptype_b, path_hops(path))
+
+
+def within_hop_budget(path):
+    return path_traversals(path) <= MAX_PATH_TRAVERSALS
+
+
+def within_delay_budget(ptype_a, ptype_b, path):
+    return FusionTiming.fits_single_cycle(
+        fused_path_delay_ns(ptype_a, ptype_b, path)
+    )
+
+
+def check_path(ptype_a, ptype_b, path):
+    """(ok, detail) for one stitched path against both budgets."""
+    traversals = path_traversals(path)
+    if traversals > MAX_PATH_TRAVERSALS:
+        return False, (
+            f"{traversals} link traversals exceed the "
+            f"{MAX_PATH_TRAVERSALS}-traversal budget"
+        )
+    delay = fused_path_delay_ns(ptype_a, ptype_b, path)
+    if not FusionTiming.fits_single_cycle(delay):
+        return False, (
+            f"fused path delay {delay:.2f} ns misses the "
+            f"{CLOCK_NS:.2f} ns clock"
+        )
+    return True, f"{traversals} traversals, {delay:.2f} ns"

@@ -19,17 +19,6 @@ instruction indices and returns a :class:`repro.isa.program.Program`.
 import re
 
 from repro.isa.instructions import (
-    FMT_BR,
-    FMT_CIX,
-    FMT_COMM,
-    FMT_J,
-    FMT_JR,
-    FMT_MEM,
-    FMT_MOV,
-    FMT_MOVI,
-    FMT_NONE,
-    FMT_R3,
-    FMT_RI,
     IMM16_MAX,
     IMM16_MIN,
     OP_FORMAT,
@@ -41,7 +30,23 @@ from repro.isa.registers import reg_index
 
 
 class AssemblerError(ValueError):
-    """Raised on any malformed assembly input, with a line number."""
+    """Malformed assembly input.
+
+    Carries the program name, the 1-based line number and the offending
+    source line text so callers (``repro verify`` / ``repro run``) can
+    show an actionable message without re-reading the file.
+    """
+
+    def __init__(self, message, program="program", lineno=None, line=None):
+        self.program = program
+        self.lineno = lineno
+        self.line = line
+        self.bare_message = message
+        where = f"{program}: line {lineno}: " if lineno is not None else f"{program}: "
+        rendered = f"{where}{message}"
+        if line:
+            rendered += f"\n    --> {line.strip()}"
+        super().__init__(rendered)
 
 
 _MNEMONICS = {op.value: op for op in Op}
@@ -81,15 +86,21 @@ def _split_operands(text):
 
 
 class _Parser:
-    def __init__(self):
+    def __init__(self, name="program"):
+        self.name = name
         self.symbols = {}
         self.instructions = []
         self.labels = {}
         self.pending = []  # (instr index, label, line number)
         self.lineno = 0
+        self.source_lines = {}  # line number -> raw text
 
-    def error(self, message):
-        raise AssemblerError(f"line {self.lineno}: {message}")
+    def error(self, message, lineno=None):
+        lineno = self.lineno if lineno is None else lineno
+        raise AssemblerError(
+            message, program=self.name, lineno=lineno,
+            line=self.source_lines.get(lineno),
+        )
 
     def reg(self, token):
         try:
@@ -233,15 +244,16 @@ class _Parser:
     def resolve(self):
         for index, label, lineno in self.pending:
             if label not in self.labels:
-                raise AssemblerError(f"line {lineno}: undefined label {label!r}")
+                self.error(f"undefined label {label!r}", lineno=lineno)
             self.instructions[index].target = self.labels[label]
 
 
 def assemble(source, name="program"):
     """Assemble ``source`` text into a :class:`Program`."""
-    parser = _Parser()
+    parser = _Parser(name=name)
     for lineno, raw in enumerate(source.splitlines(), start=1):
         parser.lineno = lineno
+        parser.source_lines[lineno] = raw
         parser.parse_line(raw)
     parser.resolve()
     return Program(parser.instructions, labels=dict(parser.labels), name=name,

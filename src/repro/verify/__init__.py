@@ -1,0 +1,59 @@
+"""``stitch-lint``: static verification of programs, ISEs and plans.
+
+Four passes, none of which simulates anything:
+
+* **program lint** (``V1xx``) — CFG/liveness checks over assembled
+  programs, including the streaming register conventions,
+* **ISE checks** (``V2xx``) — custom-instruction port budgets,
+  convexity, 19-bit encoding round-trips and constant-pool hygiene,
+* **plan checks** (``V3xx``) — contention freedom, hop/delay budgets
+  and SPM discipline of stitch plans,
+* **MPI checks** (``V4xx``) — static deadlock detection over an app's
+  blocking channel graph.
+
+Entry points: :func:`verify_source`, :func:`verify_kernel`,
+:func:`verify_compiled`, :func:`verify_plan`, :func:`verify_app`;
+``python -m repro verify`` exposes them on the command line.
+"""
+
+from repro.verify.diagnostics import (
+    RULES,
+    Diagnostic,
+    Report,
+    Rule,
+    Severity,
+    VerificationError,
+    register_rule,
+)
+from repro.verify.api import (
+    require_clean,
+    verify_app,
+    verify_compiled,
+    verify_kernel,
+    verify_plan,
+    verify_source,
+)
+from repro.verify.ise_checks import check_ises
+from repro.verify.mpi_checks import check_app_channels
+from repro.verify.plan_checks import check_plan
+from repro.verify.program_lint import lint_program
+
+__all__ = [
+    "RULES",
+    "Diagnostic",
+    "Report",
+    "Rule",
+    "Severity",
+    "VerificationError",
+    "register_rule",
+    "require_clean",
+    "verify_app",
+    "verify_compiled",
+    "verify_kernel",
+    "verify_plan",
+    "verify_source",
+    "check_ises",
+    "check_app_channels",
+    "check_plan",
+    "lint_program",
+]

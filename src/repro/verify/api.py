@@ -1,0 +1,165 @@
+"""High-level verification entry points (and the CLI's backend).
+
+``verify_kernel`` / ``verify_app`` / ``verify_source`` each return a
+:class:`repro.verify.diagnostics.Report`; nothing is simulated beyond
+what compilation itself measures — every rule is a static check over
+the produced artifacts.
+"""
+
+from repro.verify.diagnostics import (
+    Report,
+    Severity,
+    VerificationError,
+    register_rule,
+)
+from repro.verify.ise_checks import check_ises
+from repro.verify.mpi_checks import check_app_channels
+from repro.verify.plan_checks import check_plan
+from repro.verify.program_lint import lint_program
+
+register_rule("V100", Severity.ERROR, "program does not assemble", "program-lint")
+register_rule("V200", Severity.ERROR, "kernel does not compile", "ise-checks")
+
+
+def verify_source(source, name="program", allowed_live_in=(), report=None):
+    """Assemble ``source`` text and lint the resulting program."""
+    from repro.isa.assembler import AssemblerError, assemble
+
+    report = report if report is not None else Report(name)
+    try:
+        program = assemble(source, name=name)
+    except AssemblerError as exc:
+        loc = f"{name}:{exc.lineno}" if exc.lineno is not None else name
+        message = exc.bare_message
+        if exc.line:
+            message += f" (`{exc.line.strip()}`)"
+        report.emit("V100", loc, message)
+        return report
+    return lint_program(
+        program, allowed_live_in=allowed_live_in, report=report
+    )
+
+
+def verify_kernel(kernel, options=None, compile_options=True, report=None):
+    """Lint a kernel body and statically check its compiled versions.
+
+    ``kernel`` is a :class:`repro.workloads.base.Kernel` (resolve names
+    with :func:`repro.workloads.make_kernel` first).  With
+    ``compile_options`` every patch option's artifact is compiled
+    (through the shared measurement cache) and run through the ISE
+    checks; otherwise only the program lint runs.
+    """
+    report = report if report is not None else Report(kernel.name)
+    lint_program(
+        kernel.program,
+        kernel_conventions=True,
+        exit_live=kernel.live_out_regs,
+        report=report,
+    )
+    if not compile_options:
+        return report
+
+    from repro.compiler.driver import MiscompileError
+    from repro.sim.baselines import compile_kernel_options
+
+    try:
+        _, compiled = compile_kernel_options(kernel, options=options)
+    except (MiscompileError, RuntimeError, ValueError) as exc:
+        report.emit("V200", kernel.name, f"compilation failed: {exc}")
+        return report
+    for option_name, artifact in sorted(compiled.items()):
+        check_ises(
+            artifact.program,
+            cfg_table=artifact.cfg_table,
+            mappings=artifact.mappings,
+            original_program=kernel.program,
+            report=report,
+        )
+    return report
+
+
+def verify_compiled(compiled, report=None):
+    """ISE checks for one already-compiled :class:`CompiledKernel`."""
+    report = report if report is not None else Report(
+        f"{compiled.kernel.name}@{compiled.option.name}"
+    )
+    return check_ises(
+        compiled.program,
+        cfg_table=compiled.cfg_table,
+        mappings=compiled.mappings,
+        original_program=compiled.kernel.program,
+        report=report,
+    )
+
+
+def verify_plan(plan, placement, stage_kernels=None, stage_compiled=None,
+                report=None):
+    """Stitch-plan checks (see :mod:`repro.verify.plan_checks`)."""
+    return check_plan(
+        plan, placement,
+        stage_kernels=stage_kernels,
+        stage_compiled=stage_compiled,
+        report=report,
+    )
+
+
+def verify_app(app, architecture=None, placement=None, report=None):
+    """Verify a pipeline application end to end.
+
+    Lints every stage kernel, checks the channel graph for deadlock,
+    compiles the per-stage cycle tables (cached) and proves the chosen
+    architecture's stitch plan against the network/memory rules.
+    """
+    from repro.core.stitching import BASELINE
+    from repro.sim.baselines import ARCH_STITCH, AppEvaluator
+
+    architecture = architecture if architecture is not None else ARCH_STITCH
+    report = report if report is not None else Report(app.name)
+
+    linted = set()
+    for stage in app.stages:
+        key = type(stage.kernel).__name__
+        if key in linted:
+            continue  # structurally identical bodies lint identically
+        linted.add(key)
+        lint_program(
+            stage.kernel.program,
+            kernel_conventions=True,
+            exit_live=stage.kernel.live_out_regs,
+            report=report,
+        )
+
+    check_app_channels(app, report=report)
+
+    evaluator = AppEvaluator(app, placement=placement)
+    plan = evaluator.plan(architecture)
+    compiled = evaluator.compiled_programs()
+    stage_kernels = {stage.id: stage.kernel for stage in app.stages}
+    stage_compiled = {}
+    for sid, assignment in plan.assignments.items():
+        if assignment.option == BASELINE:
+            continue
+        stage_compiled[sid] = compiled[sid].get(assignment.option)
+    check_plan(
+        plan, evaluator.placement,
+        stage_kernels=stage_kernels,
+        stage_compiled=stage_compiled,
+        report=report,
+    )
+    for sid, artifact in sorted(stage_compiled.items()):
+        if artifact is not None:
+            check_ises(
+                artifact.program,
+                cfg_table=artifact.cfg_table,
+                mappings=artifact.mappings,
+                original_program=artifact.kernel.program,
+                report=report,
+            )
+    return report
+
+
+def require_clean(report, strict=False):
+    """Raise :class:`VerificationError` unless ``report`` passes."""
+    if not report.ok(strict=strict):
+        raise VerificationError(report)
+    return report

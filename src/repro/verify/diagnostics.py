@@ -1,0 +1,152 @@
+"""Diagnostics framework for the static verifier (``stitch-lint``).
+
+A :class:`Diagnostic` is one finding: a registered rule code, a
+severity, a location string (program + instruction index, stage id,
+path, ...) and a human message.  A :class:`Report` aggregates the
+findings of one or several passes and renders them as pretty text or a
+machine-readable dict.
+
+Rules are declared once in a global registry so every diagnostic code
+has a stable severity and a one-line summary (rendered by
+``python -m repro verify --rules`` and the DESIGN.md table).
+"""
+
+import enum
+
+
+class Severity(enum.IntEnum):
+    """Ordered so comparisons (``>= ERROR``) read naturally."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self):
+        return self.name.lower()
+
+
+class Rule:
+    """One registered verifier rule."""
+
+    __slots__ = ("code", "severity", "summary", "pass_name")
+
+    def __init__(self, code, severity, summary, pass_name):
+        self.code = code
+        self.severity = Severity(severity)
+        self.summary = summary
+        self.pass_name = pass_name
+
+    def __repr__(self):
+        return f"Rule({self.code}, {self.severity}, {self.pass_name})"
+
+
+RULES = {}
+
+
+def register_rule(code, severity, summary, pass_name):
+    """Declare a rule; codes are unique across all passes."""
+    if code in RULES:
+        raise ValueError(f"duplicate rule code {code!r}")
+    rule = Rule(code, severity, summary, pass_name)
+    RULES[code] = rule
+    return rule
+
+
+class Diagnostic:
+    """One finding of a verifier pass."""
+
+    __slots__ = ("code", "severity", "loc", "message")
+
+    def __init__(self, code, severity, loc, message):
+        if code not in RULES:
+            raise ValueError(f"unregistered rule code {code!r}")
+        self.code = code
+        self.severity = Severity(severity)
+        self.loc = loc
+        self.message = message
+
+    def render(self):
+        return f"{self.severity}: {self.code}: {self.loc}: {self.message}"
+
+    def to_dict(self):
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "loc": self.loc,
+            "message": self.message,
+        }
+
+    def __repr__(self):
+        return f"Diagnostic({self.render()})"
+
+
+class Report:
+    """Findings of one verification run."""
+
+    def __init__(self, subject="artifact"):
+        self.subject = subject
+        self.diagnostics = []
+
+    def emit(self, code, loc, message, severity=None):
+        """Add a finding; severity defaults to the rule's registered one."""
+        rule = RULES[code]
+        severity = rule.severity if severity is None else Severity(severity)
+        diagnostic = Diagnostic(code, severity, loc, message)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, other):
+        self.diagnostics.extend(other.diagnostics)
+        return self
+
+    def errors(self):
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def warnings(self):
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def codes(self):
+        return sorted({d.code for d in self.diagnostics})
+
+    def ok(self, strict=False):
+        """True when the artifact passes.
+
+        Non-strict ignores warnings/infos; strict requires a completely
+        clean report.
+        """
+        if strict:
+            return not self.diagnostics
+        return not self.errors()
+
+    def render(self):
+        lines = [f"verify {self.subject}: " + (
+            "clean" if not self.diagnostics else
+            f"{len(self.errors())} error(s), {len(self.warnings())} warning(s)"
+        )]
+        for diagnostic in self.diagnostics:
+            lines.append("  " + diagnostic.render())
+        return "\n".join(lines)
+
+    def to_dict(self):
+        return {
+            "subject": self.subject,
+            "ok": self.ok(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def __len__(self):
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __repr__(self):
+        return f"Report({self.subject}, {len(self.diagnostics)} findings)"
+
+
+class VerificationError(ValueError):
+    """Raised by ``verify=True`` entry points when an artifact fails."""
+
+    def __init__(self, report):
+        self.report = report
+        super().__init__(report.render())

@@ -1,0 +1,177 @@
+"""ISE / ``cix`` checks: is a compiled artifact's acceleration legal?
+
+Rules (``V2xx``):
+
+* ``V201`` — a ``cix`` exceeds the register-file interface: at most 4
+  input and 2 output registers (Section IV's port constraint).
+* ``V202`` — a selected mapping replaces a non-convex DFG subgraph
+  (an outside value path re-enters the candidate, so the atomic custom
+  instruction cannot preserve program order).
+* ``V203`` — a patch configuration does not round-trip through the
+  19-bit control encoding of :mod:`repro.core.config` (or a fused
+  pair's control word exceeds the 38 inter-patch control wires).
+* ``V204`` — a constant-pool register is written more than once or
+  read by a non-``cix`` instruction: pool registers must stay private
+  to the prologue + custom instructions.
+* ``V205`` — a ``cix`` names a config index outside the program's
+  ``cfg_table``.
+"""
+
+from repro.core.config import CONTROL_BITS, PatchConfig
+from repro.core.fusion import FusedConfig
+from repro.isa.instructions import Op
+from repro.verify.diagnostics import Report, Severity, register_rule
+
+MAX_CIX_INPUTS = 4
+MAX_CIX_OUTPUTS = 2
+FUSED_CONTROL_BITS = 2 * CONTROL_BITS
+
+register_rule("V201", Severity.ERROR,
+              "cix exceeds the 4-input/2-output register-file ports",
+              "ise-checks")
+register_rule("V202", Severity.ERROR,
+              "mapping replaces a non-convex DFG subgraph", "ise-checks")
+register_rule("V203", Severity.ERROR,
+              "patch config fails the 19-bit encoding round-trip",
+              "ise-checks")
+register_rule("V204", Severity.ERROR,
+              "constant-pool register leaks into the surrounding program",
+              "ise-checks")
+register_rule("V205", Severity.ERROR,
+              "cix config index outside the cfg table", "ise-checks")
+
+
+def _loc(program, index):
+    return f"{program.name}@{index}"
+
+
+def _check_roundtrip(config, loc, report):
+    if isinstance(config, FusedConfig):
+        bits = config.control_bits()
+        if not 0 <= bits < (1 << FUSED_CONTROL_BITS):
+            report.emit(
+                "V203", loc,
+                f"fused control word needs more than the "
+                f"{FUSED_CONTROL_BITS} inter-patch control wires",
+            )
+            return
+        for half, cfg in (("A", config.cfg_a), ("B", config.cfg_b)):
+            _check_roundtrip(cfg, f"{loc}/{half}", report)
+        return
+    if not getattr(config.ptype, "has_lmau", False):
+        # Conventional SFU configs (LOCUS) live outside the 19-bit
+        # Stitch encoding; there is nothing to round-trip.
+        return
+    try:
+        bits = config.encode()
+        if not 0 <= bits < (1 << CONTROL_BITS):
+            raise ValueError(f"{bits:#x} does not fit {CONTROL_BITS} bits")
+        decoded = PatchConfig.decode(config.ptype, bits)
+    except (TypeError, ValueError) as exc:
+        report.emit("V203", loc, f"config does not encode: {exc}")
+        return
+    if decoded != config:
+        report.emit(
+            "V203", loc,
+            f"encode/decode mismatch: {config!r} -> {bits:#07x} -> "
+            f"{decoded!r}",
+        )
+
+
+def check_ises(program, cfg_table=None, mappings=(), original_program=None,
+               report=None):
+    """Verify the custom instructions of a compiled program.
+
+    ``cfg_table`` defaults to ``program.cfg_table``.  ``mappings`` (when
+    available, e.g. from :class:`repro.compiler.driver.CompiledKernel`)
+    enables the convexity rule.  ``original_program`` (the pre-rewrite
+    kernel) identifies the constant-pool registers for ``V204``: every
+    register the compiled binary touches that the original never did.
+    """
+    report = report if report is not None else Report(program.name)
+    if cfg_table is None:
+        cfg_table = getattr(program, "cfg_table", []) or []
+
+    for index, instr in enumerate(program.instructions):
+        if instr.op is not Op.CIX:
+            continue
+        ins = list(instr.ins or ())
+        outs = list(instr.outs or ())
+        if len(ins) > MAX_CIX_INPUTS or len(outs) > MAX_CIX_OUTPUTS:
+            report.emit(
+                "V201", _loc(program, index),
+                f"`{instr.text()}` reads {len(ins)} and writes {len(outs)} "
+                f"registers; the register file provides "
+                f"{MAX_CIX_INPUTS} read / {MAX_CIX_OUTPUTS} write ports",
+            )
+        if instr.cfg is None or not 0 <= instr.cfg < len(cfg_table):
+            report.emit(
+                "V205", _loc(program, index),
+                f"`{instr.text()}` names config {instr.cfg} but the cfg "
+                f"table holds {len(cfg_table)} entries",
+            )
+
+    for cfg_id, config in enumerate(cfg_table):
+        _check_roundtrip(config, f"{program.name}/cfg{cfg_id}", report)
+
+    for mapping in mappings:
+        candidate = mapping.candidate
+        if len(candidate.inputs) > MAX_CIX_INPUTS:
+            report.emit(
+                "V201", f"{program.name}/{mapping!r}",
+                f"candidate needs {len(candidate.inputs)} external inputs",
+            )
+        if len(candidate.outputs) > MAX_CIX_OUTPUTS:
+            report.emit(
+                "V201", f"{program.name}/{mapping!r}",
+                f"candidate exposes {len(candidate.outputs)} outputs",
+            )
+        if not candidate.dfg.is_convex(candidate.node_ids):
+            report.emit(
+                "V202", f"{program.name}/{mapping!r}",
+                "member set is not convex: an outside value path "
+                "re-enters the candidate",
+            )
+
+    if original_program is not None:
+        _check_pool_registers(program, original_program, report)
+    return report
+
+
+def _pool_registers(program, original_program):
+    """Registers the rewrite claimed that the original never touched."""
+    original_used = set()
+    for instr in original_program.instructions:
+        original_used.update(instr.reads())
+        original_used.update(instr.writes())
+    claimed = set()
+    for instr in program.instructions:
+        for reg in list(instr.reads()) + list(instr.writes()):
+            if reg != 0 and reg not in original_used:
+                claimed.add(reg)
+    return claimed
+
+
+def _check_pool_registers(program, original_program, report):
+    for reg in sorted(_pool_registers(program, original_program)):
+        writers = []
+        bad_readers = []
+        for index, instr in enumerate(program.instructions):
+            if reg in instr.writes():
+                writers.append(index)
+            if reg in instr.reads() and instr.op is not Op.CIX:
+                bad_readers.append(index)
+        if len(writers) > 1 or any(
+            program.instructions[w].op is not Op.MOVI for w in writers
+        ):
+            report.emit(
+                "V204", _loc(program, writers[-1] if writers else 0),
+                f"pool register r{reg} is written outside the single "
+                "prologue movi",
+            )
+        for index in bad_readers:
+            report.emit(
+                "V204", _loc(program, index),
+                f"pool register r{reg} is read by "
+                f"`{program.instructions[index].text()}`, not a cix",
+            )

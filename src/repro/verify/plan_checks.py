@@ -1,0 +1,214 @@
+"""Stitch-plan checks: prove Algorithm 1's output is legal chip-wide.
+
+Rules (``V3xx``):
+
+* ``V301`` — two fused paths share a directed inter-patch link
+  (the compile-time schedule must be contention free).
+* ``V302`` — a path exceeds the 6-link-traversal round-trip budget.
+* ``V303`` — a fused path misses the 5 ns single-cycle delay budget.
+* ``V304`` — a stage's SPM footprint exceeds the 4 KB scratchpad.
+* ``V305`` — two regions of one stage overlap (address spaces of a
+  tile's regions must be disjoint).
+* ``V306`` — a replicated region is not read-only (replication is only
+  legal into const regions).
+* ``V307`` — a fused mapping stores from the remote patch (remote
+  halves may only load replicated read-only data; a remote store would
+  write the wrong tile's scratchpad).
+* ``V308`` — plan structure: duplicate tiles, double-spent patches, or
+  an option name inconsistent with the placement's patch types.
+"""
+
+from repro.core.patches import PATCH_TYPES
+from repro.core.stitching import BASELINE
+from repro.interpatch import timing
+from repro.isa.instructions import Op
+from repro.mem.spm import SPM_BASE, SPM_SIZE
+from repro.verify.diagnostics import Report, Severity, register_rule
+
+register_rule("V301", Severity.ERROR,
+              "fused paths are not mutually link-disjoint", "plan-checks")
+register_rule("V302", Severity.ERROR,
+              "path exceeds the 6-traversal hop budget", "plan-checks")
+register_rule("V303", Severity.ERROR,
+              "fused path misses the 5 ns delay budget", "plan-checks")
+register_rule("V304", Severity.ERROR,
+              "stage SPM footprint exceeds 4 KB", "plan-checks")
+register_rule("V305", Severity.ERROR,
+              "stage regions overlap in the SPM address space",
+              "plan-checks")
+register_rule("V306", Severity.ERROR,
+              "replication into a non-read-only region", "plan-checks")
+register_rule("V307", Severity.ERROR,
+              "fused mapping stores from the remote patch", "plan-checks")
+register_rule("V308", Severity.ERROR,
+              "plan structure violates tile/patch/type constraints",
+              "plan-checks")
+
+
+def _path_links(path):
+    forward = list(zip(path, path[1:]))
+    return forward + [(b, a) for a, b in forward]
+
+
+def check_plan(plan, placement, stage_kernels=None, stage_compiled=None,
+               report=None):
+    """Verify one :class:`repro.core.stitching.StitchPlan`.
+
+    ``stage_kernels`` maps stage id to its :class:`Kernel` (enables the
+    SPM rules); ``stage_compiled`` maps stage id to the chosen
+    :class:`CompiledKernel` (enables the replication/remote-store
+    rules).  Without them only the network-level rules run.
+    """
+    report = report if report is not None else Report(plan.app_name)
+    assignments = sorted(plan.assignments.values(), key=lambda a: a.stage_id)
+
+    link_owner = {}
+    origin_seen = {}
+    patch_spent = {}
+    for a in assignments:
+        loc = f"{plan.app_name}/stage{a.stage_id}"
+        if a.tile in origin_seen:
+            report.emit(
+                "V308", loc,
+                f"tile {a.tile} already hosts stage {origin_seen[a.tile]}",
+            )
+        origin_seen[a.tile] = a.stage_id
+
+        if a.option == BASELINE:
+            if a.remote_tile is not None or a.path is not None:
+                report.emit(
+                    "V308", loc,
+                    "baseline assignment carries a remote tile or path",
+                )
+            continue
+
+        local_name = a.option.split("+", 1)[0]
+        if local_name not in PATCH_TYPES:
+            # Conventional per-core accelerator (e.g. LOCUS-SFU): not
+            # drawn from the shared polymorphic patch pool.
+            continue
+        tile_type = placement.type_of(a.tile).name
+        if tile_type != local_name:
+            report.emit(
+                "V308", loc,
+                f"option {a.option!r} needs a {local_name} tile but "
+                f"tile {a.tile} carries {tile_type}",
+            )
+        for patch_tile in (a.tile, a.remote_tile):
+            if patch_tile is None:
+                continue
+            if patch_tile in patch_spent:
+                report.emit(
+                    "V308", loc,
+                    f"patch of tile {patch_tile} already spent on stage "
+                    f"{patch_spent[patch_tile]}",
+                )
+            patch_spent[patch_tile] = a.stage_id
+
+        if not a.fused:
+            continue
+        if a.path is None or len(a.path) < 2:
+            report.emit("V308", loc, "fused assignment lacks a reserved path")
+            continue
+        if a.path[0] != a.tile or a.path[-1] != a.remote_tile:
+            report.emit(
+                "V308", loc,
+                f"path {a.path} does not join tile {a.tile} to remote "
+                f"tile {a.remote_tile}",
+            )
+        remote_name = a.option.split("+", 1)[1]
+        remote_type = placement.type_of(a.remote_tile).name
+        if remote_type != remote_name:
+            report.emit(
+                "V308", loc,
+                f"option {a.option!r} needs a {remote_name} remote but "
+                f"tile {a.remote_tile} carries {remote_type}",
+            )
+
+        for link in _path_links(a.path):
+            if link in link_owner and link_owner[link] != a.stage_id:
+                report.emit(
+                    "V301", loc,
+                    f"link {link} already reserved by stage "
+                    f"{link_owner[link]}: the schedule contends",
+                )
+            link_owner.setdefault(link, a.stage_id)
+
+        traversals = timing.path_traversals(a.path)
+        if traversals > timing.MAX_PATH_TRAVERSALS:
+            report.emit(
+                "V302", loc,
+                f"path {a.path} needs {traversals} link traversals "
+                f"(budget {timing.MAX_PATH_TRAVERSALS})",
+            )
+        else:
+            ptype_a = placement.type_of(a.tile)
+            ptype_b = placement.type_of(a.remote_tile)
+            delay = timing.fused_path_delay_ns(ptype_a, ptype_b, a.path)
+            if not timing.within_delay_budget(ptype_a, ptype_b, a.path):
+                report.emit(
+                    "V303", loc,
+                    f"{{{ptype_a.name}, {ptype_b.name}}} over {a.path} "
+                    f"takes {delay:.2f} ns (clock {timing.CLOCK_NS:.2f} ns)",
+                )
+
+    if stage_kernels:
+        for sid, kernel in sorted(stage_kernels.items()):
+            _check_stage_memory(plan.app_name, sid, kernel, report)
+    if stage_compiled:
+        for sid, compiled in sorted(stage_compiled.items()):
+            if compiled is not None:
+                _check_stage_compiled(plan.app_name, sid, compiled, report)
+    return report
+
+
+def _stage_regions(kernel):
+    regions = [r for r, _ in kernel.inputs] + [r for r, _ in kernel.consts]
+    regions += list(kernel.outputs)
+    # An in-place kernel legitimately lists one region as both input
+    # and output; only *distinct* regions must occupy disjoint space.
+    unique = {}
+    for region in regions:
+        unique.setdefault((region.name, region.addr, region.nwords), region)
+    return list(unique.values())
+
+
+def _check_stage_memory(app_name, sid, kernel, report):
+    loc = f"{app_name}/stage{sid}/{kernel.name}"
+    regions = _stage_regions(kernel)
+    for region in regions:
+        if region.addr < SPM_BASE or region.end > SPM_BASE + SPM_SIZE:
+            report.emit(
+                "V304", loc,
+                f"region {region.name} [{region.addr:#x}, {region.end:#x}) "
+                f"leaves the {SPM_SIZE // 1024} KB scratchpad window",
+            )
+    spans = sorted(regions, key=lambda r: r.addr)
+    for left, right in zip(spans, spans[1:]):
+        if right.addr < left.end:
+            report.emit(
+                "V305", loc,
+                f"regions {left.name} and {right.name} overlap "
+                f"([{left.addr:#x},{left.end:#x}) vs "
+                f"[{right.addr:#x},{right.end:#x}))",
+            )
+
+
+def _check_stage_compiled(app_name, sid, compiled, report):
+    loc = f"{app_name}/stage{sid}/{compiled.kernel.name}"
+    const_regions = {region for region, _ in compiled.kernel.consts}
+    for region in compiled.replicated_regions:
+        if region not in const_regions:
+            report.emit(
+                "V306", loc,
+                f"replicated region {region.name} is not one of the "
+                "kernel's read-only const regions",
+            )
+    for mapping in compiled.mappings:
+        for node_id in mapping.remote_node_ids:
+            node = mapping.candidate.dfg.nodes[node_id]
+            if node.op is Op.SW:
+                report.emit(
+                    "V307", loc,
+                    f"{mapping!r} places a store at the remote patch",
+                )

@@ -1,0 +1,166 @@
+"""Program lint: static checks over one assembled :class:`Program`.
+
+Rules (``V1xx``):
+
+* ``V101`` — a register is read somewhere but never written anywhere in
+  the program (and is not architecturally zero): its value can only be
+  whatever the harness left behind.
+* ``V102`` — unreachable basic block (dead code; warning).
+* ``V103`` — write to ``r0`` (architecturally ignored; warning).
+* ``V104`` — branch/jump target is out of range or not a block leader.
+* ``V105`` — kernel body touches ``r11``, the streaming wrapper's item
+  counter (register convention of :mod:`repro.workloads.base`).
+* ``V106`` — a ``send``/``recv`` operand register may be read before
+  any definition in the iteration (cross-iteration register state in
+  comm operands; the streaming convention requires re-initialization).
+
+The pass reuses :mod:`repro.compiler.liveness` — the entry block's
+``live_in`` set is exactly "maybe read before written on some path".
+"""
+
+from repro.compiler.liveness import liveness, successor_map
+from repro.isa.instructions import Op, OpClass, op_class
+from repro.verify.diagnostics import Report, Severity, register_rule
+
+STREAM_COUNTER_REG = 11
+
+register_rule("V101", Severity.ERROR,
+              "read of a register never written by the program",
+              "program-lint")
+register_rule("V102", Severity.WARNING,
+              "unreachable basic block", "program-lint")
+register_rule("V103", Severity.WARNING,
+              "write to the hardwired zero register r0", "program-lint")
+register_rule("V104", Severity.ERROR,
+              "branch/jump target out of range or not a block leader",
+              "program-lint")
+register_rule("V105", Severity.ERROR,
+              "kernel body touches the r11 stream counter", "program-lint")
+register_rule("V106", Severity.ERROR,
+              "comm operand may carry cross-iteration register state",
+              "program-lint")
+
+
+def _loc(program, index):
+    return f"{program.name}@{index}"
+
+
+def lint_program(program, kernel_conventions=False, allowed_live_in=(),
+                 exit_live=frozenset(), report=None):
+    """Run the program lint; returns (or extends) a :class:`Report`.
+
+    ``kernel_conventions`` enables the streaming-convention rules
+    (``V105``/``V106``) that only apply to kernel bodies.
+    ``allowed_live_in`` names registers legitimately live into the
+    program (declared inputs of a raw ``.s`` harness).
+    """
+    report = report if report is not None else Report(program.name)
+    if not len(program):
+        return report
+    blocks = program.basic_blocks()
+    leaders = {block.start for block in blocks}
+
+    written = set()
+    read = set()
+    for instr in program.instructions:
+        written.update(reg for reg in instr.writes() if reg != 0)
+        read.update(reg for reg in instr.reads() if reg != 0)
+
+    # V104 first: broken targets would poison the CFG-based rules.
+    target_ok = True
+    for index, instr in enumerate(program.instructions):
+        if instr.target is None or instr.op is Op.JR:
+            continue
+        if not 0 <= instr.target < len(program):
+            report.emit(
+                "V104", _loc(program, index),
+                f"{instr.op.value} targets instruction {instr.target}, "
+                f"outside the program [0, {len(program)})",
+            )
+            target_ok = False
+        elif instr.target not in leaders:
+            report.emit(
+                "V104", _loc(program, index),
+                f"{instr.op.value} targets non-leader index {instr.target}",
+            )
+            target_ok = False
+
+    for index, instr in enumerate(program.instructions):
+        writes = instr.writes()
+        if instr.op is not Op.JAL and 0 in writes:
+            report.emit(
+                "V103", _loc(program, index),
+                f"`{instr.text()}` writes r0; the result is discarded",
+            )
+        if kernel_conventions and STREAM_COUNTER_REG in (
+            set(writes) | set(instr.reads())
+        ):
+            report.emit(
+                "V105", _loc(program, index),
+                f"`{instr.text()}` touches r{STREAM_COUNTER_REG}, reserved "
+                "for the streaming wrapper's item counter",
+            )
+
+    if not target_ok:
+        return report
+
+    allowed = set(allowed_live_in)
+    live_in, _ = liveness(program, exit_live=exit_live)
+    entry_live = set(live_in.get(0, set()))
+
+    for reg in sorted(entry_live - allowed):
+        if reg not in written and reg in read:
+            report.emit(
+                "V101", _loc(program, 0),
+                f"r{reg} is read but never written; it holds whatever the "
+                "harness left in the register file",
+            )
+
+    # V102: forward reachability from the entry block.
+    succs = successor_map(program, blocks)
+    reachable = set()
+    frontier = [0]
+    while frontier:
+        index = frontier.pop()
+        if index in reachable:
+            continue
+        reachable.add(index)
+        frontier.extend(succs[index])
+    for block in blocks:
+        if block.index not in reachable:
+            report.emit(
+                "V102", _loc(program, block.start),
+                f"basic block #{block.index} "
+                f"[{block.start}:{block.end}) is unreachable",
+            )
+
+    if kernel_conventions:
+        _check_comm_operands(program, blocks, entry_live, allowed, report)
+    return report
+
+
+def _check_comm_operands(program, blocks, entry_live, allowed, report):
+    """V106: comm operands must be defined within the iteration.
+
+    A ``send``/``recv`` operand that is upward-exposed to the program
+    entry reads state left over from a previous iteration once the body
+    is wrapped into the streaming loop.
+    """
+    for block in blocks:
+        defined = set()
+        for offset, instr in enumerate(block.instructions):
+            if op_class(instr.op) is OpClass.COMM:
+                for reg in instr.reads():
+                    if reg == 0 or reg in defined or reg in allowed:
+                        continue
+                    # Upward-exposed in this block; flag only when the
+                    # exposure reaches the program entry (block 0's
+                    # live_in), i.e. no path defines it first.
+                    if block.index == 0 or reg in entry_live:
+                        report.emit(
+                            "V106",
+                            _loc(program, block.start + offset),
+                            f"`{instr.text()}` operand r{reg} is not "
+                            "re-initialized in this iteration",
+                        )
+            defined.update(r for r in instr.writes() if r != 0)

@@ -2,19 +2,12 @@
 
 import pytest
 
-from repro.compiler import (
-    DFG,
-    KernelCompiler,
-    enumerate_candidates,
-    map_candidate,
-    profile_kernel,
-)
-from repro.compiler.codegen import CodegenError, ImmPool, rewrite_block, rewrite_program
+from repro.compiler import KernelCompiler, profile_kernel
+from repro.compiler.codegen import CodegenError, ImmPool
 from repro.compiler.driver import ALL_OPTIONS, LOCUS_OPTION, PatchOption, SINGLE_OPTIONS
-from repro.core import AT_AS, AT_MA, AT_SA
-from repro.cpu import Core
+from repro.core import AT_MA, AT_SA
 from repro.isa import Asm, Op, assemble
-from repro.mem import MemorySystem, SPM_BASE
+from repro.mem import SPM_BASE
 
 
 def sum_of_squares_kernel(n=32):

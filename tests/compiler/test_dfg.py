@@ -2,8 +2,6 @@
 
 from repro.compiler import DFG
 from repro.isa import Op, assemble
-from repro.isa.instructions import OpClass
-from repro.mem import SPM_BASE
 
 
 def block_dfg(source, spm_only=frozenset()):

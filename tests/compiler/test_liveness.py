@@ -1,6 +1,11 @@
 """Unit tests for the CFG liveness analysis."""
 
-from repro.compiler.liveness import block_successors, block_use_def, liveness
+from repro.compiler.liveness import (
+    block_successors,
+    block_use_def,
+    liveness,
+    successor_map,
+)
 from repro.isa import assemble
 
 
@@ -27,6 +32,70 @@ class TestSuccessors:
         program = assemble("jr r1\nhalt")
         blocks = program.basic_blocks()
         assert block_successors(program, blocks[0]) == [0, 1]
+
+    def test_jal_targets_callee_and_fallthrough(self):
+        program = assemble("jal sub\nmovi r1, 1\nhalt\nsub: jr lr")
+        blocks = program.basic_blocks()
+        assert sorted(block_successors(program, blocks[0])) == [1, 2]
+
+    def test_precomputed_maps_match_default(self):
+        program = assemble("""
+            movi r1, 0
+        loop:
+            addi r1, r1, 1
+            bne r1, r2, loop
+            halt
+        """)
+        blocks = program.basic_blocks()
+        start_to_index = {b.start: b.index for b in blocks}
+        for block in blocks:
+            assert block_successors(program, block) == block_successors(
+                program, block, blocks, start_to_index
+            )
+
+
+class TestSuccessorMap:
+    def test_matches_per_block_queries(self):
+        program = assemble("""
+            movi r1, 0
+        loop:
+            addi r1, r1, 1
+            bne r1, r2, loop
+            jmp out
+        out:
+            halt
+        """)
+        blocks = program.basic_blocks()
+        succs = successor_map(program, blocks)
+        assert set(succs) == {b.index for b in blocks}
+        for block in blocks:
+            assert succs[block.index] == block_successors(program, block)
+
+    def test_liveness_computes_blocks_once(self):
+        # Regression: liveness used to rebuild the leader map for every
+        # block (quadratic in block count).  The CFG must be derived
+        # from a single basic_blocks() pass over the program.
+        lines = []
+        for i in range(40):
+            lines.append(f"b{i}:")
+            lines.append("    addi r1, r1, 1")
+            lines.append(f"    bne r1, r2, b{i}")
+        lines.append("    halt")
+        program = assemble("\n".join(lines))
+
+        class CountingProgram:
+            def __init__(self, inner):
+                self._inner = inner
+                self.calls = 0
+
+            def basic_blocks(self):
+                self.calls += 1
+                return self._inner.basic_blocks()
+
+        counting = CountingProgram(program)
+        live_in, live_out = liveness(counting, exit_live=frozenset())
+        assert counting.calls == 1
+        assert len(live_in) == 41  # 40 loop blocks + the halt block
 
 
 class TestUseDef:

@@ -1,14 +1,12 @@
 """Unit tests for candidate -> patch mapping."""
 
-import pytest
-
-from repro.compiler import DFG, enumerate_candidates, map_candidate
+from repro.compiler import DFG, map_candidate
 from repro.compiler.ise import Candidate
 from repro.core import AT_AS, AT_MA, AT_SA, FusedConfig, PatchConfig
 from repro.core.executor import PatchExecutor
 from repro.core.patches import LOCUS_SFU
-from repro.isa import Op, assemble
-from repro.mem import MemorySystem, SPM_BASE
+from repro.isa import assemble
+from repro.mem import MemorySystem
 
 
 def make_candidate(source, node_ids=None, spm_only=frozenset()):

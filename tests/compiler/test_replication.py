@@ -9,8 +9,7 @@ a fused pattern's second load can run on the remote patch's LMAU.
 import pytest
 
 from repro.compiler import profile_kernel
-from repro.compiler.driver import ALL_OPTIONS, KernelCompiler, PatchOption
-from repro.core import AT_MA
+from repro.compiler.driver import ALL_OPTIONS, KernelCompiler
 from repro.core.fusion import FusedConfig
 from repro.workloads import make_kernel
 

@@ -115,6 +115,34 @@ class TestErrors:
             assemble("nop\nnop\nbogus r1")
         assert "line 3" in str(excinfo.value)
 
+    def test_error_carries_program_name_and_source_line(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("nop\nbogus r1, r2\nhalt", name="mykernel")
+        message = str(excinfo.value)
+        assert "mykernel" in message
+        assert "line 2" in message
+        assert "bogus r1, r2" in message  # the offending source text
+
+    def test_error_exposes_structured_fields(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("add r1, r2\n", name="short")
+        error = excinfo.value
+        assert error.program == "short"
+        assert error.lineno == 1
+        assert error.line.strip() == "add r1, r2"
+
+    def test_undefined_label_points_at_use_site(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("nop\njmp nowhere\nhalt", name="lost")
+        error = excinfo.value
+        assert error.lineno == 2
+        assert "jmp nowhere" in str(error)
+
+    def test_default_program_name(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("frob r1")
+        assert str(excinfo.value).startswith("program: ")
+
 
 class TestProgramAnalysis:
     def test_basic_blocks_of_loop(self):

@@ -2,7 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core import AT_AS, AT_MA, AT_SA, PatchConfig, TMode, UnitConfig
+from repro.core import AT_AS, AT_MA, AT_SA, PatchConfig, UnitConfig
 from repro.core.executor import evaluate_patch
 from repro.core.units import Source
 from repro.interpatch import InterPatchNetwork, ReservationError, find_path

@@ -11,7 +11,6 @@ from repro.sim.baselines import (
     ARCH_LOCUS,
     ARCH_NOFUSE,
     ARCH_STITCH,
-    ARCHITECTURES,
     AppEvaluator,
 )
 from repro.workloads.apps import all_apps, app4_transport

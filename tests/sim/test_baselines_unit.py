@@ -5,8 +5,6 @@ tests inject cycle tables directly so the architecture-plan logic is
 exercised in milliseconds.
 """
 
-import pytest
-
 from repro.core.stitching import BASELINE
 from repro.sim.baselines import (
     ARCH_BASELINE,

@@ -1,0 +1,81 @@
+"""Entry-point tests: verify_source / verify_kernel / opt-in compile hooks."""
+
+import pytest
+
+from repro.verify import VerificationError, verify_kernel, verify_source
+from repro.workloads import make_kernel
+
+
+class TestVerifySource:
+    def test_clean_source(self):
+        report = verify_source("movi r1, 1\nadd r2, r1, r1\nhalt\n",
+                               name="ok.s")
+        assert report.ok(strict=True)
+
+    def test_syntax_error_becomes_v100(self):
+        report = verify_source("nop\nbogus r1, r2\n", name="broken.s")
+        assert report.codes() == ["V100"]
+        diag = report.errors()[0]
+        assert diag.loc == "broken.s:2"
+        assert "unknown mnemonic" in diag.message
+
+    def test_lint_findings_surface(self):
+        report = verify_source("add r1, r2, r3\nhalt\n", name="uninit.s")
+        assert "V101" in report.codes()
+
+    def test_allowed_live_in_forwarded(self):
+        report = verify_source(
+            "add r1, r2, r3\nhalt\n", name="h.s", allowed_live_in=(2, 3)
+        )
+        assert report.ok(strict=True)
+
+
+class TestVerifyKernel:
+    def test_lint_only_is_fast_and_clean(self):
+        report = verify_kernel(make_kernel("fir"), compile_options=False)
+        assert report.ok(strict=True), report.render()
+
+    def test_full_verification_clean(self):
+        report = verify_kernel(make_kernel("fir"))
+        assert report.ok(strict=True), report.render()
+
+
+class TestV200CompileFailure:
+    def test_compile_error_becomes_v200(self, monkeypatch):
+        from repro.compiler.driver import MiscompileError
+        import repro.sim.baselines as baselines
+
+        def explode(kernel, options=None, allow_replication=False):
+            raise MiscompileError("accelerated output differs from reference")
+
+        monkeypatch.setattr(baselines, "compile_kernel_options", explode)
+        report = verify_kernel(make_kernel("fir"))
+        assert "V200" in report.codes()
+        assert not report.ok()
+
+
+class TestCompilerOptIn:
+    def test_kernel_compiler_verify_flag(self):
+        from repro.compiler.driver import KernelCompiler, SINGLE_OPTIONS
+
+        compiler = KernelCompiler(make_kernel("fir"), verify=True)
+        compiled = compiler.compile(SINGLE_OPTIONS[0])
+        assert compiled.cycles > 0  # verification passed silently
+
+    def test_kernel_compiler_verify_rejects_bad_body(self):
+        from repro.compiler.driver import KernelCompiler, SINGLE_OPTIONS
+        from repro.isa import assemble
+
+        kernel = make_kernel("fir")
+        compiler = KernelCompiler(kernel, verify=True)
+        compiler.verify = False
+        compiled = compiler.compile(SINGLE_OPTIONS[0])
+        compiler.verify = True
+        # Sabotage the cached body: a kernel touching the r11 stream
+        # counter violates the streaming convention (V105).
+        kernel._program = assemble(
+            "movi r11, 3\n" + kernel.program.text(), name=kernel.name
+        )
+        with pytest.raises(VerificationError) as excinfo:
+            compiler._verify(compiled)
+        assert "V105" in excinfo.value.report.codes()

@@ -1,0 +1,103 @@
+"""End-to-end tests for ``python -m repro verify`` and its exit codes."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+CLEAN_SOURCE = "movi r1, 6\nmovi r2, 7\nmul r3, r1, r2\nhalt\n"
+DIRTY_SOURCE = "add r1, r2, r3\nhalt\n"          # V101 x2 (errors)
+WARN_SOURCE = "jmp end\nnop\nend: halt\n"        # V102 (warning only)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.s"
+    path.write_text(CLEAN_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.s"
+    path.write_text(DIRTY_SOURCE)
+    return str(path)
+
+
+class TestTargets:
+    def test_source_file_clean(self, clean_file, capsys):
+        main(["verify", clean_file])
+        assert "clean" in capsys.readouterr().out
+
+    def test_source_file_findings_printed(self, dirty_file, capsys):
+        main(["verify", dirty_file])  # no --strict: reports, exits 0
+        out = capsys.readouterr().out
+        assert "V101" in out and "error" in out
+
+    def test_kernel_lint_only(self, capsys):
+        main(["verify", "fir", "--no-compile"])
+        assert "clean" in capsys.readouterr().out
+
+    def test_app_name_case_insensitive(self, capsys):
+        main(["verify", "app2", "--strict"])  # full app verification
+        assert "clean" in capsys.readouterr().out
+
+    def test_unknown_target_exits(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "no-such-thing"])
+
+    def test_missing_target_exits(self):
+        with pytest.raises(SystemExit):
+            main(["verify"])
+
+
+class TestStrictExitCodes:
+    def test_strict_clean_returns_zero(self, clean_file):
+        main(["verify", clean_file, "--strict"])  # no SystemExit
+
+    def test_strict_errors_exit_one(self, dirty_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", dirty_file, "--strict"])
+        assert excinfo.value.code == 1
+
+    def test_strict_warnings_exit_one(self, tmp_path):
+        path = tmp_path / "warn.s"
+        path.write_text(WARN_SOURCE)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", str(path), "--strict"])
+        assert excinfo.value.code == 1
+
+    def test_without_strict_warnings_pass(self, tmp_path, capsys):
+        path = tmp_path / "warn.s"
+        path.write_text(WARN_SOURCE)
+        main(["verify", str(path)])
+        assert "V102" in capsys.readouterr().out
+
+
+class TestOutputModes:
+    def test_json_output(self, dirty_file, capsys):
+        main(["verify", dirty_file, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert any(d["code"] == "V101" for d in payload["diagnostics"])
+
+    def test_json_clean(self, clean_file, capsys):
+        main(["verify", clean_file, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["diagnostics"] == []
+
+    def test_rules_listing(self, capsys):
+        main(["verify", "--rules"])
+        out = capsys.readouterr().out
+        for code in ("V101", "V201", "V301", "V401", "V100", "V200"):
+            assert code in out
+        assert "program-lint" in out and "mpi-checks" in out
+
+    def test_assembler_error_reported_not_raised(self, tmp_path, capsys):
+        path = tmp_path / "syntax.s"
+        path.write_text("nop\nfrob r1, r2\n")
+        main(["verify", str(path)])
+        out = capsys.readouterr().out
+        assert "V100" in out and "unknown mnemonic" in out

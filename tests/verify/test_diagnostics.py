@@ -1,0 +1,133 @@
+"""Unit tests for the diagnostics framework (rules, Report, rendering)."""
+
+import pytest
+
+from repro.verify import (
+    RULES,
+    Diagnostic,
+    Report,
+    Severity,
+    VerificationError,
+    register_rule,
+    require_clean,
+)
+
+
+class TestRegistry:
+    def test_core_rules_registered(self):
+        for code in ("V100", "V101", "V104", "V200", "V201", "V203",
+                     "V301", "V304", "V308", "V401", "V402", "V403"):
+            assert code in RULES
+            assert RULES[code].code == code
+
+    def test_duplicate_code_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            register_rule("V101", Severity.ERROR, "again", "program-lint")
+
+    def test_rule_severities_match_contract(self):
+        assert RULES["V101"].severity is Severity.ERROR
+        assert RULES["V102"].severity is Severity.WARNING
+        assert RULES["V103"].severity is Severity.WARNING
+
+    def test_unregistered_diagnostic_code_rejected(self):
+        with pytest.raises(ValueError, match="unregistered"):
+            Diagnostic("V999", Severity.ERROR, "here", "boom")
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_str_lowercase(self):
+        assert str(Severity.ERROR) == "error"
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestReport:
+    def test_emit_defaults_to_rule_severity(self):
+        report = Report("x")
+        diag = report.emit("V101", "x@0", "read of r9")
+        assert diag.severity is Severity.ERROR
+        assert report.errors() == [diag]
+
+    def test_emit_severity_override(self):
+        report = Report("x")
+        diag = report.emit("V101", "x@0", "downgraded", severity=Severity.WARNING)
+        assert diag.severity is Severity.WARNING
+        assert report.errors() == []
+        assert report.warnings() == [diag]
+
+    def test_ok_ignores_warnings_unless_strict(self):
+        report = Report("x")
+        report.emit("V102", "x@4", "dead block")
+        assert report.ok()
+        assert not report.ok(strict=True)
+
+    def test_ok_false_on_error(self):
+        report = Report("x")
+        report.emit("V101", "x@0", "bad")
+        assert not report.ok()
+        assert not report.ok(strict=True)
+
+    def test_empty_report_is_clean(self):
+        report = Report("x")
+        assert report.ok() and report.ok(strict=True)
+        assert "clean" in report.render()
+        assert len(report) == 0
+
+    def test_render_counts_and_lines(self):
+        report = Report("fir")
+        report.emit("V101", "fir@0", "r9 never written")
+        report.emit("V102", "fir@7", "dead")
+        text = report.render()
+        assert "1 error(s), 1 warning(s)" in text
+        assert "error: V101: fir@0: r9 never written" in text
+        assert "warning: V102: fir@7: dead" in text
+
+    def test_to_dict_machine_readable(self):
+        report = Report("fir")
+        report.emit("V101", "fir@0", "bad")
+        payload = report.to_dict()
+        assert payload["subject"] == "fir"
+        assert payload["ok"] is False
+        assert payload["diagnostics"] == [{
+            "code": "V101",
+            "severity": "error",
+            "loc": "fir@0",
+            "message": "bad",
+        }]
+
+    def test_codes_sorted_unique(self):
+        report = Report("x")
+        report.emit("V102", "a", "m")
+        report.emit("V101", "b", "m")
+        report.emit("V101", "c", "m")
+        assert report.codes() == ["V101", "V102"]
+
+    def test_extend_merges(self):
+        a, b = Report("a"), Report("b")
+        b.emit("V101", "b@0", "m")
+        a.extend(b)
+        assert len(a) == 1
+        assert list(a)[0].code == "V101"
+
+
+class TestRequireClean:
+    def test_raises_with_report_attached(self):
+        report = Report("x")
+        report.emit("V101", "x@0", "bad")
+        with pytest.raises(VerificationError) as excinfo:
+            require_clean(report)
+        assert excinfo.value.report is report
+        assert "V101" in str(excinfo.value)
+
+    def test_passes_clean_report_through(self):
+        report = Report("x")
+        assert require_clean(report) is report
+
+    def test_strict_rejects_warnings(self):
+        report = Report("x")
+        report.emit("V103", "x@0", "writes r0")
+        require_clean(report)  # non-strict tolerates warnings
+        with pytest.raises(VerificationError):
+            require_clean(report, strict=True)

@@ -1,0 +1,172 @@
+"""ISE/cix checks: red fixtures per rule plus a clean compiled kernel."""
+
+from types import SimpleNamespace
+
+from repro.core.config import PatchConfig, TMode
+from repro.core.fusion import B_OUT0, FusedConfig
+from repro.core.patches import AT_AS, AT_MA, LOCUS_SFU
+from repro.isa import assemble
+from repro.verify import check_ises
+
+
+def load_cfg(ptype=AT_MA):
+    return PatchConfig(ptype, t=TMode.LOAD)
+
+
+class TestV201PortBudget:
+    def test_cix_with_too_many_inputs(self):
+        program = assemble(
+            "movi r1, 1\nmovi r2, 2\nmovi r3, 3\nmovi r4, 4\n"
+            "cix 0, (r5), (r1, r2, r3, r4)\nhalt",
+            name="wide",
+        )
+        program[4].ins.append(6)  # the assembler caps at 4; force 5
+        report = check_ises(program, cfg_table=[load_cfg()])
+        assert "V201" in report.codes()
+
+    def test_cix_with_too_many_outputs(self):
+        program = assemble("movi r1, 1\ncix 0, (r5, r6), (r1)\nhalt")
+        program[1].outs.append(7)
+        report = check_ises(program, cfg_table=[load_cfg()])
+        assert "V201" in report.codes()
+
+    def test_candidate_exceeding_ports(self):
+        program = assemble("halt")
+        candidate = SimpleNamespace(
+            inputs=[1, 2, 3, 4, 5], outputs=[6],
+            node_ids=(0,), dfg=SimpleNamespace(is_convex=lambda ids: True),
+        )
+        mapping = SimpleNamespace(candidate=candidate)
+        report = check_ises(program, cfg_table=[], mappings=[mapping])
+        assert "V201" in report.codes()
+
+
+class TestV202Convexity:
+    def test_non_convex_mapping(self):
+        program = assemble("halt")
+        candidate = SimpleNamespace(
+            inputs=[1], outputs=[2],
+            node_ids=(0, 2), dfg=SimpleNamespace(is_convex=lambda ids: False),
+        )
+        mapping = SimpleNamespace(candidate=candidate)
+        report = check_ises(program, cfg_table=[], mappings=[mapping])
+        assert report.codes() == ["V202"]
+
+    def test_convex_mapping_clean(self):
+        program = assemble("halt")
+        candidate = SimpleNamespace(
+            inputs=[1], outputs=[2],
+            node_ids=(0,), dfg=SimpleNamespace(is_convex=lambda ids: True),
+        )
+        mapping = SimpleNamespace(candidate=candidate)
+        assert check_ises(program, mappings=[mapping]).ok(strict=True)
+
+
+class TestV203Encoding:
+    def test_valid_config_roundtrips(self):
+        program = assemble("halt")
+        report = check_ises(program, cfg_table=[load_cfg()])
+        assert report.ok(strict=True)
+
+    def test_tampered_encoding_detected(self):
+        class Tampered(PatchConfig):
+            def encode(self):
+                return super().encode() ^ 0b1
+
+        program = assemble("halt")
+        report = check_ises(program, cfg_table=[Tampered(AT_MA, t=TMode.LOAD)])
+        assert report.codes() == ["V203"]
+
+    def test_valid_fused_config_clean(self):
+        fused = FusedConfig(
+            load_cfg(AT_MA), load_cfg(AT_AS),
+            b_ext=("ext0", "ext1", "ext2", "ext3"), outs=(B_OUT0,),
+        )
+        report = check_ises(assemble("halt"), cfg_table=[fused])
+        assert report.ok(strict=True)
+
+    def test_fused_control_word_overflow(self):
+        class Oversized(FusedConfig):
+            def control_bits(self):
+                return 1 << 40  # exceeds the 38 control wires
+
+        fused = Oversized(
+            load_cfg(AT_MA), load_cfg(AT_AS),
+            b_ext=("ext0", "ext1", "ext2", "ext3"), outs=(B_OUT0,),
+        )
+        report = check_ises(assemble("halt"), cfg_table=[fused])
+        assert "V203" in report.codes()
+
+    def test_locus_configs_exempt(self):
+        # Conventional SFU configs live outside the 19-bit encoding.
+        stub = SimpleNamespace(ptype=LOCUS_SFU)
+        report = check_ises(assemble("halt"), cfg_table=[stub])
+        assert report.ok(strict=True)
+
+
+class TestV204PoolRegisters:
+    ORIGINAL = "movi r1, 1\nadd r2, r1, r1\nhalt"
+
+    def test_pool_register_read_by_plain_instruction(self):
+        compiled = assemble(
+            "movi r5, 7\ncix 0, (r2), (r5)\nadd r2, r5, r1\nhalt",
+            name="leaky",
+        )
+        report = check_ises(
+            compiled, cfg_table=[load_cfg()],
+            original_program=assemble(self.ORIGINAL),
+        )
+        assert "V204" in report.codes()
+
+    def test_pool_register_written_twice(self):
+        compiled = assemble(
+            "movi r5, 7\nmovi r5, 8\ncix 0, (r2), (r5)\nhalt"
+        )
+        report = check_ises(
+            compiled, cfg_table=[load_cfg()],
+            original_program=assemble(self.ORIGINAL),
+        )
+        assert "V204" in report.codes()
+
+    def test_pool_register_written_by_non_movi(self):
+        compiled = assemble(
+            "movi r1, 1\nadd r5, r1, r1\ncix 0, (r2), (r5)\nhalt"
+        )
+        report = check_ises(
+            compiled, cfg_table=[load_cfg()],
+            original_program=assemble(self.ORIGINAL),
+        )
+        assert "V204" in report.codes()
+
+    def test_disciplined_pool_register_clean(self):
+        compiled = assemble("movi r5, 7\ncix 0, (r2), (r5)\nhalt")
+        report = check_ises(
+            compiled, cfg_table=[load_cfg()],
+            original_program=assemble(self.ORIGINAL),
+        )
+        assert report.ok(strict=True)
+
+
+class TestV205CfgTable:
+    def test_cix_index_out_of_range(self):
+        program = assemble("movi r1, 1\ncix 2, (r5), (r1)\nhalt")
+        report = check_ises(program, cfg_table=[load_cfg()])
+        assert "V205" in report.codes()
+
+    def test_in_range_index_clean(self):
+        program = assemble("movi r1, 1\ncix 0, (r5), (r1)\nhalt")
+        assert check_ises(program, cfg_table=[load_cfg()]).ok(strict=True)
+
+
+class TestCompiledKernelClean:
+    def test_fir_artifacts_pass(self):
+        from repro.sim.baselines import compile_kernel_options
+        from repro.verify import verify_compiled
+        from repro.workloads import make_kernel
+
+        kernel = make_kernel("fir")
+        _, compiled = compile_kernel_options(kernel)
+        assert compiled
+        for artifact in compiled.values():
+            report = verify_compiled(artifact)
+            assert report.ok(strict=True), report.render()

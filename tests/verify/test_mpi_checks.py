@@ -1,0 +1,105 @@
+"""MPI deadlock detection over static channel graphs."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.verify import check_app_channels
+from repro.workloads.apps import APP_FACTORIES
+
+
+class KernelStub:
+    def __init__(self, **regions):
+        self._regions = regions
+
+    def get_region(self, name):
+        if name not in self._regions:
+            raise KeyError(name)
+        return SimpleNamespace(nwords=self._regions[name])
+
+
+def stage(sid, **regions):
+    return SimpleNamespace(id=sid, kernel=KernelStub(**regions))
+
+
+def channel(src, src_region, dst, dst_region):
+    return SimpleNamespace(
+        src=src, src_region=src_region, dst=dst, dst_region=dst_region
+    )
+
+
+def app(stages, channels, name="fake-app"):
+    return SimpleNamespace(name=name, stages=stages, channels=channels)
+
+
+class TestV401Cycles:
+    def test_two_stage_cycle(self):
+        fixture = app(
+            [stage(0, out=8, inp=8), stage(1, out=8, inp=8)],
+            [channel(0, "out", 1, "inp"), channel(1, "out", 0, "inp")],
+        )
+        report = check_app_channels(fixture)
+        assert report.codes() == ["V401"]
+        assert not report.ok()
+
+    def test_longer_cycle_reported_once(self):
+        fixture = app(
+            [stage(i, out=4, inp=4) for i in range(3)],
+            [channel(0, "out", 1, "inp"), channel(1, "out", 2, "inp"),
+             channel(2, "out", 0, "inp")],
+        )
+        report = check_app_channels(fixture)
+        assert [d.code for d in report] == ["V401"]
+
+    def test_linear_pipeline_clean(self):
+        fixture = app(
+            [stage(i, out=4, inp=4) for i in range(4)],
+            [channel(i, "out", i + 1, "inp") for i in range(3)],
+        )
+        assert check_app_channels(fixture).ok(strict=True)
+
+    def test_diamond_is_acyclic(self):
+        fixture = app(
+            [stage(i, out=4, inp=4) for i in range(4)],
+            [channel(0, "out", 1, "inp"), channel(0, "out", 2, "inp"),
+             channel(1, "out", 3, "inp"), channel(2, "out", 3, "inp")],
+        )
+        assert check_app_channels(fixture).ok(strict=True)
+
+
+class TestV402SizeMismatch:
+    def test_unmatched_word_counts(self):
+        fixture = app(
+            [stage(0, out=16), stage(1, inp=8)],
+            [channel(0, "out", 1, "inp")],
+        )
+        report = check_app_channels(fixture)
+        assert report.codes() == ["V402"]
+        assert "16 words" in report.errors()[0].message
+
+    def test_unknown_region_tolerated(self):
+        # A region the stage does not declare cannot be size-checked;
+        # the pass stays quiet rather than guessing.
+        fixture = app(
+            [stage(0, out=16), stage(1)],
+            [channel(0, "out", 1, "mystery")],
+        )
+        assert check_app_channels(fixture).ok(strict=True)
+
+
+class TestV403SelfChannel:
+    def test_self_loop(self):
+        fixture = app(
+            [stage(0, out=4, inp=4)],
+            [channel(0, "out", 0, "inp")],
+        )
+        report = check_app_channels(fixture)
+        assert report.codes() == ["V403"]
+
+
+class TestShippedAppsClean:
+    @pytest.mark.parametrize("name", sorted(APP_FACTORIES))
+    def test_app_channel_graph_clean(self, name):
+        fixture = APP_FACTORIES[name](seed=1)
+        report = check_app_channels(fixture)
+        assert report.ok(strict=True), report.render()

@@ -1,0 +1,278 @@
+"""Stitch-plan checks: hand-built plans per rule plus real stitched plans."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.patches import AT_MA, PatchType
+from repro.core.placement import DEFAULT_PLACEMENT, Placement
+from repro.core.stitching import (
+    BASELINE,
+    Assignment,
+    StitchPlan,
+    stitch_best,
+)
+from repro.core.units import UnitKind
+from repro.isa.instructions import Op
+from repro.mem.spm import SPM_BASE
+from repro.verify import check_plan
+from repro.workloads.base import Region
+
+
+def make_plan(*assignments):
+    return StitchPlan("test-app", {a.stage_id: a for a in assignments},
+                      network=None)
+
+
+def fused(stage, tile, option, remote, path, cycles=100):
+    return Assignment(stage, tile, option, remote, path, cycles)
+
+
+def baseline(stage, tile, cycles=100):
+    return Assignment(stage, tile, BASELINE, None, None, cycles)
+
+
+# Default placement, for reference (tile: type):
+#   0 AT-MA  1 AT-AS  2 AT-MA  3 AT-SA
+#   4 AT-MA  5 AT-MA  6 AT-SA  7 AT-AS
+#   8 AT-MA  9 AT-AS 10 AT-MA 11 AT-SA
+
+
+class TestNetworkRules:
+    def test_disjoint_fusions_clean(self):
+        plan = make_plan(
+            fused(0, 0, "AT-MA+AT-AS", 1, [0, 1]),
+            fused(1, 2, "AT-MA+AT-SA", 3, [2, 3]),
+        )
+        report = check_plan(plan, DEFAULT_PLACEMENT)
+        assert report.ok(strict=True), report.render()
+
+    def test_v301_shared_link(self):
+        plan = make_plan(
+            fused(0, 0, "AT-MA+AT-AS", 9, [0, 1, 5, 9]),
+            fused(1, 2, "AT-MA+AT-MA", 5, [2, 1, 5]),  # shares link (1,5)
+        )
+        report = check_plan(plan, DEFAULT_PLACEMENT)
+        assert "V301" in report.codes()
+
+    def test_v301_reverse_direction_also_contends(self):
+        # Round trips reserve both directions: a second pair crossing
+        # the same wire the other way still contends.
+        plan = make_plan(
+            fused(0, 0, "AT-MA+AT-AS", 1, [0, 1]),
+            fused(1, 5, "AT-MA+AT-MA", 4, [5, 1, 0, 4]),  # crosses (1,0)
+        )
+        report = check_plan(plan, DEFAULT_PLACEMENT)
+        assert "V301" in report.codes()
+
+    def test_v302_hop_budget(self):
+        plan = make_plan(
+            fused(0, 0, "AT-MA+AT-AS", 7, [0, 1, 2, 3, 7]),  # 4 hops
+        )
+        report = check_plan(plan, DEFAULT_PLACEMENT)
+        assert "V302" in report.codes()
+
+    def test_v303_delay_budget(self):
+        # A (hypothetically) slow AT-MA implementation blows the 5 ns
+        # clock at 3 hops even though the hop budget holds.
+        slow = PatchType(
+            "AT-MA",
+            (UnitKind.ALU, UnitKind.LMAU, UnitKind.MUL, UnitKind.ALU),
+            delay_ns=3.5, area_um2=4152,
+        )
+        placement = Placement(tuple([slow] * 16))
+        plan = make_plan(fused(0, 0, "AT-MA+AT-MA", 3, [0, 1, 2, 3]))
+        report = check_plan(plan, placement)
+        assert "V303" in report.codes()
+
+    def test_fast_types_within_delay_budget(self):
+        plan = make_plan(fused(0, 0, "AT-MA+AT-AS", 9, [0, 1, 5, 9]))
+        report = check_plan(plan, DEFAULT_PLACEMENT)
+        assert report.ok(strict=True), report.render()
+
+
+class TestStructureRules:
+    def test_v308_duplicate_tile(self):
+        plan = make_plan(baseline(0, 4), baseline(1, 4))
+        report = check_plan(plan, DEFAULT_PLACEMENT)
+        assert "V308" in report.codes()
+
+    def test_v308_baseline_with_path(self):
+        bad = Assignment(0, 4, BASELINE, 5, [4, 5], 100)
+        report = check_plan(make_plan(bad), DEFAULT_PLACEMENT)
+        assert "V308" in report.codes()
+
+    def test_v308_fused_without_path(self):
+        bad = Assignment(0, 0, "AT-MA+AT-AS", 1, None, 100)
+        report = check_plan(make_plan(bad), DEFAULT_PLACEMENT)
+        assert "V308" in report.codes()
+
+    def test_v308_path_endpoint_mismatch(self):
+        bad = fused(0, 0, "AT-MA+AT-AS", 1, [0, 4, 5, 1])
+        ok = check_plan(make_plan(bad), DEFAULT_PLACEMENT)
+        assert ok.ok(strict=True)  # 0 -> 1 via 4,5 is legal (just longer)
+        worse = fused(1, 2, "AT-MA+AT-SA", 3, [2, 6])  # ends at 6, not 3
+        report = check_plan(make_plan(worse), DEFAULT_PLACEMENT)
+        assert "V308" in report.codes()
+
+    def test_v308_type_mismatch(self):
+        bad = fused(0, 1, "AT-MA+AT-AS", 7, [1, 5, 6, 7])  # tile 1 is AT-AS
+        report = check_plan(make_plan(bad), DEFAULT_PLACEMENT)
+        assert "V308" in report.codes()
+
+    def test_v308_patch_double_spend(self):
+        plan = make_plan(
+            fused(0, 0, "AT-MA+AT-AS", 1, [0, 1]),
+            fused(1, 2, "AT-MA+AT-AS", 1, [2, 1]),  # tile 1's patch again
+        )
+        report = check_plan(plan, DEFAULT_PLACEMENT)
+        assert "V308" in report.codes()
+
+    def test_locus_options_not_patch_accounted(self):
+        # LOCUS per-core SFUs are not drawn from the shared patch pool:
+        # every tile may use its own simultaneously.
+        plan = make_plan(
+            Assignment(0, 0, "LOCUS-SFU", None, None, 100),
+            Assignment(1, 1, "LOCUS-SFU", None, None, 100),
+        )
+        report = check_plan(plan, DEFAULT_PLACEMENT)
+        assert report.ok(strict=True), report.render()
+
+
+def stub_kernel(name="stub", inputs=(), consts=(), outputs=()):
+    return SimpleNamespace(
+        name=name,
+        inputs=[(r, None) for r in inputs],
+        consts=[(r, None) for r in consts],
+        outputs=list(outputs),
+    )
+
+
+class TestMemoryRules:
+    def test_v304_footprint_exceeds_spm(self):
+        kernel = stub_kernel(inputs=[Region("big", SPM_BASE, 2000)])
+        plan = make_plan(baseline(0, 0))
+        report = check_plan(plan, DEFAULT_PLACEMENT, stage_kernels={0: kernel})
+        assert "V304" in report.codes()
+
+    def test_v305_overlapping_regions(self):
+        kernel = stub_kernel(
+            inputs=[Region("a", SPM_BASE, 10)],
+            outputs=[Region("b", SPM_BASE + 16, 10)],  # overlaps a
+        )
+        plan = make_plan(baseline(0, 0))
+        report = check_plan(plan, DEFAULT_PLACEMENT, stage_kernels={0: kernel})
+        assert "V305" in report.codes()
+
+    def test_in_place_region_not_self_overlapping(self):
+        # In-place kernels list one region as both input and output;
+        # that must not read as an overlap.
+        state = Region("state", SPM_BASE, 16)
+        kernel = stub_kernel(inputs=[state], outputs=[state])
+        plan = make_plan(baseline(0, 0))
+        report = check_plan(plan, DEFAULT_PLACEMENT, stage_kernels={0: kernel})
+        assert report.ok(strict=True), report.render()
+
+    def test_disjoint_regions_clean(self):
+        kernel = stub_kernel(
+            inputs=[Region("a", SPM_BASE, 10)],
+            consts=[Region("c", SPM_BASE + 40, 10)],
+            outputs=[Region("b", SPM_BASE + 80, 10)],
+        )
+        plan = make_plan(baseline(0, 0))
+        report = check_plan(plan, DEFAULT_PLACEMENT, stage_kernels={0: kernel})
+        assert report.ok(strict=True)
+
+    def test_v306_replication_of_writable_region(self):
+        data = Region("data", SPM_BASE, 8)
+        compiled = SimpleNamespace(
+            kernel=stub_kernel(inputs=[data]),
+            replicated_regions=(data,),  # an input, not a const
+            mappings=[],
+        )
+        plan = make_plan(baseline(0, 0))
+        report = check_plan(plan, DEFAULT_PLACEMENT,
+                            stage_compiled={0: compiled})
+        assert "V306" in report.codes()
+
+    def test_replication_of_const_region_clean(self):
+        coeffs = Region("coeffs", SPM_BASE, 8)
+        compiled = SimpleNamespace(
+            kernel=stub_kernel(consts=[coeffs]),
+            replicated_regions=(coeffs,),
+            mappings=[],
+        )
+        plan = make_plan(baseline(0, 0))
+        report = check_plan(plan, DEFAULT_PLACEMENT,
+                            stage_compiled={0: compiled})
+        assert report.ok(strict=True)
+
+    def test_v307_remote_store(self):
+        node = SimpleNamespace(op=Op.SW)
+        mapping = SimpleNamespace(
+            candidate=SimpleNamespace(dfg=SimpleNamespace(nodes={3: node})),
+            remote_node_ids=(3,),
+        )
+        compiled = SimpleNamespace(
+            kernel=stub_kernel(), replicated_regions=(), mappings=[mapping],
+        )
+        plan = make_plan(baseline(0, 0))
+        report = check_plan(plan, DEFAULT_PLACEMENT,
+                            stage_compiled={0: compiled})
+        assert "V307" in report.codes()
+
+    def test_remote_load_clean(self):
+        node = SimpleNamespace(op=Op.LW)
+        mapping = SimpleNamespace(
+            candidate=SimpleNamespace(dfg=SimpleNamespace(nodes={3: node})),
+            remote_node_ids=(3,),
+        )
+        compiled = SimpleNamespace(
+            kernel=stub_kernel(), replicated_regions=(), mappings=[mapping],
+        )
+        plan = make_plan(baseline(0, 0))
+        report = check_plan(plan, DEFAULT_PLACEMENT,
+                            stage_compiled={0: compiled})
+        assert report.ok(strict=True)
+
+
+SYNTHETIC_CYCLES = {
+    0: {"baseline": 100, "AT-MA": 60, "AT-MA+AT-AS": 40},
+    1: {"baseline": 90, "AT-SA": 70},
+    2: {"baseline": 50},
+}
+
+
+class TestStitcherOutputVerifies:
+    def test_stitch_best_plan_is_clean(self):
+        plan = stitch_best("synthetic", SYNTHETIC_CYCLES)
+        report = check_plan(plan, DEFAULT_PLACEMENT)
+        assert report.ok(strict=True), report.render()
+
+    def test_stitch_best_verify_flag_passes_through(self):
+        plan = stitch_best("synthetic", SYNTHETIC_CYCLES, verify=True)
+        assert plan.bottleneck_cycles() <= 100
+
+    def test_homogeneous_placement_plan_is_clean(self):
+        placement = Placement.homogeneous(AT_MA)
+        cycles = {0: {"baseline": 100, "AT-MA+AT-MA": 40}}
+        plan = stitch_best("homog", cycles, placement=placement)
+        report = check_plan(plan, placement)
+        assert report.ok(strict=True), report.render()
+
+
+class TestRegionDedupHelper:
+    def test_duplicate_listing_collapses(self):
+        from repro.verify.plan_checks import _stage_regions
+
+        state = Region("state", SPM_BASE, 16)
+        kernel = stub_kernel(inputs=[state], outputs=[state])
+        assert _stage_regions(kernel) == [state]
+
+
+@pytest.mark.parametrize("path", [[0], []])
+def test_timing_rejects_degenerate_paths(path):
+    from repro.interpatch import timing
+
+    with pytest.raises(ValueError):
+        timing.path_hops(path)

@@ -1,0 +1,131 @@
+"""Program lint: one red fixture per rule plus clean kernel passes."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.verify import lint_program
+from repro.workloads import KERNEL_FACTORIES, make_kernel
+
+
+class TestV101NeverWritten:
+    def test_read_of_unwritten_register(self):
+        program = assemble("add r1, r2, r3\nhalt", name="bad")
+        report = lint_program(program)
+        assert "V101" in report.codes()
+        messages = " ".join(d.message for d in report)
+        assert "r2" in messages and "r3" in messages
+
+    def test_allowed_live_in_suppresses(self):
+        program = assemble("add r1, r2, r3\nhalt", name="harness")
+        report = lint_program(program, allowed_live_in=(2, 3))
+        assert report.ok(strict=True)
+
+    def test_written_register_not_flagged(self):
+        program = assemble("movi r2, 1\nadd r1, r2, r2\nhalt")
+        assert lint_program(program).ok(strict=True)
+
+
+class TestV102Unreachable:
+    def test_skipped_block_warns(self):
+        program = assemble("jmp end\nnop\nend: halt", name="dead")
+        report = lint_program(program)
+        assert report.codes() == ["V102"]
+        assert report.ok() and not report.ok(strict=True)
+
+    def test_loop_body_reachable(self):
+        program = assemble("""
+            movi r1, 0
+            movi r3, 5
+        loop:
+            addi r1, r1, 1
+            bne r1, r3, loop
+            halt
+        """)
+        assert "V102" not in lint_program(program).codes()
+
+
+class TestV103ZeroWrite:
+    def test_write_to_r0_warns(self):
+        program = assemble("movi r1, 1\nadd r0, r1, r1\nhalt")
+        report = lint_program(program)
+        assert report.codes() == ["V103"]
+        assert report.ok()  # warning only
+
+
+class TestV104BadTarget:
+    def test_out_of_range_target(self):
+        program = assemble("movi r1, 1\njmp top\ntop: halt", name="oob")
+        program[1].target = 99  # corrupt the resolved target
+        report = lint_program(program)
+        assert "V104" in report.codes()
+        assert not report.ok()
+
+    def test_negative_target(self):
+        program = assemble("movi r1, 0\njmp top\ntop: halt")
+        program[1].target = -2
+        report = lint_program(program)
+        assert "V104" in report.codes()
+
+    def test_bad_targets_suppress_cfg_rules(self):
+        # With a broken CFG the reachability/liveness rules would lie;
+        # the lint must report V104 alone and stop.
+        program = assemble("jmp top\nadd r1, r2, r3\ntop: halt")
+        program[0].target = 50
+        report = lint_program(program)
+        assert report.codes() == ["V104"]
+
+
+class TestV105StreamCounter:
+    def test_kernel_touching_r11(self):
+        program = assemble("movi r11, 5\nhalt", name="greedy")
+        report = lint_program(program, kernel_conventions=True)
+        assert "V105" in report.codes()
+
+    def test_rule_off_without_kernel_conventions(self):
+        program = assemble("movi r11, 5\nhalt")
+        assert "V105" not in lint_program(program).codes()
+
+
+class TestV106CommOperands:
+    def test_uninitialized_send_operands(self):
+        program = assemble("send r1, r2, r3\nhalt", name="stale")
+        report = lint_program(program, kernel_conventions=True)
+        assert "V106" in report.codes()
+
+    def test_reinitialized_operands_clean(self):
+        program = assemble(
+            "movi r1, 1\nmovi r2, 2\nmovi r3, 3\nsend r1, r2, r3\nhalt"
+        )
+        report = lint_program(program, kernel_conventions=True)
+        assert "V106" not in report.codes()
+
+    def test_rule_off_without_kernel_conventions(self):
+        program = assemble("send r1, r2, r3\nhalt")
+        assert "V106" not in lint_program(program).codes()
+
+
+class TestMisc:
+    def test_empty_program_clean(self):
+        assert lint_program(assemble("")).ok(strict=True)
+
+    def test_report_threading(self):
+        from repro.verify import Report
+
+        shared = Report("shared")
+        out = lint_program(assemble("movi r11, 2\nhalt"),
+                           kernel_conventions=True, report=shared)
+        assert out is shared and len(shared) == 1
+
+
+class TestKernelSuiteClean:
+    """Acceptance: every shipped kernel body lints strictly clean."""
+
+    @pytest.mark.parametrize("name", sorted(KERNEL_FACTORIES))
+    def test_kernel_lints_clean(self, name):
+        kernel = make_kernel(name)
+        report = lint_program(
+            kernel.program,
+            kernel_conventions=True,
+            exit_live=kernel.live_out_regs,
+        )
+        assert report.ok(strict=True), report.render()
