@@ -1,0 +1,147 @@
+"""Telemetry overhead guard (run directly, not under pytest).
+
+The telemetry layer promises a near-zero-cost disabled path: cores,
+NoC and fabric always hold instrument objects (the null sinks), so the
+hot loops carry no conditional forests.  This script measures a fixed
+co-simulation workload with telemetry disabled and enabled and fails —
+exit code 1 — if either side of that promise breaks:
+
+* the *disabled* path must not be slower than the enabled path beyond
+  measurement noise (>5% means dead instrumentation work leaked into
+  the null path);
+* the *enabled* path must stay within a small constant factor of the
+  disabled path (counters and trace appends, not a profiler).
+
+Wall-clock ratios between two in-process runs are machine-independent,
+unlike absolute times, so this is safe to run in CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/telemetry_overhead.py \
+        [--repeats 5] [--trace-out sample_trace.json]
+
+``--trace-out`` additionally writes the enabled run's Chrome trace, so
+CI can publish a sample artifact straight from the guard run.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.isa import assemble
+from repro.sim import StitchSystem
+from repro.telemetry import Telemetry
+from repro.verify import check_run
+
+# The disabled path may be up to this much slower than enabled before
+# we call it a regression (pure measurement noise allowance).
+DISABLED_REGRESSION_LIMIT = 1.05
+# The enabled path may cost at most this factor over disabled.
+ENABLED_OVERHEAD_LIMIT = 3.0
+
+RELAY_TILES = 8
+WORDS = 8
+ROUNDS = 40
+
+
+def pipeline_programs():
+    """A ring pipeline: tile 0 seeds, tiles relay, tile 0 collects."""
+    programs = {}
+    head = f"""
+        movi r10, {ROUNDS}
+        movi r2, 0x100
+        movi r3, {WORDS}
+        movi r4, 7
+        sw   r4, 0(r2)
+    loop:
+        movi r1, 1
+        send r1, r2, r3
+        movi r1, {RELAY_TILES - 1}
+        recv r1, r2, r3
+        addi r10, r10, -1
+        bne  r10, r0, loop
+        halt
+    """
+    programs[0] = assemble(head, name="head")
+    for tile in range(1, RELAY_TILES):
+        nxt = (tile + 1) % RELAY_TILES
+        relay = f"""
+            movi r10, {ROUNDS}
+        loop:
+            movi r1, {tile - 1}
+            movi r2, 0x100
+            movi r3, {WORDS}
+            recv r1, r2, r3
+            movi r1, {nxt}
+            send r1, r2, r3
+            addi r10, r10, -1
+            bne  r10, r0, loop
+            halt
+        """
+        programs[tile] = assemble(relay, name=f"relay{tile}")
+    return programs
+
+
+def run_once(telemetry):
+    system = StitchSystem(telemetry=telemetry)
+    for tile, program in pipeline_programs().items():
+        system.load(tile, program)
+    results = system.run()
+    if not all(r.halted for r in results):
+        raise RuntimeError("guard workload did not run to completion")
+    if not check_run(results).ok(strict=True):
+        raise RuntimeError("guard workload failed the V500 cross-check")
+    return system
+
+
+def measure(repeats, telemetry_factory):
+    times = []
+    for _ in range(repeats):
+        telemetry = telemetry_factory()
+        start = time.perf_counter()
+        run_once(telemetry)
+        times.append(time.perf_counter() - start)
+    return sorted(times)[len(times) // 2]  # median
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="also write the enabled run's Chrome trace")
+    args = parser.parse_args(argv)
+
+    run_once(None)  # warm caches / imports outside the timed region
+    disabled = measure(args.repeats, lambda: None)
+    enabled = measure(args.repeats, Telemetry)
+    ratio = enabled / disabled
+    print(f"telemetry disabled: {disabled * 1e3:8.2f} ms (median of "
+          f"{args.repeats})")
+    print(f"telemetry enabled:  {enabled * 1e3:8.2f} ms "
+          f"(x{ratio:.2f} vs disabled)")
+
+    failed = False
+    if disabled > enabled * DISABLED_REGRESSION_LIMIT:
+        print(f"FAIL: disabled path is >{DISABLED_REGRESSION_LIMIT:.0%} "
+              "slower than enabled — null-sink work leaked into the "
+              "hot path", file=sys.stderr)
+        failed = True
+    if enabled > disabled * ENABLED_OVERHEAD_LIMIT:
+        print(f"FAIL: enabled telemetry costs more than "
+              f"{ENABLED_OVERHEAD_LIMIT}x the disabled path",
+              file=sys.stderr)
+        failed = True
+    if not failed:
+        print("telemetry overhead guard: OK")
+
+    if args.trace_out:
+        telemetry = Telemetry()
+        run_once(telemetry)
+        telemetry.tracer.write_chrome(args.trace_out)
+        print(f"sample chrome trace written to {args.trace_out} "
+              f"({len(telemetry.tracer)} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""Benchmark: Figure 13 (time) — execution-time breakdown per app.
+
+Regenerates the breakdown from the cycle-attribution counters via
+``run_fig13_time_breakdown`` and checks every tile's buckets sum to its
+cycles exactly. Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.analysis.experiments import run_fig13_time_breakdown
+
+
+def test_fig13_time_breakdown(run_experiment):
+    report = run_experiment(run_fig13_time_breakdown)
+    assert report.all_hold()

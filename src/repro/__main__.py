@@ -5,9 +5,14 @@ Commands:
 * ``kernels`` — list the workload suite with baseline cycle counts,
 * ``compile <kernel> [--option NAME]`` — compile + measure one kernel
   across patch options (default: all 12 + LOCUS),
-* ``run <file.s>`` — assemble and run a program on one simulated tile,
-* ``app <APP1..APP4>`` — evaluate one application across the four
-  architectures (Figure 12 row),
+* ``run <file.s> [--stats] [--trace out.json]`` — assemble and run a
+  program on one simulated tile; ``--stats`` prints the cycle
+  attribution (and verifies it sums exactly), ``--trace`` writes a
+  Chrome trace-event file (``chrome://tracing`` / Perfetto),
+* ``app <APP1..APP4> [--stats] [--trace out.json]`` — evaluate one
+  application across the four architectures (Figure 12 row); with
+  ``--stats``/``--trace`` the Stitch plan is additionally co-simulated
+  on all 16 tiles with telemetry on,
 * ``verify <kernel|APP1..APP4|file.s>`` — static verification
   (stitch-lint) of a kernel, application or raw assembly file; with
   ``--strict`` the exit code reflects the findings,
@@ -67,18 +72,43 @@ def cmd_run(args):
     from repro.cpu import Core
     from repro.isa import AssemblerError, assemble
     from repro.mem import MemorySystem
+    from repro.telemetry import ATTRIBUTION_BUCKETS, Telemetry
 
     with open(args.file) as handle:
         try:
             program = assemble(handle.read(), name=args.file)
         except AssemblerError as exc:
             sys.exit(str(exc))
-    core = Core(program, MemorySystem.stitch(), profile=True)
+    telemetry = Telemetry() if (args.stats or args.trace) else None
+    core = Core(
+        program, MemorySystem.stitch(), profile=True,
+        tracer=telemetry.tracer if telemetry is not None else None,
+    )
     outcome = core.run(max_instructions=args.max_instructions)
     print(f"stopped: {outcome.reason}")
     print(f"cycles: {core.cycles}  instructions: {core.instret}")
     live = {f"r{i}": v for i, v in enumerate(core.regs) if v}
     print(f"registers: {live}")
+    if args.stats:
+        from repro.verify import check_core
+
+        attribution = core.attribution()
+        print("cycle attribution (every cycle in exactly one bucket):")
+        for bucket in ATTRIBUTION_BUCKETS:
+            share = attribution[bucket] / core.cycles if core.cycles else 0.0
+            print(f"  {bucket:13s} {attribution[bucket]:10d}  ({share:.1%})")
+        for level, counts in core.memory.stats().items():
+            print(
+                f"{level}: {counts['hits']} hits / {counts['misses']} misses "
+                f"({counts['hit_rate']:.1%} hit rate)"
+            )
+        print(check_core(core).render())
+    if args.trace:
+        telemetry.tracer.write_chrome(args.trace)
+        print(
+            f"chrome trace written to {args.trace} "
+            f"({len(telemetry.tracer)} events)"
+        )
 
 
 def cmd_app(args):
@@ -95,6 +125,26 @@ def cmd_app(args):
         print(f"  {arch:18s} {throughputs[arch]:.2f}x")
     plan = evaluator.plan(ARCH_STITCH)
     print(plan.describe())
+    if args.stats or args.trace:
+        from repro.telemetry import Telemetry
+        from repro.verify import check_run
+
+        telemetry = Telemetry()
+        system, _ = evaluator.build_system(
+            ARCH_STITCH, items=args.items, telemetry=telemetry
+        )
+        results = system.run()
+        print(f"co-simulated {evaluator.app.name} on {ARCH_STITCH}: "
+              f"makespan {system.makespan(results)} cycles")
+        if args.stats:
+            print(results.stats.render())
+            print(check_run(results).render())
+        if args.trace:
+            telemetry.tracer.write_chrome(args.trace)
+            print(
+                f"chrome trace written to {args.trace} "
+                f"({len(telemetry.tracer)} events)"
+            )
 
 
 def cmd_verify(args):
@@ -164,10 +214,30 @@ def main(argv=None):
     p_run = sub.add_parser("run", help="run an assembly file on one tile")
     p_run.add_argument("file")
     p_run.add_argument("--max-instructions", type=int, default=10_000_000)
+    p_run.add_argument(
+        "--stats", action="store_true",
+        help="print cycle attribution + cache stats (and verify them)",
+    )
+    p_run.add_argument(
+        "--trace", metavar="PATH",
+        help="write a Chrome trace-event JSON file of the run",
+    )
 
     p_app = sub.add_parser("app", help="evaluate an application")
     p_app.add_argument("app", help="APP1 | APP2 | APP3 | APP4")
     p_app.add_argument("--seed", type=int, default=1)
+    p_app.add_argument(
+        "--stats", action="store_true",
+        help="co-simulate the Stitch plan with telemetry and print the roll-up",
+    )
+    p_app.add_argument(
+        "--trace", metavar="PATH",
+        help="co-simulate and write a Chrome trace-event JSON file",
+    )
+    p_app.add_argument(
+        "--items", type=int, default=2,
+        help="items to stream through the telemetry co-simulation",
+    )
 
     p_verify = sub.add_parser(
         "verify", help="statically verify a kernel, app or assembly file"

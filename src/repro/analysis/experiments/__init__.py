@@ -10,6 +10,7 @@ from repro.analysis.experiments.kernels import (
 from repro.analysis.experiments.apps import (
     run_fig10_fusion_maps,
     run_fig12_app_throughput,
+    run_fig13_time_breakdown,
     run_fig14_efficiency,
     run_fig15_vs_wearables,
     run_table1_gesture,
@@ -30,6 +31,7 @@ ALL_EXPERIMENTS = {
     "Fig. 11": run_fig11_kernel_speedups,
     "Fig. 12": run_fig12_app_throughput,
     "Fig. 13": run_fig13_breakdown,
+    "Fig. 13 (time)": run_fig13_time_breakdown,
     "Table III": run_table3_area,
     "Table IV": run_table4_timing,
     "Fig. 14": run_fig14_efficiency,

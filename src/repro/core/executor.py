@@ -112,6 +112,11 @@ class PatchExecutor(PatchPort):
         self.replica_memory = replica_memory
         self.executions = 0
         self.fused_executions = 0
+        # Telemetry: invocations per config id, and how many fused
+        # executions touched a *remote* tile's scratchpad via the
+        # inter-patch path (the cross-SPM traffic Section IV argues for).
+        self.config_counts = {}
+        self.remote_spm_accesses = 0
 
     def execute(self, cfg_id, in_values):
         try:
@@ -123,6 +128,7 @@ class PatchExecutor(PatchPort):
             ) from None
         ext = list(in_values) + [0] * (4 - len(in_values))
         self.executions += 1
+        self.config_counts[cfg_id] = self.config_counts.get(cfg_id, 0) + 1
         if isinstance(cfg, FusedConfig):
             self.fused_executions += 1
             if cfg.remote_tile is not None:
@@ -134,7 +140,18 @@ class PatchExecutor(PatchPort):
                     "fused B half uses its LMAU but no remote scratchpad "
                     "is bound (was the pair stitched?)"
                 )
+            if cfg.remote_tile is not None and cfg.cfg_b.uses_lmau():
+                self.remote_spm_accesses += 1
             outs = evaluate_fused(cfg, ext, self.memory, memory_b)
             return [out if out is not None else 0 for out in outs]
         out0, out1 = evaluate_patch(cfg, ext, self.memory)
         return [out0, out1 if out1 is not None else 0]
+
+    def stats(self):
+        """Invocation counters (feeds the SystemStats roll-up)."""
+        return {
+            "executions": self.executions,
+            "fused_executions": self.fused_executions,
+            "remote_spm_accesses": self.remote_spm_accesses,
+            "per_config": dict(self.config_counts),
+        }

@@ -9,6 +9,7 @@ passing blocks on :class:`CommPort`.
 """
 
 from repro.cpu.core import (
+    ATTRIBUTION_BUCKETS,
     BlockedError,
     CommPort,
     Core,
@@ -21,6 +22,7 @@ from repro.cpu.core import (
 )
 
 __all__ = [
+    "ATTRIBUTION_BUCKETS",
     "BlockedError",
     "CommPort",
     "Core",

@@ -21,6 +21,8 @@ from repro.isa.instructions import (
     eval_shift,
     wrap32,
 )
+from repro.telemetry.rollup import ATTRIBUTION_BUCKETS  # noqa: F401 (re-export)
+from repro.telemetry.trace import NULL_TRACER
 
 STOP_HALT = "halt"
 STOP_LIMIT = "limit"
@@ -96,6 +98,7 @@ class Core:
         core_id=0,
         taken_branch_penalty=1,
         profile=False,
+        tracer=None,
     ):
         self.program = program
         self.memory = memory
@@ -104,12 +107,23 @@ class Core:
         self.core_id = core_id
         self.taken_branch_penalty = taken_branch_penalty
         self.profile = profile
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
         self.regs = [0] * 16
         self.pc = 0
         self.cycles = 0
         self.instret = 0
         self.halted = False
+
+        # Cycle attribution (always on — plain integer bumps): stall
+        # cycles beyond the issue slot, by cause.  The issue slots
+        # themselves are ``instret`` (one compute cycle per retired
+        # instruction), so ``cycles == instret + sum(stalls)`` holds at
+        # every instruction boundary.
+        self.stall_memory = 0
+        self.stall_icache = 0
+        self.stall_branch = 0
+        self.stall_comm = 0
 
         self.block_counts = {}
         self.spm_only_accesses = {}  # program index -> all addresses in SPM
@@ -139,6 +153,21 @@ class Core:
 
     def run(self, max_instructions=None, max_cycles=None):
         """Run until halt, a blocking receive, or a limit; resumable."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._run(max_instructions, max_cycles)
+        slice_cycles = self.cycles
+        slice_instret = self.instret
+        result = self._run(max_instructions, max_cycles)
+        retired = self.instret - slice_instret
+        if retired or self.cycles > slice_cycles:
+            tracer.tile_span(
+                self.core_id, self.program.name, slice_cycles, self.cycles,
+                result.reason, retired,
+            )
+        return result
+
+    def _run(self, max_instructions=None, max_cycles=None):
         program = self.program.instructions
         regs = self.regs
         memory = self.memory
@@ -147,6 +176,7 @@ class Core:
         leaders = self._is_leader
         block_counts = self.block_counts
         penalty = self.taken_branch_penalty
+        tracer = self.tracer
         start_instret = self.instret
 
         while not self.halted:
@@ -168,6 +198,11 @@ class Core:
             cost = fetch(pc, instr.words) - (instr.words - 1)
             # fetch() returns hit_latency per word + miss stalls; the
             # issue slot already covers one cycle, extra words overlap.
+            fetch_stall = cost - 1
+            if fetch_stall:
+                self.stall_icache += fetch_stall
+                if tracer.enabled:
+                    tracer.cache_miss(self.core_id, "icache", pc, self.cycles)
             next_pc = pc + 1
 
             if op is Op.LW:
@@ -176,11 +211,22 @@ class Core:
                 if instr.rd != 0:
                     regs[instr.rd] = value
                 cost += mem_cycles - 1
+                if mem_cycles > 1:
+                    self.stall_memory += mem_cycles - 1
+                    if tracer.enabled:
+                        tracer.cache_miss(self.core_id, "dcache", addr,
+                                          self.cycles)
                 if profile:
                     self._note_region(pc, addr)
             elif op is Op.SW:
                 addr = (regs[instr.ra] + instr.imm) & 0xFFFFFFFF
-                cost += memory.write(addr, regs[instr.rd]) - 1
+                mem_cycles = memory.write(addr, regs[instr.rd])
+                cost += mem_cycles - 1
+                if mem_cycles > 1:
+                    self.stall_memory += mem_cycles - 1
+                    if tracer.enabled:
+                        tracer.cache_miss(self.core_id, "dcache", addr,
+                                          self.cycles)
                 if profile:
                     self._note_region(pc, addr)
             elif op is Op.ADD:
@@ -222,6 +268,8 @@ class Core:
                 if instr.rd != 0:
                     regs[instr.rd] = instr.imm
             elif op is Op.CIX:
+                if tracer.enabled:
+                    tracer.cix(self.core_id, instr.cfg, self.cycles)
                 outs = self._execute_cix(instr)
                 for reg, value in zip(instr.outs, outs):
                     if reg != 0:
@@ -244,16 +292,20 @@ class Core:
                 if taken:
                     next_pc = instr.target
                     cost += penalty
+                    self.stall_branch += penalty
             elif op is Op.JMP:
                 next_pc = instr.target
                 cost += penalty
+                self.stall_branch += penalty
             elif op is Op.JAL:
                 regs[15] = pc + 1
                 next_pc = instr.target
                 cost += penalty
+                self.stall_branch += penalty
             elif op is Op.JR:
                 next_pc = regs[instr.ra]
                 cost += penalty
+                self.stall_branch += penalty
             elif op is Op.HALT:
                 self.halted = True
             elif op is Op.NOP:
@@ -263,8 +315,12 @@ class Core:
                 base = regs[instr.rb]
                 count = regs[instr.rd]
                 values = memory.dump(base, count)  # NIC DMA bypasses the cache
-                finish = self.comm.send(peer, values, self.cycles)
+                start = self.cycles
+                finish = self.comm.send(peer, values, start)
                 self.cycles = finish
+                self.stall_comm += finish - start - 1  # 1 = the issue slot
+                if tracer.enabled:
+                    tracer.comm_send(self.core_id, peer, count, start, finish)
                 self.pc = next_pc
                 self.instret += 1
                 continue
@@ -274,10 +330,17 @@ class Core:
                 count = regs[instr.rd]
                 result = self.comm.try_recv(peer, count, self.cycles)
                 if result is None:
+                    if tracer.enabled:
+                        tracer.comm_blocked(self.core_id, peer, count,
+                                            self.cycles)
                     return RunResult(STOP_RECV, self.cycles, self.instret)
                 values, finish = result
                 memory.load(base, values)  # NIC DMA bypasses the cache
+                start = self.cycles
                 self.cycles = finish
+                self.stall_comm += finish - start - 1  # 1 = the issue slot
+                if tracer.enabled:
+                    tracer.comm_recv(self.core_id, peer, count, start, finish)
                 self.pc = next_pc
                 self.instret += 1
                 continue
@@ -290,6 +353,26 @@ class Core:
             self.pc = next_pc
 
         return RunResult(STOP_HALT, self.cycles, self.instret)
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def attribution(self):
+        """Cycle attribution: every cycle in exactly one bucket.
+
+        ``compute`` is the retired-instruction count (each instruction
+        owns one issue cycle); the stall buckets are tracked
+        independently in the interpreter, so ``sum(buckets) == total``
+        is a real cross-check of the timing model, not an identity
+        (see :func:`repro.verify.check_cycle_attribution`).
+        """
+        return {
+            "compute": self.instret,
+            "memory_stall": self.stall_memory,
+            "icache_stall": self.stall_icache,
+            "branch_bubble": self.stall_branch,
+            "comm_blocked": self.stall_comm,
+            "total": self.cycles,
+        }
 
     def _execute_cix(self, instr):
         if self.patch is None:

@@ -72,6 +72,16 @@ class Cache:
         self.misses = 0
         self.writebacks = 0
 
+    def stats(self):
+        """Counter snapshot (feeds :meth:`MemorySystem.stats`)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+            "accesses": self.accesses,
+            "hit_rate": self.hit_rate(),
+        }
+
     @property
     def accesses(self):
         return self.hits + self.misses

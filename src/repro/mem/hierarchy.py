@@ -120,6 +120,16 @@ class MemorySystem:
             return self.spm.dump_words(addr, count)
         return self.dram.dump_words(addr, count)
 
+    def stats(self):
+        """Per-level counter aggregation of this tile's caches."""
+        return {"icache": self.icache.stats(), "dcache": self.dcache.stats()}
+
     def reset_stats(self):
+        """Zero both caches' counters (tag/LRU state is untouched).
+
+        :meth:`StitchSystem.run` snapshots these counters at run start
+        so per-run hit rates stay correct across repeated runs even
+        without an explicit reset.
+        """
         self.icache.reset_stats()
         self.dcache.reset_stats()

@@ -12,6 +12,7 @@ where draining charges one cycle per flit of NIC-to-memory transfer.
 from repro.cpu.core import CommPort
 from repro.noc.network import Network
 from repro.noc.packet import WORDS_PER_FLIT
+from repro.telemetry import NULL_TELEMETRY
 
 
 class Channel:
@@ -61,12 +62,21 @@ class TileComm(CommPort):
 class MessagePassing:
     """The shared fabric: channels + the NoC timing model."""
 
-    def __init__(self, network=None, num_tiles=16):
+    def __init__(self, network=None, num_tiles=16, telemetry=None):
         self.network = network if network is not None else Network()
         self.num_tiles = num_tiles
+        telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._occupancy_hist = telemetry.stats.histogram(
+            "fabric.channel_occupancy"
+        )
         self._channels = {}
         self.messages = 0
         self.words = 0
+        # Occupancy tracking: words currently queued anywhere, the
+        # all-time high-water mark, and a per-channel high-water mark.
+        self.words_in_flight = 0
+        self.max_words_in_flight = 0
+        self.channel_high_water = {}
 
     def port(self, tile):
         """Create the comm port for ``tile``."""
@@ -87,9 +97,18 @@ class MessagePassing:
         if not 0 <= dst < self.num_tiles:
             raise ValueError(f"destination tile out of range: {dst}")
         arrival, injection_done = self.network.send(src, dst, len(values), now)
-        self.channel(src, dst).push(values, arrival)
+        chan = self.channel(src, dst)
+        chan.push(values, arrival)
         self.messages += 1
         self.words += len(values)
+        self.words_in_flight += len(values)
+        if self.words_in_flight > self.max_words_in_flight:
+            self.max_words_in_flight = self.words_in_flight
+        key = (src, dst)
+        occupancy = len(chan)
+        if occupancy > self.channel_high_water.get(key, 0):
+            self.channel_high_water[key] = occupancy
+        self._occupancy_hist.observe(occupancy)
         return injection_done
 
     def try_recv(self, src, dst, count, now):
@@ -99,6 +118,7 @@ class MessagePassing:
             return None
         ready = chan.ready_time(count)
         values = chan.pop(count)
+        self.words_in_flight -= count
         drain = (count + WORDS_PER_FLIT - 1) // WORDS_PER_FLIT
         return values, max(now, ready) + drain
 
@@ -119,3 +139,28 @@ class MessagePassing:
         if dst is None:
             return sum(len(chan) for chan in self._channels.values())
         return sum(len(chan) for (s, d), chan in self._channels.items() if d == dst)
+
+    def pending_channels(self, dst):
+        """{src: queued words} for every non-empty channel into ``dst``."""
+        return {
+            src: len(chan)
+            for (src, d), chan in self._channels.items()
+            if d == dst and len(chan)
+        }
+
+    def stats(self):
+        """Aggregate fabric statistics (feeds the SystemStats roll-up)."""
+        return {
+            "messages": self.messages,
+            "words": self.words,
+            "words_in_flight": self.words_in_flight,
+            "max_words_in_flight": self.max_words_in_flight,
+            "channel_high_water": dict(self.channel_high_water),
+        }
+
+    def reset_stats(self):
+        """Zero the counters/high-water marks (queued words are kept)."""
+        self.messages = 0
+        self.words = 0
+        self.max_words_in_flight = self.words_in_flight
+        self.channel_high_water.clear()

@@ -14,6 +14,7 @@ without simulating individual router microarchitecture.
 
 from repro.noc.packet import packetize
 from repro.noc.topology import Mesh
+from repro.telemetry import NULL_TELEMETRY
 
 ROUTER_STAGES = 5
 LINK_CYCLES = 1
@@ -45,13 +46,22 @@ class Network:
     injecting (the core is free again after ``injection_done``).
     """
 
-    def __init__(self, mesh=None, contention=True):
+    def __init__(self, mesh=None, contention=True, telemetry=None):
         self.mesh = mesh if mesh is not None else Mesh(4, 4)
         self.contention = contention
+        telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.tracer = telemetry.tracer
+        self._wait_hist = telemetry.stats.histogram("noc.link_wait")
         self._links = {}
         self.packets_sent = 0
         self.flits_sent = 0
         self.total_hops = 0
+        # Per-link utilization (flit-cycles the link carried traffic)
+        # and queueing delay actually paid beyond the uncontended
+        # pipeline, keyed by directed link.
+        self.link_busy = {}
+        self.link_wait = {}
+        self.contention_delay = 0
 
     def _link(self, src, dst):
         key = (src, dst)
@@ -96,6 +106,18 @@ class Network:
                     # Head flit reaches this link after the router pipeline.
                     earliest = head_time + ROUTER_STAGES
                     crossed = schedule.reserve(earliest, flits)
+                    waited = crossed - earliest
+                    self.link_busy[link] = self.link_busy.get(link, 0) + flits
+                    if waited:
+                        self.link_wait[link] = (
+                            self.link_wait.get(link, 0) + waited
+                        )
+                        self.contention_delay += waited
+                    self._wait_hist.observe(waited)
+                    if self.tracer.enabled:
+                        self.tracer.link_reserved(
+                            link, src, dst, crossed, flits, waited
+                        )
                     head_time = crossed + LINK_CYCLES
                     if link_index == 0:
                         injection_done = max(injection_done, crossed + flits)
@@ -103,14 +125,36 @@ class Network:
             else:
                 packet_arrival = cursor + (ROUTER_STAGES + LINK_CYCLES) * hops + flits - 1
                 injection_done = max(injection_done, cursor + flits)
+                for link_index, link in enumerate(route):
+                    self.link_busy[link] = self.link_busy.get(link, 0) + flits
+                    if self.tracer.enabled:
+                        crossed = (cursor + ROUTER_STAGES
+                                   + (ROUTER_STAGES + LINK_CYCLES) * link_index)
+                        self.tracer.link_reserved(
+                            link, src, dst, crossed, flits, 0
+                        )
             arrival = max(arrival, packet_arrival)
             cursor += flits  # next packet streams behind this one
         return arrival, injection_done
+
+    def stats(self):
+        """Aggregate NoC statistics (feeds the SystemStats roll-up)."""
+        return {
+            "packets": self.packets_sent,
+            "flits": self.flits_sent,
+            "hops": self.total_hops,
+            "contention_delay": self.contention_delay,
+            "link_busy": dict(self.link_busy),
+            "link_wait": dict(self.link_wait),
+        }
 
     def reset_stats(self):
         self.packets_sent = 0
         self.flits_sent = 0
         self.total_hops = 0
+        self.link_busy.clear()
+        self.link_wait.clear()
+        self.contention_delay = 0
 
     def reset(self):
         self._links.clear()

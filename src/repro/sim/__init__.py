@@ -10,13 +10,14 @@
   (baseline / LOCUS / Stitch w/o fusion / Stitch).
 """
 
-from repro.sim.system import DeadlockError, StitchSystem, TileResult
+from repro.sim.system import DeadlockError, RunResults, StitchSystem, TileResult
 from repro.sim.streaming import wrap_streaming
 from repro.sim.pipeline_model import PipelineModel, StageTiming
 
 __all__ = [
     "StitchSystem",
     "TileResult",
+    "RunResults",
     "DeadlockError",
     "wrap_streaming",
     "PipelineModel",

@@ -151,7 +151,8 @@ class AppEvaluator:
 
     # -- co-simulation ------------------------------------------------------------
 
-    def build_system(self, architecture, items=2, contention=False):
+    def build_system(self, architecture, items=2, contention=False,
+                     telemetry=None):
         """Materialize the 16-tile co-simulation for an architecture.
 
         All architectures run on the Stitch tile memory (4 KB D$ +
@@ -163,10 +164,14 @@ class AppEvaluator:
         needs globally time-ordered injections, which the
         run-until-blocked co-simulator does not guarantee — host
         scheduling order would leak into simulated time.
+
+        ``telemetry`` (``True`` or a :class:`repro.telemetry.Telemetry`
+        bundle) enables stats/tracing across every tile and the NoC.
         """
         plan = self.plan(architecture)
         compiled = self.compiled_programs()
-        system = StitchSystem(self.placement.mesh, contention=contention)
+        system = StitchSystem(self.placement.mesh, contention=contention,
+                              telemetry=telemetry)
         for stage in self.app.stages:
             assignment = plan.assignments[stage.id]
             option = assignment.option

@@ -5,45 +5,90 @@ re-polled whenever new words have been pushed toward them.  Causality
 holds because every received word carries its NoC arrival time and the
 receive completes no earlier than that, regardless of host-side
 scheduling order.  If every live tile is blocked and no channel can
-satisfy any of them, the system is deadlocked and says so.
+satisfy any of them, the system is deadlocked and says so — including a
+telemetry snapshot naming the blocked tiles and their pending channels.
+
+Every :meth:`StitchSystem.run` returns a :class:`RunResults` — a plain
+list of :class:`TileResult` with a :class:`SystemStats` roll-up on its
+``stats`` attribute (cycle attribution per tile, per-run cache hit
+rates, NoC/fabric/patch counters).  Pass ``telemetry=True`` (or a
+:class:`repro.telemetry.Telemetry` bundle) to also record structured
+trace events across the whole stack.
 """
 
 from repro.core.executor import PatchExecutor
 from repro.cpu.core import Core, STOP_HALT, STOP_RECV
+from repro.isa.instructions import Op
 from repro.mem.hierarchy import MemorySystem
 from repro.mpi.runtime import MessagePassing
 from repro.noc.network import Network
 from repro.noc.topology import Mesh
+from repro.telemetry import SystemStats, ensure_telemetry
 
 
 class DeadlockError(RuntimeError):
-    """All live tiles are blocked on receives that can never complete."""
+    """All live tiles are blocked on receives that can never complete.
+
+    ``snapshot`` maps each blocked tile to its pending receive — the
+    peer it waits on, how many words it needs, and the words actually
+    queued toward it per source channel.
+    """
+
+    def __init__(self, message, snapshot=None):
+        super().__init__(message)
+        self.snapshot = snapshot if snapshot is not None else {}
 
 
 class TileResult:
     """Final state summary of one tile."""
 
-    __slots__ = ("tile", "cycles", "instructions", "halted")
+    __slots__ = ("tile", "cycles", "instructions", "reason", "attribution")
 
-    def __init__(self, tile, cycles, instructions, halted):
+    def __init__(self, tile, cycles, instructions, reason, attribution=None):
         self.tile = tile
         self.cycles = cycles
         self.instructions = instructions
-        self.halted = halted
+        self.reason = reason
+        self.attribution = attribution
+
+    @property
+    def halted(self):
+        return self.reason == STOP_HALT
 
     def __repr__(self):
-        state = "halted" if self.halted else "blocked"
-        return f"TileResult(tile {self.tile}: {self.cycles} cycles, {state})"
+        state = {STOP_HALT: "halted", STOP_RECV: "blocked"}.get(
+            self.reason, self.reason
+        )
+        summary = ""
+        if self.attribution is not None:
+            a = self.attribution
+            summary = (
+                f", stalls mem={a['memory_stall']} i$={a['icache_stall']} "
+                f"branch={a['branch_bubble']} comm={a['comm_blocked']}"
+            )
+        return f"TileResult(tile {self.tile}: {self.cycles} cycles, {state}{summary})"
+
+
+class RunResults(list):
+    """The list of :class:`TileResult` plus the run's stats roll-up."""
+
+    def __init__(self, results, stats):
+        super().__init__(results)
+        self.stats = stats
 
 
 class StitchSystem:
     """A 4x4 tile array over the message-passing fabric."""
 
-    def __init__(self, mesh=None, contention=True, baseline_memory=False):
+    def __init__(self, mesh=None, contention=True, baseline_memory=False,
+                 telemetry=None):
         self.mesh = mesh if mesh is not None else Mesh(4, 4)
+        self.telemetry = ensure_telemetry(telemetry)
         self.fabric = MessagePassing(
-            Network(self.mesh, contention=contention),
+            Network(self.mesh, contention=contention,
+                    telemetry=self.telemetry),
             num_tiles=self.mesh.num_tiles,
+            telemetry=self.telemetry,
         )
         self.memories = [
             MemorySystem.baseline() if baseline_memory else MemorySystem.stitch()
@@ -68,6 +113,7 @@ class StitchSystem:
         core = Core(
             program, memory, patch=patch,
             comm=self.fabric.port(tile), core_id=tile,
+            tracer=self.telemetry.tracer,
         )
         if setup is not None:
             setup(core)
@@ -75,11 +121,14 @@ class StitchSystem:
         return core
 
     def run(self, max_instructions_per_slice=2_000_000, max_rounds=100_000):
-        """Run all tiles to completion; returns list of TileResult."""
+        """Run all tiles to completion; returns :class:`RunResults`."""
         live = [core for core in self.cores if core is not None]
+        cache_baseline = self._cache_counters()
+        reasons = {core: STOP_HALT for core in live}
         blocked = {}  # core -> words pending toward it when it blocked
         pending = list(live)
         rounds = 0
+        tracer = self.telemetry.tracer
         while pending or blocked:
             rounds += 1
             if rounds > max_rounds:
@@ -89,6 +138,7 @@ class StitchSystem:
             for core in pending:
                 retired_before = core.instret
                 outcome = core.run(max_instructions=max_instructions_per_slice)
+                reasons[core] = outcome.reason
                 if core.instret > retired_before or outcome.reason == STOP_HALT:
                     progressed = True
                 if outcome.reason == STOP_RECV:
@@ -103,18 +153,114 @@ class StitchSystem:
                     del blocked[core]
                     pending.append(core)
                     progressed = True
+                    if tracer.enabled:
+                        tracer.comm_unblocked(core.core_id, core.cycles)
             if not progressed and not pending:
                 if blocked:
-                    tiles = sorted(core.core_id for core in blocked)
-                    raise DeadlockError(
-                        f"tiles {tiles} blocked on receives with no data in flight"
-                    )
+                    raise self._deadlock(blocked)
                 break
-        return [
-            TileResult(core.core_id, core.cycles, core.instret, core.halted)
-            for core in live
-        ]
+        stats = self._roll_up(live, reasons, cache_baseline)
+        attach = self.telemetry.enabled
+        return RunResults(
+            [
+                TileResult(
+                    core.core_id, core.cycles, core.instret, reasons[core],
+                    attribution=core.attribution() if attach else None,
+                )
+                for core in live
+            ],
+            stats,
+        )
 
     def makespan(self, results=None):
         results = results if results is not None else self.run()
         return max(result.cycles for result in results)
+
+    def reset_stats(self):
+        """Zero every component's counters (simulated state untouched)."""
+        for memory in self.memories:
+            memory.reset_stats()
+        self.fabric.reset_stats()
+        self.fabric.network.reset_stats()
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _cache_counters(self):
+        return [
+            (m.icache.hits, m.icache.misses, m.icache.writebacks,
+             m.dcache.hits, m.dcache.misses, m.dcache.writebacks)
+            for m in self.memories
+        ]
+
+    def _roll_up(self, live, reasons, cache_baseline):
+        """Build the :class:`SystemStats` for the run just finished."""
+        tiles = {}
+        patch = {
+            "executions": 0, "fused_executions": 0,
+            "remote_spm_accesses": 0, "per_config": {},
+        }
+        for core in live:
+            attribution = core.attribution()
+            attribution["instructions"] = core.instret
+            attribution["reason"] = reasons[core]
+            tiles[core.core_id] = attribution
+            executor_stats = getattr(core.patch, "stats", None)
+            if executor_stats is not None:
+                for key, value in executor_stats().items():
+                    if key == "per_config":
+                        for cfg_id, count in value.items():
+                            patch["per_config"][cfg_id] = (
+                                patch["per_config"].get(cfg_id, 0) + count
+                            )
+                    else:
+                        patch[key] += value
+        caches = {
+            "icache": {"hits": 0, "misses": 0, "writebacks": 0},
+            "dcache": {"hits": 0, "misses": 0, "writebacks": 0},
+        }
+        for memory, before in zip(self.memories, cache_baseline):
+            ih, im, iw, dh, dm, dw = before
+            caches["icache"]["hits"] += memory.icache.hits - ih
+            caches["icache"]["misses"] += memory.icache.misses - im
+            caches["icache"]["writebacks"] += memory.icache.writebacks - iw
+            caches["dcache"]["hits"] += memory.dcache.hits - dh
+            caches["dcache"]["misses"] += memory.dcache.misses - dm
+            caches["dcache"]["writebacks"] += memory.dcache.writebacks - dw
+        stats = SystemStats(
+            tiles, caches, self.fabric.network.stats(), self.fabric.stats(),
+            patch,
+        )
+        if self.telemetry.stats.enabled:
+            stats.populate(self.telemetry.stats)
+        return stats
+
+    def _deadlock(self, blocked):
+        """Build the DeadlockError with its telemetry snapshot."""
+        tracer = self.telemetry.tracer
+        snapshot = {}
+        details = []
+        for core in sorted(blocked, key=lambda c: c.core_id):
+            tile = core.core_id
+            instr = core.program.instructions[core.pc]
+            peer = core.regs[instr.ra] if instr.op is Op.RECV else None
+            count = core.regs[instr.rd] if instr.op is Op.RECV else None
+            pending = self.fabric.pending_channels(tile)
+            snapshot[tile] = {
+                "waiting_on": peer,
+                "words_needed": count,
+                "pending": pending,
+                "cycles": core.cycles,
+            }
+            queued = pending.get(peer, 0)
+            details.append(
+                f"tile {tile} needs {count} word(s) from tile {peer} "
+                f"(channel holds {queued})"
+            )
+            if tracer.enabled:
+                tracer.deadlock(tile, peer, queued, core.cycles)
+        tiles = sorted(snapshot)
+        message = (
+            f"tiles {tiles} blocked on receives with no data in flight: "
+            + "; ".join(details)
+        )
+        return DeadlockError(message, snapshot=snapshot)

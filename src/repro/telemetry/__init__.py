@@ -1,0 +1,85 @@
+"""Simulation telemetry: counters, histograms and event tracing.
+
+Three layers, all with near-zero-cost disabled paths:
+
+* :mod:`repro.telemetry.stats` — a hierarchical :class:`Stats` registry
+  of named counters/histograms; hot loops hold the instrument object so
+  the disabled path is a shared no-op sink,
+* :mod:`repro.telemetry.trace` — a structured :class:`Tracer` of typed
+  events (instruction slices, send/recv/block/unblock, ``cix``
+  invocations, cache misses, NoC link reservations) exporting Chrome
+  trace-event JSON,
+* :mod:`repro.telemetry.rollup` — the :class:`SystemStats` per-run
+  aggregation attached to every :meth:`StitchSystem.run` result.
+
+A :class:`Telemetry` bundle carries one ``stats`` and one ``tracer``;
+``ensure_telemetry`` normalizes the values accepted by constructor
+``telemetry=`` parameters (``None``/``False`` → disabled singleton,
+``True`` → fresh enabled bundle, a bundle → itself).
+"""
+
+from repro.telemetry.stats import (
+    Counter,
+    Histogram,
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+    NULL_STATS,
+    NullStats,
+    Stats,
+)
+from repro.telemetry.trace import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+)
+from repro.telemetry.rollup import ATTRIBUTION_BUCKETS, SystemStats
+
+
+class Telemetry:
+    """One stats registry plus one tracer, threaded through a system."""
+
+    __slots__ = ("stats", "tracer")
+
+    def __init__(self, stats=None, tracer=None):
+        self.stats = stats if stats is not None else Stats()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    @property
+    def enabled(self):
+        return self.stats.enabled or self.tracer.enabled
+
+    def __repr__(self):
+        return f"Telemetry(enabled={self.enabled}, {len(self.tracer)} events)"
+
+
+NULL_TELEMETRY = Telemetry(NULL_STATS, NULL_TRACER)
+
+
+def ensure_telemetry(value):
+    """Normalize a constructor's ``telemetry=`` argument to a bundle."""
+    if value is None or value is False:
+        return NULL_TELEMETRY
+    if value is True:
+        return Telemetry()
+    return value
+
+
+__all__ = [
+    "ATTRIBUTION_BUCKETS",
+    "Counter",
+    "Histogram",
+    "NULL_COUNTER",
+    "NULL_HISTOGRAM",
+    "NULL_STATS",
+    "NULL_TELEMETRY",
+    "NULL_TRACER",
+    "NullStats",
+    "NullTracer",
+    "Stats",
+    "SystemStats",
+    "Telemetry",
+    "TraceEvent",
+    "Tracer",
+    "ensure_telemetry",
+]

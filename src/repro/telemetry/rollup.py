@@ -1,0 +1,174 @@
+"""Whole-system roll-up of one co-simulation run.
+
+:class:`SystemStats` is attached to every :meth:`StitchSystem.run`
+result.  It aggregates, per run (cache counters are delta-corrected
+against the start-of-run snapshot):
+
+* per-tile cycle attribution (the "every core cycle lands in exactly
+  one bucket" invariant: ``compute + memory_stall + icache_stall +
+  branch_bubble + comm_blocked == total``),
+* cache hits/misses/writebacks per level,
+* NoC packets/flits/hops, per-link busy cycles and contention waits,
+* fabric messages/words and per-channel occupancy high-water marks,
+* patch invocations per config id and remote-SPM accesses.
+"""
+
+ATTRIBUTION_BUCKETS = (
+    "compute", "memory_stall", "icache_stall", "branch_bubble", "comm_blocked",
+)
+
+
+class SystemStats:
+    """Aggregated per-run telemetry of one :class:`StitchSystem` run."""
+
+    def __init__(self, tiles, caches, noc, fabric, patch):
+        self.tiles = tiles      # {tile: attribution dict + instructions/reason}
+        self.caches = caches    # {"icache"/"dcache": {hits, misses, ...}}
+        self.noc = noc          # packets/flits/hops/links/contention
+        self.fabric = fabric    # messages/words/channel high-water marks
+        self.patch = patch      # executions/fused/remote_spm/per-config
+
+    # -- derived views -------------------------------------------------------
+
+    def total_cycles(self):
+        return sum(t["total"] for t in self.tiles.values())
+
+    def attribution_totals(self):
+        """Bucket sums across all tiles (cycles)."""
+        totals = {bucket: 0 for bucket in ATTRIBUTION_BUCKETS}
+        for tile in self.tiles.values():
+            for bucket in ATTRIBUTION_BUCKETS:
+                totals[bucket] += tile[bucket]
+        return totals
+
+    def attribution_ok(self):
+        """Does every tile's bucket sum equal its total exactly?"""
+        return all(
+            sum(t[bucket] for bucket in ATTRIBUTION_BUCKETS) == t["total"]
+            for t in self.tiles.values()
+        )
+
+    def breakdown(self):
+        """Execution-time fractions with patch split out of compute.
+
+        ``scalar_compute`` is issue slots minus ``cix`` issues (the
+        patch executes inside its own single issue cycle), so the six
+        fractions still sum to 1 exactly.
+        """
+        totals = self.attribution_totals()
+        grand = self.total_cycles()
+        if not grand:
+            return {}
+        patch_cycles = self.patch.get("executions", 0)
+        fractions = {
+            "scalar_compute": (totals["compute"] - patch_cycles) / grand,
+            "patch": patch_cycles / grand,
+            "communication": totals["comm_blocked"] / grand,
+            "memory_stall": totals["memory_stall"] / grand,
+            "icache_stall": totals["icache_stall"] / grand,
+            "branch_bubble": totals["branch_bubble"] / grand,
+        }
+        return fractions
+
+    # -- export --------------------------------------------------------------
+
+    def populate(self, stats):
+        """Mirror the roll-up into a :class:`~repro.telemetry.Stats` registry."""
+        for tile, attribution in self.tiles.items():
+            for key, value in attribution.items():
+                if isinstance(value, (int, float)):
+                    stats.counter(f"tile{tile}.core.{key}").add(value)
+        for level, counts in self.caches.items():
+            for key in ("hits", "misses", "writebacks"):
+                stats.counter(f"mem.{level}.{key}").add(counts[key])
+        for key in ("packets", "flits", "hops", "contention_delay"):
+            stats.counter(f"noc.{key}").add(self.noc.get(key, 0))
+        for link, busy in self.noc.get("link_busy", {}).items():
+            stats.counter(f"noc.link.{link[0]}->{link[1]}.busy").add(busy)
+        for key in ("messages", "words", "max_words_in_flight"):
+            stats.counter(f"fabric.{key}").add(self.fabric.get(key, 0))
+        for (src, dst), high in self.fabric.get("channel_high_water", {}).items():
+            stats.counter(f"fabric.channel.{src}->{dst}.high_water").add(high)
+        for key in ("executions", "fused_executions", "remote_spm_accesses"):
+            stats.counter(f"patch.{key}").add(self.patch.get(key, 0))
+        for cfg_id, count in self.patch.get("per_config", {}).items():
+            stats.counter(f"patch.cfg{cfg_id}.invocations").add(count)
+        return stats
+
+    def to_dict(self):
+        return {
+            "tiles": {tile: dict(t) for tile, t in self.tiles.items()},
+            "caches": {level: dict(c) for level, c in self.caches.items()},
+            "noc": {
+                key: (dict(value) if isinstance(value, dict) else value)
+                for key, value in self.noc.items()
+            },
+            "fabric": {
+                key: (dict(value) if isinstance(value, dict) else value)
+                for key, value in self.fabric.items()
+            },
+            "patch": {
+                key: (dict(value) if isinstance(value, dict) else value)
+                for key, value in self.patch.items()
+            },
+        }
+
+    def render(self):
+        """Human summary for the CLI's ``--stats`` output."""
+        lines = ["cycle attribution per tile "
+                 "(compute/mem/icache/branch/comm = total):"]
+        for tile in sorted(self.tiles):
+            t = self.tiles[tile]
+            lines.append(
+                f"  tile {tile:2d}: {t['compute']}/{t['memory_stall']}"
+                f"/{t['icache_stall']}/{t['branch_bubble']}"
+                f"/{t['comm_blocked']} = {t['total']} cycles "
+                f"({t['instructions']} instr, {t['reason']})"
+            )
+        totals = self.attribution_totals()
+        grand = self.total_cycles()
+        lines.append(
+            "  all tiles: "
+            + "/".join(str(totals[b]) for b in ATTRIBUTION_BUCKETS)
+            + f" = {grand} cycles"
+            + ("" if self.attribution_ok() else "  [ATTRIBUTION DRIFT]")
+        )
+        if grand:
+            parts = ", ".join(
+                f"{name} {fraction:.1%}"
+                for name, fraction in self.breakdown().items()
+            )
+            lines.append(f"breakdown: {parts}")
+        for level in ("icache", "dcache"):
+            counts = self.caches.get(level)
+            if counts:
+                total = counts["hits"] + counts["misses"]
+                rate = counts["hits"] / total if total else 1.0
+                lines.append(
+                    f"{level}: {counts['hits']} hits / {counts['misses']} "
+                    f"misses ({rate:.1%} hit rate, "
+                    f"{counts['writebacks']} writebacks)"
+                )
+        lines.append(
+            f"noc: {self.noc.get('packets', 0)} packets, "
+            f"{self.noc.get('flits', 0)} flits, "
+            f"{self.noc.get('hops', 0)} hops, "
+            f"{self.noc.get('contention_delay', 0)} contention cycles"
+        )
+        lines.append(
+            f"fabric: {self.fabric.get('messages', 0)} messages, "
+            f"{self.fabric.get('words', 0)} words, "
+            f"in-flight high water {self.fabric.get('max_words_in_flight', 0)}"
+        )
+        lines.append(
+            f"patch: {self.patch.get('executions', 0)} invocations "
+            f"({self.patch.get('fused_executions', 0)} fused, "
+            f"{self.patch.get('remote_spm_accesses', 0)} remote-SPM accesses)"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"SystemStats({len(self.tiles)} tiles, "
+            f"{self.total_cycles()} cycles)"
+        )

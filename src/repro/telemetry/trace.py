@@ -1,0 +1,216 @@
+"""Structured event tracing with Chrome trace-event export.
+
+The :class:`Tracer` records typed :class:`TraceEvent` records — spans
+(instruction slices, NoC link reservations), instants (send/recv,
+block/unblock, cache misses, ``cix`` invocations) and counters — on
+named tracks, and exports them as a Chrome trace-event JSON object
+(loadable by ``chrome://tracing`` and Perfetto).  Tracks map to one
+thread per tile under a ``tiles`` process plus one thread per directed
+link under a ``noc`` process.
+
+Timestamps are simulated cycles, written to the ``ts``/``dur``
+microsecond fields verbatim (at the paper's 200 MHz, 1 cycle = 5 ns;
+the viewer's absolute unit is irrelevant — relative placement is what
+matters).
+
+Hot paths must not pay for tracing when it is off: components share the
+module-level :data:`NULL_TRACER` (``enabled = False``) and guard warm
+per-event calls with a single ``if tracer.enabled`` check.
+"""
+
+import json
+
+SPAN = "span"
+INSTANT = "instant"
+COUNTER = "counter"
+
+# Track namespaces (Chrome "processes").
+TILES = "tiles"
+NOC = "noc"
+
+_PIDS = {TILES: 1, NOC: 2}
+
+
+class TraceEvent:
+    """One recorded event on one track."""
+
+    __slots__ = ("kind", "track", "name", "time", "duration", "category", "args")
+
+    def __init__(self, kind, track, name, time, duration=0, category="", args=None):
+        self.kind = kind
+        self.track = track      # (namespace, label) e.g. ("tiles", 3)
+        self.name = name
+        self.time = time
+        self.duration = duration
+        self.category = category
+        self.args = args or {}
+
+    def __repr__(self):
+        return (
+            f"TraceEvent({self.kind} {self.name!r} on {self.track} "
+            f"@{self.time}+{self.duration})"
+        )
+
+
+class Tracer:
+    """Ordered in-memory event log with domain-specific constructors."""
+
+    enabled = True
+
+    def __init__(self):
+        self.events = []
+
+    # -- generic event kinds -------------------------------------------------
+
+    def span(self, track, name, start, end, category="", **args):
+        self.events.append(
+            TraceEvent(SPAN, track, name, start, max(end - start, 0),
+                       category, args)
+        )
+
+    def instant(self, track, name, time, category="", **args):
+        self.events.append(TraceEvent(INSTANT, track, name, time, 0,
+                                      category, args))
+
+    def counter(self, track, name, time, value):
+        self.events.append(
+            TraceEvent(COUNTER, track, name, time, 0, "counter",
+                       {"value": value})
+        )
+
+    # -- typed domain events -------------------------------------------------
+
+    def tile_span(self, tile, name, start, end, reason, instructions):
+        """One ``Core.run`` instruction slice."""
+        self.span((TILES, tile), name, start, end, category="core",
+                  reason=reason, instructions=instructions)
+
+    def comm_send(self, tile, peer, words, start, end):
+        self.span((TILES, tile), f"send->{peer}", start, end,
+                  category="comm", peer=peer, words=words)
+
+    def comm_recv(self, tile, peer, words, start, end):
+        self.span((TILES, tile), f"recv<-{peer}", start, end,
+                  category="comm", peer=peer, words=words)
+
+    def comm_blocked(self, tile, peer, words, time):
+        self.instant((TILES, tile), f"blocked<-{peer}", time,
+                     category="comm", peer=peer, words=words)
+
+    def comm_unblocked(self, tile, time):
+        self.instant((TILES, tile), "unblocked", time, category="comm")
+
+    def cix(self, tile, cfg_id, time):
+        self.instant((TILES, tile), f"cix cfg{cfg_id}", time,
+                     category="patch", cfg=cfg_id)
+
+    def cache_miss(self, tile, level, addr, time, writeback=False):
+        self.instant((TILES, tile), f"{level} miss", time, category="mem",
+                     addr=addr, writeback=writeback)
+
+    def link_reserved(self, link, src, dst, start, flits, waited):
+        """One packet crossing one directed NoC link."""
+        self.span((NOC, f"{link[0]}->{link[1]}"), f"pkt {src}->{dst}",
+                  start, start + flits, category="noc",
+                  flits=flits, waited=waited)
+
+    def deadlock(self, tile, peer, words_waiting, time):
+        self.instant((TILES, tile), f"DEADLOCK waiting<-{peer}", time,
+                     category="comm", peer=peer, words=words_waiting)
+
+    # -- export --------------------------------------------------------------
+
+    def tracks(self):
+        """All tracks in first-appearance order."""
+        seen = []
+        for event in self.events:
+            if event.track not in seen:
+                seen.append(event.track)
+        return seen
+
+    def to_chrome(self):
+        """The Chrome trace-event JSON object (dict)."""
+        tids = {}
+        trace_events = []
+        for namespace, pid in sorted(_PIDS.items(), key=lambda kv: kv[1]):
+            trace_events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": namespace},
+            })
+        for track in self.tracks():
+            namespace, label = track
+            pid = _PIDS[namespace]
+            tid = tids.setdefault(track, len(tids))
+            name = f"tile {label}" if namespace == TILES else f"link {label}"
+            trace_events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": name},
+            })
+        for event in self.events:
+            pid = _PIDS[event.track[0]]
+            tid = tids[event.track]
+            record = {
+                "name": event.name,
+                "cat": event.category or event.track[0],
+                "pid": pid,
+                "tid": tid,
+                "ts": event.time,
+            }
+            if event.kind == SPAN:
+                record["ph"] = "X"
+                record["dur"] = event.duration
+            elif event.kind == INSTANT:
+                record["ph"] = "i"
+                record["s"] = "t"
+            else:  # COUNTER
+                record["ph"] = "C"
+            if event.args:
+                record["args"] = dict(event.args)
+            trace_events.append(record)
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path):
+        """Write the Chrome trace JSON file; returns the path."""
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome(), handle)
+        return path
+
+    def __len__(self):
+        return len(self.events)
+
+
+class NullTracer:
+    """Disabled tracer: records nothing, exports an empty trace."""
+
+    enabled = False
+    events = ()
+
+    def span(self, *args, **kwargs):
+        pass
+
+    def instant(self, *args, **kwargs):
+        pass
+
+    def counter(self, *args, **kwargs):
+        pass
+
+    tile_span = comm_send = comm_recv = span
+    comm_blocked = comm_unblocked = cix = cache_miss = instant
+    link_reserved = deadlock = instant
+
+    def tracks(self):
+        return []
+
+    def to_chrome(self):
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path):
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome(), handle)
+        return path
+
+    def __len__(self):
+        return 0
+
+
+NULL_TRACER = NullTracer()

@@ -9,7 +9,9 @@ Four passes, none of which simulates anything:
 * **plan checks** (``V3xx``) — contention freedom, hop/delay budgets
   and SPM discipline of stitch plans,
 * **MPI checks** (``V4xx``) — static deadlock detection over an app's
-  blocking channel graph.
+  blocking channel graph,
+* **telemetry checks** (``V5xx``) — cycle-attribution cross-checks over
+  measured runs (pure consistency checks; nothing simulated here).
 
 Entry points: :func:`verify_source`, :func:`verify_kernel`,
 :func:`verify_compiled`, :func:`verify_plan`, :func:`verify_app`;
@@ -37,6 +39,11 @@ from repro.verify.ise_checks import check_ises
 from repro.verify.mpi_checks import check_app_channels
 from repro.verify.plan_checks import check_plan
 from repro.verify.program_lint import lint_program
+from repro.verify.telemetry_checks import (
+    check_core,
+    check_cycle_attribution,
+    check_run,
+)
 
 __all__ = [
     "RULES",
@@ -55,5 +62,8 @@ __all__ = [
     "check_ises",
     "check_app_channels",
     "check_plan",
+    "check_core",
+    "check_cycle_attribution",
+    "check_run",
     "lint_program",
 ]

@@ -1,0 +1,87 @@
+"""Telemetry consistency checks (``V5xx``).
+
+The core's cycle-attribution invariant — every simulated cycle lands in
+exactly one bucket, so ``compute + memory_stall + icache_stall +
+branch_bubble + comm_blocked == total`` — is the ground truth the
+Fig. 13 execution-time breakdown is derived from.  These rules
+cross-check it on *measured* runs, so any change to the core timing
+model that forgets to attribute its new cycles is caught immediately
+(instrumentation drift), instead of silently skewing every report
+generated from the counters.
+
+Unlike the V1xx–V4xx passes these rules look at dynamic artifacts (a
+finished :class:`~repro.cpu.Core`, a :class:`~repro.sim.RunResults`),
+but they are still pure checks: nothing is simulated here.
+"""
+
+from repro.telemetry.rollup import ATTRIBUTION_BUCKETS
+from repro.verify.diagnostics import Report, Severity, register_rule
+
+register_rule(
+    "V500", Severity.ERROR,
+    "cycle-attribution buckets do not sum to total cycles",
+    "telemetry-checks",
+)
+register_rule(
+    "V501", Severity.ERROR,
+    "negative cycle-attribution bucket",
+    "telemetry-checks",
+)
+register_rule(
+    "V502", Severity.WARNING,
+    "attribution exceeds retired-instruction issue slots",
+    "telemetry-checks",
+)
+
+
+def check_cycle_attribution(attribution, loc="core", report=None):
+    """Verify one attribution dict (``Core.attribution()`` shape)."""
+    report = report if report is not None else Report(loc)
+    total = attribution["total"]
+    accounted = 0
+    for bucket in ATTRIBUTION_BUCKETS:
+        value = attribution[bucket]
+        if value < 0:
+            report.emit("V501", loc, f"bucket {bucket} is negative ({value})")
+        accounted += value
+    if accounted != total:
+        report.emit(
+            "V500", loc,
+            f"buckets sum to {accounted} but the core ran {total} cycles "
+            f"(drift {accounted - total:+d}; did a timing-model change "
+            f"forget to attribute its cycles?)",
+        )
+    instructions = attribution.get("instructions")
+    if instructions is not None and attribution["compute"] > instructions:
+        report.emit(
+            "V502", loc,
+            f"compute bucket {attribution['compute']} exceeds the "
+            f"{instructions} retired instructions (more issue slots than "
+            f"instructions)",
+        )
+    return report
+
+
+def check_core(core, report=None):
+    """Verify a finished (or paused) core's attribution counters."""
+    loc = f"core {core.core_id}"
+    report = report if report is not None else Report(loc)
+    attribution = core.attribution()
+    attribution["instructions"] = core.instret
+    return check_cycle_attribution(attribution, loc=loc, report=report)
+
+
+def check_run(results, report=None):
+    """Verify a co-simulation run.
+
+    Accepts a :class:`repro.sim.RunResults` (checks every tile through
+    its :class:`~repro.telemetry.SystemStats`) or a bare
+    :class:`~repro.telemetry.SystemStats`.
+    """
+    stats = getattr(results, "stats", results)
+    report = report if report is not None else Report("co-sim run")
+    for tile in sorted(stats.tiles):
+        check_cycle_attribution(
+            stats.tiles[tile], loc=f"tile {tile}", report=report
+        )
+    return report

@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.cpu import BlockedError, Core, CommPort, PatchPort, STOP_HALT, STOP_LIMIT, STOP_RECV
+from repro.cpu import (
+    ATTRIBUTION_BUCKETS,
+    BlockedError,
+    CommPort,
+    Core,
+    PatchPort,
+    STOP_HALT,
+    STOP_LIMIT,
+    STOP_RECV,
+)
 from repro.isa import assemble
 from repro.mem import MemorySystem, SPM_BASE
 
@@ -296,3 +305,89 @@ class TestProfiling:
         )
         core.run()
         assert core.instret == sum(core.block_instruction_counts().values())
+
+
+class TestAttribution:
+    """Every cycle lands in exactly one bucket: the V500 invariant."""
+
+    def check(self, core):
+        attribution = core.attribution()
+        assert sum(attribution[b] for b in ATTRIBUTION_BUCKETS) == core.cycles
+        assert attribution["total"] == core.cycles
+        for bucket in ATTRIBUTION_BUCKETS:
+            assert attribution[bucket] >= 0
+        return attribution
+
+    def test_straight_line_is_compute_plus_icache(self):
+        core = make_core("movi r1, 1\n" + "add r1, r1, r1\n" * 5 + "halt")
+        core.run()
+        attribution = self.check(core)
+        assert attribution["compute"] == core.instret == 7
+        assert attribution["icache_stall"] == 30  # cold line fill
+        assert attribution["memory_stall"] == 0
+        assert attribution["branch_bubble"] == 0
+
+    def test_taken_branches_fill_bubble_bucket(self):
+        core = make_core(
+            "movi r1, 0\nmovi r3, 5\nloop: addi r1, r1, 1\nbne r1, r3, loop\nhalt"
+        )
+        core.run()
+        attribution = self.check(core)
+        assert attribution["branch_bubble"] == 4  # four taken back-edges
+
+    def test_dram_miss_fills_memory_bucket(self):
+        core = make_core("movi r1, 0x100\nlw r2, 0(r1)\nhalt")
+        core.run()
+        attribution = self.check(core)
+        assert attribution["memory_stall"] == 30
+
+    def test_send_charges_comm_bucket(self):
+        program = assemble(
+            "movi r1, 2\nmovi r2, 0x100\nmovi r3, 3\nsend r1, r2, r3\nhalt"
+        )
+        core = Core(program, MemorySystem.stitch(), comm=_ScriptedComm())
+        core.memory.load(0x100, [10, 20, 30])
+        core.run()
+        attribution = self.check(core)
+        # _ScriptedComm finishes a 3-word send at now+3: one issue slot
+        # plus two cycles attributed to communication.
+        assert attribution["comm_blocked"] == 2
+
+    def test_blocked_recv_charges_wait_on_resume(self):
+        program = assemble(
+            "movi r1, 2\nmovi r2, 0x200\nmovi r3, 2\nrecv r1, r2, r3\nhalt"
+        )
+        comm = _ScriptedComm()
+        core = Core(program, MemorySystem.stitch(), comm=comm)
+        assert core.run().reason == STOP_RECV
+        self.check(core)  # blocked: nothing advanced, invariant holds
+        comm.inbox.append([7, 8])
+        core.run()
+        attribution = self.check(core)
+        assert attribution["comm_blocked"] == 1  # 2-word recv: finish - start - 1
+
+    def test_invariant_holds_across_resumable_slices(self):
+        core = make_core(
+            "movi r1, 0\nloop: addi r1, r1, 1\nslti r2, r1, 200\nbne r2, r0, loop\nhalt"
+        )
+        while core.run(max_instructions=37).reason == STOP_LIMIT:
+            self.check(core)
+        assert core.halted
+        self.check(core)
+
+    def test_tracer_records_slice_spans(self):
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+        core = Core(
+            assemble("movi r1, 1\nadd r1, r1, r1\nhalt"),
+            MemorySystem.stitch(),
+            tracer=tracer,
+            core_id=4,
+        )
+        core.run()
+        spans = [e for e in tracer.events if e.kind == "span"]
+        assert spans and spans[-1].track == ("tiles", 4)
+        assert spans[-1].args["reason"] == "halt"
+        misses = [e for e in tracer.events if e.name == "icache miss"]
+        assert misses  # the cold fetch

@@ -1,0 +1,88 @@
+"""Property: every core cycle lands in exactly one attribution bucket.
+
+The acceptance check for the telemetry layer: for any program, on any
+slice schedule, ``compute + memory_stall + icache_stall + branch_bubble
++ comm_blocked == cycles`` holds *exactly* — across real suite kernels
+and a full 16-tile stitched application.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import ATTRIBUTION_BUCKETS, Core, STOP_HALT, STOP_LIMIT
+from repro.mem import MemorySystem
+from repro.sim.baselines import ARCH_STITCH, AppEvaluator
+from repro.verify import check_core, check_run
+from repro.workloads import make_kernel
+from repro.workloads.apps import app4_transport
+
+# Three structurally different kernels: dense compute (2dconv),
+# data-dependent control flow (dtw) and table-driven loads (aes).
+KERNEL_NAMES = ("2dconv", "dtw", "aes")
+
+
+def assert_exact(core):
+    attribution = core.attribution()
+    assert sum(attribution[b] for b in ATTRIBUTION_BUCKETS) == core.cycles, (
+        f"attribution drifted: {attribution} != {core.cycles}"
+    )
+    assert check_core(core).ok(strict=True)
+
+
+@pytest.mark.parametrize("name", KERNEL_NAMES)
+def test_kernel_attribution_exact(name):
+    kernel = make_kernel(name, seed=3)
+    core = Core(kernel.program, MemorySystem.stitch())
+    kernel.setup(core)
+    assert core.run(max_instructions=3_000_000).reason == STOP_HALT
+    assert_exact(core)
+    assert core.instret == core.attribution()["compute"]
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    name=st.sampled_from(KERNEL_NAMES),
+    seed=st.integers(min_value=1, max_value=50),
+    slice_size=st.integers(min_value=997, max_value=100_000),
+)
+def test_attribution_invariant_under_any_slicing(name, seed, slice_size):
+    """The invariant is slice-schedule independent: stopping and
+    resuming the core at arbitrary points never loses a cycle."""
+    kernel = make_kernel(name, seed=seed)
+    core = Core(kernel.program, MemorySystem.stitch())
+    kernel.setup(core)
+    for _ in range(3_000_000 // slice_size + 2):
+        outcome = core.run(max_instructions=slice_size)
+        assert_exact(core)
+        if outcome.reason != STOP_LIMIT:
+            break
+    assert outcome.reason == STOP_HALT
+    assert kernel.result(core) == kernel.reference()
+
+
+@pytest.fixture(scope="module")
+def app_results():
+    evaluator = AppEvaluator(app4_transport())
+    system, _ = evaluator.build_system(ARCH_STITCH, items=2, telemetry=True)
+    return system.run()
+
+
+class TestStitchedApp:
+    def test_every_tile_sums_exactly(self, app_results):
+        for result in app_results:
+            a = result.attribution
+            assert a is not None
+            assert sum(a[b] for b in ATTRIBUTION_BUCKETS) == result.cycles
+
+    def test_rollup_agrees_with_tiles(self, app_results):
+        stats = app_results.stats
+        assert stats.attribution_ok()
+        assert stats.total_cycles() == sum(r.cycles for r in app_results)
+
+    def test_verifier_passes_strict(self, app_results):
+        assert check_run(app_results).ok(strict=True)
+
+    def test_patches_and_comm_visible(self, app_results):
+        totals = app_results.stats.attribution_totals()
+        assert totals["comm_blocked"] > 0  # tiles really exchange data
+        assert app_results.stats.patch["executions"] > 0

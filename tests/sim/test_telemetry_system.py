@@ -1,0 +1,156 @@
+"""System-level telemetry: roll-ups, result reprs, deadlock snapshots."""
+
+import pytest
+
+from repro.cpu import STOP_HALT, STOP_LIMIT
+from repro.isa import assemble
+from repro.sim import DeadlockError, RunResults, StitchSystem
+from repro.sim.system import TileResult
+from repro.telemetry import ATTRIBUTION_BUCKETS, Telemetry
+
+from tests.sim.test_system import consumer_source, producer_source
+
+
+def handshake_system(telemetry=None):
+    system = StitchSystem(telemetry=telemetry)
+    system.load(0, producer_source(1, 0x100, 2, 42))
+    system.load(1, consumer_source(0, 0x200, 2))
+    return system
+
+
+class TestRollUp:
+    def test_every_run_carries_stats(self):
+        results = handshake_system().run()
+        assert isinstance(results, RunResults)
+        assert results.stats.total_cycles() == sum(r.cycles for r in results)
+        assert results.stats.attribution_ok()
+
+    def test_attribution_matches_tiles(self):
+        results = handshake_system().run()
+        for result in results:
+            tile = results.stats.tiles[result.tile]
+            total = sum(tile[bucket] for bucket in ATTRIBUTION_BUCKETS)
+            assert total == result.cycles == tile["total"]
+
+    def test_cache_stats_are_per_run_deltas(self):
+        system = handshake_system()
+        first = system.run().stats.caches["icache"]
+        assert first["misses"] > 0
+        # Reload the same programs: the caches stay warm, and the
+        # roll-up must report only this run's activity, not the
+        # lifetime counters.
+        system.load(0, producer_source(1, 0x100, 2, 42))
+        system.load(1, consumer_source(0, 0x200, 2))
+        second = system.run().stats.caches["icache"]
+        assert second["misses"] < first["misses"]
+
+    def test_fabric_and_noc_counters(self):
+        stats = handshake_system().run().stats
+        assert stats.noc["packets"] >= 1
+        assert stats.noc["flits"] >= 2
+        assert stats.fabric["channel_high_water"][(0, 1)] >= 2
+
+    def test_populate_mirrors_into_registry(self):
+        telemetry = Telemetry()
+        results = handshake_system(telemetry=telemetry).run()
+        snap = telemetry.stats.snapshot()
+        assert snap["tile0"]["core"]["total"] == results[0].cycles
+        assert "icache" in snap["mem"]
+
+    def test_breakdown_sums_to_one(self):
+        breakdown = handshake_system().run().stats.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+
+class TestTileResult:
+    def test_limit_reason_is_not_reported_as_blocked(self):
+        # A tile stopped by the slice budget used to repr as "blocked".
+        result = TileResult(3, 500, 500, STOP_LIMIT)
+        assert "limit" in repr(result)
+        assert "blocked" not in repr(result)
+
+    def test_reason_survives_round_trip(self):
+        system = StitchSystem()
+        system.load(0, assemble("loop: jmp loop"))
+        with pytest.raises(RuntimeError):
+            system.run(max_instructions_per_slice=10, max_rounds=3)
+
+    def test_repr_with_attribution_lists_stalls(self):
+        telemetry = Telemetry()
+        results = handshake_system(telemetry=telemetry).run()
+        text = repr(results[1])
+        assert "halted" in text
+        assert "comm=" in text and "mem=" in text
+
+    def test_repr_without_telemetry_has_no_stall_noise(self):
+        results = handshake_system().run()
+        assert all(r.reason == STOP_HALT for r in results)
+        assert "stalls" not in repr(results[0])
+
+
+class TestDeadlockSnapshot:
+    def build(self):
+        wait = "movi r1, {peer}\nmovi r2, 0x100\nmovi r3, {words}\nrecv r1, r2, r3\nhalt"
+        system = StitchSystem(telemetry=Telemetry())
+        system.load(0, assemble(wait.format(peer=1, words=2)))
+        system.load(1, assemble(wait.format(peer=0, words=3)))
+        return system
+
+    def test_snapshot_names_blocked_tiles_and_channels(self):
+        with pytest.raises(DeadlockError) as excinfo:
+            self.build().run()
+        snapshot = excinfo.value.snapshot
+        assert sorted(snapshot) == [0, 1]
+        assert snapshot[0]["waiting_on"] == 1
+        assert snapshot[0]["words_needed"] == 2
+        assert snapshot[1]["waiting_on"] == 0
+        assert snapshot[1]["words_needed"] == 3
+        assert snapshot[0]["pending"] == {}  # nothing queued toward tile 0
+
+    def test_message_names_tiles_and_counts(self):
+        with pytest.raises(DeadlockError) as excinfo:
+            self.build().run()
+        message = str(excinfo.value)
+        assert "tiles [0, 1] blocked" in message
+        assert "tile 0 needs 2 word(s) from tile 1" in message
+
+    def test_partial_channel_appears_in_snapshot(self):
+        # Tile 0 sends one word; tile 1 needs three -> stuck with a
+        # non-empty channel, which the snapshot must surface.
+        system = StitchSystem(telemetry=Telemetry())
+        system.load(0, producer_source(1, 0x100, 1, 5))
+        system.load(1, consumer_source(0, 0x200, 3))
+        with pytest.raises(DeadlockError) as excinfo:
+            system.run()
+        snapshot = excinfo.value.snapshot
+        assert snapshot[1]["pending"] == {0: 1}
+        assert "channel holds 1" in str(excinfo.value)
+
+    def test_deadlock_traced(self):
+        telemetry = Telemetry()
+        wait = "movi r1, {peer}\nmovi r2, 0x100\nmovi r3, 1\nrecv r1, r2, r3\nhalt"
+        system = StitchSystem(telemetry=telemetry)
+        system.load(0, assemble(wait.format(peer=1)))
+        system.load(1, assemble(wait.format(peer=0)))
+        with pytest.raises(DeadlockError):
+            system.run()
+        names = [e.name for e in telemetry.tracer.events]
+        assert sum(name.startswith("DEADLOCK") for name in names) == 2
+
+
+class TestTracerIntegration:
+    def test_run_emits_comm_and_span_events(self):
+        telemetry = Telemetry()
+        handshake_system(telemetry=telemetry).run()
+        names = {e.name for e in telemetry.tracer.events}
+        assert "send->1" in names
+        assert "recv<-0" in names
+        tracks = telemetry.tracer.tracks()
+        assert ("tiles", 0) in tracks and ("tiles", 1) in tracks
+
+    def test_reset_stats_zeroes_components(self):
+        system = handshake_system()
+        system.run()
+        system.reset_stats()
+        assert system.fabric.network.stats()["packets"] == 0
+        assert system.memories[0].icache.hits == 0

@@ -1,0 +1,100 @@
+"""Unit tests for the Stats registry, counters and histograms."""
+
+from repro.telemetry import (
+    NULL_COUNTER,
+    NULL_STATS,
+    NULL_TELEMETRY,
+    Stats,
+    Telemetry,
+    ensure_telemetry,
+)
+
+
+class TestCounters:
+    def test_counter_accumulates(self):
+        stats = Stats()
+        counter = stats.counter("tile0.core.compute")
+        counter.add()
+        counter.add(41)
+        assert counter.value == 42
+
+    def test_same_name_returns_same_instrument(self):
+        stats = Stats()
+        assert stats.counter("a.b") is stats.counter("a.b")
+        assert stats.counter("a.b") is not stats.counter("a.c")
+
+    def test_add_convenience(self):
+        stats = Stats()
+        stats.add("noc.flits", 5)
+        stats.add("noc.flits", 2)
+        assert stats.counter("noc.flits").value == 7
+
+    def test_reset(self):
+        stats = Stats()
+        stats.add("x", 3)
+        stats.observe("y", 1.0)
+        stats.reset()
+        assert stats.counter("x").value == 0
+        assert stats.histogram("y").count == 0
+
+
+class TestHistograms:
+    def test_summary_fields(self):
+        stats = Stats()
+        hist = stats.histogram("noc.link_wait")
+        for value in (4, 0, 10):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 14
+        assert hist.min == 0
+        assert hist.max == 10
+        assert hist.mean() == 14 / 3
+
+    def test_empty_mean_is_zero(self):
+        assert Stats().histogram("h").mean() == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_nests_by_dotted_path(self):
+        stats = Stats()
+        stats.add("tile0.core.compute", 10)
+        stats.add("tile0.core.memory_stall", 2)
+        stats.add("noc.flits", 7)
+        snap = stats.snapshot()
+        assert snap["tile0"]["core"] == {"compute": 10, "memory_stall": 2}
+        assert snap["noc"]["flits"] == 7
+
+    def test_render_lists_every_instrument(self):
+        stats = Stats()
+        stats.add("b", 2)
+        stats.add("a", 1)
+        text = stats.render()
+        assert text.index("a = 1") < text.index("b = 2")
+
+
+class TestNullPath:
+    def test_null_stats_hands_out_shared_noop(self):
+        assert NULL_STATS.counter("anything") is NULL_COUNTER
+        NULL_STATS.counter("anything").add(100)
+        assert NULL_STATS.counter("anything").value == 0
+        assert NULL_STATS.snapshot() == {}
+        assert not NULL_STATS.enabled
+
+    def test_null_histogram_is_inert(self):
+        hist = NULL_STATS.histogram("h")
+        hist.observe(5)
+        assert hist.count == 0
+
+    def test_ensure_telemetry(self):
+        assert ensure_telemetry(None) is NULL_TELEMETRY
+        assert ensure_telemetry(False) is NULL_TELEMETRY
+        bundle = ensure_telemetry(True)
+        assert bundle.enabled
+        assert ensure_telemetry(bundle) is bundle
+        assert not NULL_TELEMETRY.enabled
+
+    def test_enabled_bundle_has_live_instruments(self):
+        bundle = Telemetry()
+        bundle.stats.add("x")
+        assert bundle.stats.counter("x").value == 1
+        assert bundle.tracer.enabled

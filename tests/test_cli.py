@@ -34,3 +34,63 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+KERNEL_SOURCE = """\
+    movi r1, 0x100
+    movi r5, 0
+    movi r6, 4
+loop:
+    lw   r2, 0(r1)
+    add  r5, r5, r2
+    addi r1, r1, 4
+    addi r6, r6, -1
+    bne  r6, r0, loop
+    halt
+"""
+
+
+class TestTelemetryCli:
+    def run_traced(self, tmp_path, capsys, extra=()):
+        source = tmp_path / "kernel.s"
+        source.write_text(KERNEL_SOURCE)
+        trace = tmp_path / "out.json"
+        main(["run", str(source), "--trace", str(trace), *extra])
+        return trace, capsys.readouterr().out
+
+    def test_run_stats_prints_exact_attribution(self, tmp_path, capsys):
+        source = tmp_path / "kernel.s"
+        source.write_text(KERNEL_SOURCE)
+        main(["run", str(source), "--stats"])
+        out = capsys.readouterr().out
+        assert "compute" in out and "memory_stall" in out
+        assert "attribution" in out
+        assert "V500" not in out  # measured run verifies clean
+
+    def test_run_trace_is_valid_chrome_json(self, tmp_path, capsys):
+        import json
+
+        trace, out = self.run_traced(tmp_path, capsys)
+        assert "chrome trace written" in out
+        doc = json.loads(trace.read_text())
+        events = doc["traceEvents"]
+        assert events, "trace must not be empty"
+        # Track structure: a metadata event names the tile's thread and
+        # every span/instant carries the Chrome-required fields.
+        meta = [e for e in events if e["ph"] == "M"]
+        assert any(e["name"] == "thread_name"
+                   and e["args"]["name"] == "tile 0" for e in meta)
+        spans = [e for e in events if e["ph"] == "X"]
+        assert spans, "the run slice must appear as a span"
+        for span in spans:
+            assert span["dur"] >= 0 and span["ts"] >= 0
+            assert {"pid", "tid", "name"} <= set(span)
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants, "cache misses must appear as instants"
+
+    def test_app_stats_reports_rollup(self, capsys):
+        main(["app", "APP4", "--stats", "--items", "1"])
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "attribution" in out
+        assert "V500" not in out

@@ -1,0 +1,112 @@
+"""V5xx telemetry-consistency rules: red fixtures plus clean real runs."""
+
+from repro.cpu import Core
+from repro.isa import assemble
+from repro.mem import MemorySystem
+from repro.sim import StitchSystem
+from repro.verify import (
+    RULES,
+    Severity,
+    check_core,
+    check_cycle_attribution,
+    check_run,
+)
+
+
+def attribution(compute=10, memory=0, icache=0, branch=0, comm=0,
+                total=None, instructions=None):
+    buckets = {
+        "compute": compute,
+        "memory_stall": memory,
+        "icache_stall": icache,
+        "branch_bubble": branch,
+        "comm_blocked": comm,
+    }
+    buckets["total"] = (
+        total if total is not None else sum(buckets.values())
+    )
+    if instructions is not None:
+        buckets["instructions"] = instructions
+    return buckets
+
+
+class TestRegistry:
+    def test_v5xx_rules_registered(self):
+        for code in ("V500", "V501", "V502"):
+            assert code in RULES
+        assert RULES["V500"].severity is Severity.ERROR
+        assert RULES["V501"].severity is Severity.ERROR
+        assert RULES["V502"].severity is Severity.WARNING
+
+
+class TestV500Sum:
+    def test_drift_fires(self):
+        report = check_cycle_attribution(attribution(compute=10, total=12))
+        assert report.codes() == ["V500"]
+        assert "drift" in report.errors()[0].message
+
+    def test_exact_sum_is_clean(self):
+        report = check_cycle_attribution(attribution(compute=7, icache=30))
+        assert report.ok(strict=True)
+
+
+class TestV501Negative:
+    def test_negative_bucket_fires(self):
+        report = check_cycle_attribution(attribution(comm=-3))
+        assert "V501" in report.codes()
+
+
+class TestV502IssueSlots:
+    def test_compute_above_instret_warns(self):
+        report = check_cycle_attribution(
+            attribution(compute=10, instructions=8)
+        )
+        assert report.codes() == ["V502"]
+        assert report.ok() and not report.ok(strict=True)
+
+    def test_without_instret_not_checked(self):
+        report = check_cycle_attribution(attribution(compute=10))
+        assert report.ok(strict=True)
+
+
+class TestRealArtifacts:
+    def test_real_core_is_clean(self):
+        core = Core(
+            assemble("movi r1, 0\nloop: addi r1, r1, 1\nslti r2, r1, 9\n"
+                     "bne r2, r0, loop\nhalt"),
+            MemorySystem.stitch(),
+        )
+        core.run()
+        assert check_core(core).ok(strict=True)
+
+    def test_doctored_core_fires(self):
+        core = Core(assemble("movi r1, 1\nhalt"), MemorySystem.stitch())
+        core.run()
+        core.stall_branch += 5  # simulate instrumentation drift
+        report = check_core(core)
+        assert report.codes() == ["V500"]
+
+    def test_real_run_is_clean(self):
+        from tests.sim.test_system import consumer_source, producer_source
+
+        system = StitchSystem()
+        system.load(0, producer_source(1, 0x100, 2, 3))
+        system.load(1, consumer_source(0, 0x200, 2))
+        results = system.run()
+        report = check_run(results)
+        assert report.ok(strict=True), report.render()
+
+    def test_check_run_accepts_bare_stats(self):
+        system = StitchSystem()
+        system.load(0, Core(assemble("halt"), MemorySystem.stitch()).program)
+        results = system.run()
+        assert check_run(results.stats).ok(strict=True)
+
+    def test_doctored_run_names_the_tile(self):
+        system = StitchSystem()
+        system.load(5, assemble("movi r1, 2\nhalt"))
+        results = system.run()
+        results.stats.tiles[5]["compute"] += 1
+        report = check_run(results)
+        assert "V500" in report.codes()
+        assert report.errors()[0].loc == "tile 5"
