@@ -16,6 +16,15 @@ Commands:
 * ``verify <kernel|APP1..APP4|file.s>`` — static verification
   (stitch-lint) of a kernel, application or raw assembly file; with
   ``--strict`` the exit code reflects the findings,
+* ``explain <kernel|APP1..APP4>`` — compile (or stitch) with decision
+  provenance on and narrate every choice the tool chain made: each ISE
+  candidate's fate, each version's measured cycles and bit-exact
+  verdict, each placement alternative Algorithm 1 weighed; ``--json``
+  for the machine form, ``--dot PREFIX`` for Graphviz pictures,
+* ``bench [--out DIR] [--check DIR]`` — re-measure the Fig. 11/12
+  result sets into ``BENCH_fig11.json``/``BENCH_fig12.json`` and
+  optionally diff them against a committed baseline (CI's regression
+  gate),
 * ``report [path]`` — regenerate the full EXPERIMENTS.md (slow).
 """
 
@@ -191,6 +200,142 @@ def cmd_verify(args):
         sys.exit(1)
 
 
+def _explain_kernel(name, args):
+    import json
+
+    from repro.compiler.driver import (
+        ALL_OPTIONS,
+        KernelCompiler,
+        LOCUS_OPTION,
+    )
+    from repro.provenance import CompileReport, dfg_dot
+    from repro.verify import check_compile_report
+    from repro.workloads import make_kernel
+
+    kernel = make_kernel(name, seed=args.seed)
+    report = CompileReport(name)
+    compiler = KernelCompiler(kernel, allow_replication=True, report=report)
+    options = ALL_OPTIONS + (LOCUS_OPTION,)
+    if args.option:
+        options = tuple(o for o in options if o.name == args.option)
+        if not options:
+            sys.exit(f"unknown option {args.option!r}")
+    compiled = compiler.compile_options(options)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        from repro.provenance import render_compile_report
+
+        print(render_compile_report(report, verbose=args.verbose))
+        print(check_compile_report(report).render())
+    if args.dot:
+        best = max(compiled.values(), key=lambda c: c.speedup)
+        path = f"{args.dot}.dfg.dot"
+        with open(path, "w") as handle:
+            handle.write(dfg_dot(best))
+        print(f"DFG written to {path} ({best.option.name})")
+    if not report.accounted():
+        sys.exit("provenance accounting failed: candidates unaccounted for")
+
+
+def _explain_app(name, args):
+    import json
+
+    from repro.core.placement import DEFAULT_PLACEMENT
+    from repro.provenance import StitchTrace, plan_dot
+    from repro.sim.baselines import ARCH_STITCH, AppEvaluator
+    from repro.workloads.apps import APP_FACTORIES
+
+    evaluator = AppEvaluator(APP_FACTORIES[name](seed=args.seed))
+    trace = StitchTrace(name)
+    plan = evaluator.plan(ARCH_STITCH, trace=trace)
+    if args.json:
+        payload = trace.to_dict()
+        payload["plan"] = {
+            "bottleneck_cycles": plan.bottleneck_cycles(),
+            "assignments": {
+                str(sid): {
+                    "tile": a.tile,
+                    "option": a.option,
+                    "remote_tile": a.remote_tile,
+                    "path": a.path,
+                    "cycles": a.cycles,
+                }
+                for sid, a in plan.assignments.items()
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(trace.render(plan=plan))
+    if args.dot:
+        path = f"{args.dot}.plan.dot"
+        with open(path, "w") as handle:
+            handle.write(plan_dot(plan, DEFAULT_PLACEMENT))
+        print(f"mesh plan written to {path}")
+
+
+def cmd_explain(args):
+    from repro.workloads import KERNEL_FACTORIES
+    from repro.workloads.apps import APP_FACTORIES
+
+    target = args.target
+    if target in KERNEL_FACTORIES:
+        _explain_kernel(target, args)
+    elif target.upper() in APP_FACTORIES:
+        _explain_app(target.upper(), args)
+    else:
+        sys.exit(
+            f"unknown explain target {target!r}: not a kernel "
+            f"({sorted(KERNEL_FACTORIES)}) or app ({sorted(APP_FACTORIES)})"
+        )
+
+
+def cmd_bench(args):
+    from repro.analysis.bench import (
+        bench_fig11,
+        bench_fig12,
+        compare_bench,
+        load_bench,
+        write_bench,
+    )
+
+    os.makedirs(args.out, exist_ok=True)
+    kernels = args.kernels.split(",") if args.kernels else None
+    apps = [a.upper() for a in args.apps.split(",")] if args.apps else None
+    payloads = {}
+    if not args.skip_fig11:
+        print("bench fig11 (compiles every kernel x option)...")
+        payloads["BENCH_fig11.json"] = bench_fig11(kernels, seed=args.seed)
+    if not args.skip_fig12:
+        print("bench fig12 (stitches every app)...")
+        payloads["BENCH_fig12.json"] = bench_fig12(apps, seed=args.seed)
+    for filename, payload in payloads.items():
+        path = os.path.join(args.out, filename)
+        write_bench(payload, path)
+        print(f"wrote {path}")
+    if not args.check:
+        return
+    failed = False
+    for filename, payload in payloads.items():
+        baseline_path = os.path.join(args.check, filename)
+        if not os.path.isfile(baseline_path):
+            print(f"{filename}: no baseline at {baseline_path}, skipping")
+            continue
+        regressions, notes = compare_bench(
+            payload, load_bench(baseline_path), tolerance=args.tolerance
+        )
+        for note in notes:
+            print(f"{filename}: note: {note}")
+        for regression in regressions:
+            print(f"{filename}: REGRESSION: {regression}")
+        if regressions:
+            failed = True
+        else:
+            print(f"{filename}: within {args.tolerance:.0%} of baseline")
+    if failed:
+        sys.exit(1)
+
+
 def cmd_report(args):
     from repro.analysis.report import generate
 
@@ -262,6 +407,53 @@ def main(argv=None):
         "--rules", action="store_true", help="list registered rules and exit"
     )
 
+    p_explain = sub.add_parser(
+        "explain", help="narrate the tool chain's decisions with provenance"
+    )
+    p_explain.add_argument(
+        "target", help="kernel name | APP1..APP4",
+    )
+    p_explain.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_explain.add_argument(
+        "--dot", metavar="PREFIX",
+        help="write Graphviz files (PREFIX.dfg.dot / PREFIX.plan.dot)",
+    )
+    p_explain.add_argument(
+        "--option", help="kernel targets: explain a single patch option"
+    )
+    p_explain.add_argument(
+        "--verbose", action="store_true",
+        help="list every rejected candidate, not just the tallies",
+    )
+    p_explain.add_argument("--seed", type=int, default=1)
+
+    p_bench = sub.add_parser(
+        "bench", help="re-measure Fig. 11/12 into BENCH_*.json"
+    )
+    p_bench.add_argument(
+        "--out", default=".", help="directory for the BENCH_*.json files"
+    )
+    p_bench.add_argument(
+        "--check", metavar="DIR",
+        help="compare against baseline BENCH_*.json in DIR; exit 1 on "
+             "regression",
+    )
+    p_bench.add_argument(
+        "--tolerance", type=float, default=0.03,
+        help="relative drift allowed on simulated metrics (default 3%%)",
+    )
+    p_bench.add_argument(
+        "--kernels", help="comma-separated subset for fig11"
+    )
+    p_bench.add_argument(
+        "--apps", help="comma-separated subset for fig12"
+    )
+    p_bench.add_argument("--skip-fig11", action="store_true")
+    p_bench.add_argument("--skip-fig12", action="store_true")
+    p_bench.add_argument("--seed", type=int, default=1)
+
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_report.add_argument("path", nargs="?", default="EXPERIMENTS.md")
 
@@ -272,6 +464,8 @@ def main(argv=None):
         "run": cmd_run,
         "app": cmd_app,
         "verify": cmd_verify,
+        "explain": cmd_explain,
+        "bench": cmd_bench,
         "report": cmd_report,
     }[args.command]
     handler(args)

@@ -11,6 +11,8 @@ The stitcher (:mod:`repro.core.stitching`) later picks one version per
 kernel chip-wide.
 """
 
+import time
+
 from repro.compiler.codegen import (
     ImmPool,
     rewrite_block,
@@ -25,10 +27,76 @@ from repro.core.executor import PatchExecutor
 from repro.core.patches import AT_AS, AT_MA, AT_SA, LOCUS_SFU
 from repro.cpu.core import Core, STOP_HALT
 from repro.mem.hierarchy import MemorySystem
+from repro.provenance.records import NULL_REPORT
+
+
+def _first_divergence(expected, actual, prefix=""):
+    """First location where two kernel results disagree, or ``None``.
+
+    Walks nested sequences/dicts (kernel results are memory-word dumps,
+    register values, or small structures of them) and returns
+    ``(loc, expected_value, actual_value)`` with ``loc`` an index path
+    like ``[2][17]``.
+    """
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual), key=repr):
+            if key not in expected:
+                return (f"{prefix}[{key!r}]", "<absent>", actual[key])
+            if key not in actual:
+                return (f"{prefix}[{key!r}]", expected[key], "<absent>")
+            found = _first_divergence(
+                expected[key], actual[key], f"{prefix}[{key!r}]"
+            )
+            if found is not None:
+                return found
+        return None
+    if (isinstance(expected, (list, tuple))
+            and isinstance(actual, (list, tuple))):
+        for index, (want, got) in enumerate(zip(expected, actual)):
+            found = _first_divergence(want, got, f"{prefix}[{index}]")
+            if found is not None:
+                return found
+        if len(expected) != len(actual):
+            return (f"{prefix}.length", len(expected), len(actual))
+        return None
+    if expected != actual:
+        return (prefix or "value", expected, actual)
+    return None
 
 
 class MiscompileError(AssertionError):
-    """An accelerated kernel produced different results."""
+    """An accelerated kernel produced different results.
+
+    Carries the kernel name, the patch option whose version failed, and
+    the first diverging word — ``divergence`` is ``(loc, expected,
+    actual)`` where ``loc`` indexes into the kernel's result structure
+    (for memory dumps, the word index) — so a miscompile names exactly
+    where the accelerated binary went wrong, mirroring the assembler's
+    located :class:`~repro.isa.assembler.AssemblerError`.
+    """
+
+    def __init__(self, message, kernel=None, option=None, divergence=None):
+        super().__init__(message)
+        self.kernel = kernel
+        self.option = option
+        self.divergence = divergence
+
+    @classmethod
+    def from_results(cls, kernel_name, option_name, expected, actual):
+        divergence = _first_divergence(expected, actual)
+        head = f"{kernel_name} @ {option_name}: accelerated output "
+        if divergence is None:
+            message = head + "differs from reference"
+        else:
+            loc, want, got = divergence
+            message = (
+                head + f"diverges at word {loc}: "
+                f"expected {want!r}, got {got!r}"
+            )
+        return cls(
+            message, kernel=kernel_name, option=option_name,
+            divergence=divergence,
+        )
 
 
 class PatchOption:
@@ -117,7 +185,7 @@ class KernelCompiler:
 
     def __init__(self, kernel, hot_threshold=0.05, max_instructions=20_000_000,
                  max_inputs=4, max_outputs=2, allow_replication=True,
-                 verify=False):
+                 verify=False, report=None):
         self.kernel = kernel
         self.hot_threshold = hot_threshold
         self.max_instructions = max_instructions
@@ -125,6 +193,9 @@ class KernelCompiler:
         # the repro.verify ISE checks (and the kernel body its lint)
         # before it is returned or cached.
         self.verify = verify
+        # Opt-in decision provenance; the null report swallows every
+        # hook so the default path pays a single attribute load.
+        self.report = report if report is not None else NULL_REPORT
         if not (1 <= max_outputs <= 2 and 1 <= max_inputs <= 4):
             raise ValueError(
                 "the register file provides at most 4 read / 2 write ports"
@@ -132,14 +203,17 @@ class KernelCompiler:
         self.max_inputs = max_inputs
         self.max_outputs = max_outputs
         self.allow_replication = allow_replication
-        self.profile = profile_kernel(
-            kernel.program, kernel.setup, max_instructions=max_instructions
-        )
+        with self.report.phase("profile"):
+            self.profile = profile_kernel(
+                kernel.program, kernel.setup, max_instructions=max_instructions
+            )
         self.baseline_cycles = self.profile.cycles
+        self.report.baseline_cycles = self.baseline_cycles
         exit_live = getattr(kernel, "live_out_regs", None)
-        _, self.block_live_out = liveness(
-            kernel.program, ALL_REGS if exit_live is None else exit_live
-        )
+        with self.report.phase("liveness"):
+            _, self.block_live_out = liveness(
+                kernel.program, ALL_REGS if exit_live is None else exit_live
+            )
         # Loads confined to read-only (const) regions may run on a
         # remote patch's LMAU once the region is replicated there.
         const_regions = [r for r, _ in getattr(kernel, "consts", [])]
@@ -147,7 +221,8 @@ class KernelCompiler:
             self.profile.replicable_loads(const_regions)
             if allow_replication and const_regions else {}
         )
-        self._reference = self._run(kernel.program, cfg_table=None)[1]
+        with self.report.phase("reference"):
+            self._reference = self._run(kernel.program, cfg_table=None)[1]
         self._cache = {}
 
     # -- execution ------------------------------------------------------------
@@ -191,11 +266,22 @@ class KernelCompiler:
         """Compile + measure + validate one option (cached)."""
         if option.name in self._cache:
             return self._cache[option.name]
+        version = self.report.version(option)
+        wall_start = time.perf_counter()
+        try:
+            compiled = self._compile(option, version)
+        finally:
+            version.wall_seconds = time.perf_counter() - wall_start
+        self._cache[option.name] = compiled
+        return compiled
+
+    def _compile(self, option, version):
         program = self.kernel.program
         pool = ImmPool.for_program(program)
         all_mappings = []
         rewrites = {}
         for hot in self.profile.hot_blocks(self.hot_threshold):
+            block_rec = version.block(hot.block.index, hot.weight)
             dfg = DFG(
                 hot.block,
                 spm_only=self.profile.spm_only,
@@ -206,29 +292,40 @@ class KernelCompiler:
                 option.max_outputs if option.max_outputs is not None
                 else self.max_outputs
             )
-            candidates = enumerate_candidates(
-                dfg, max_inputs=self.max_inputs, max_outputs=max_outputs
-            )
-            mappings = select_ises(candidates, option.targets(), pool)
+            with self.report.phase("enumerate", owner=version):
+                candidates = enumerate_candidates(
+                    dfg, max_inputs=self.max_inputs, max_outputs=max_outputs,
+                    observer=(
+                        block_rec.enumeration
+                        if block_rec is not None else None
+                    ),
+                )
+            if block_rec is not None:
+                block_rec.enumerated = len(candidates)
+            with self.report.phase("select", owner=version):
+                mappings = select_ises(
+                    candidates, option.targets(), pool, observer=block_rec
+                )
             if mappings:
                 rewrites[hot.block.index] = mappings
         cfg_table = []
         block_rewrites = {}
-        for block_index, placements in rewrites.items():
-            numbered = []
-            for mapping in placements:
-                numbered.append((mapping, len(cfg_table)))
-                cfg_table.append(mapping.config)
-                all_mappings.append(mapping)
-            block = self.kernel.program.basic_blocks()[block_index]
-            block_rewrites[block_index] = rewrite_block(block, numbered, pool)
-        new_program = rewrite_program(program, block_rewrites, pool, cfg_table)
-        cycles, result = self._run(new_program, cfg_table)
-        if result != self._reference:
-            raise MiscompileError(
-                f"{self.kernel.name} @ {option.name}: accelerated output "
-                f"differs from reference"
+        with self.report.phase("rewrite", owner=version):
+            for block_index, placements in rewrites.items():
+                numbered = []
+                for mapping in placements:
+                    numbered.append((mapping, len(cfg_table)))
+                    cfg_table.append(mapping.config)
+                    all_mappings.append(mapping)
+                block = self.kernel.program.basic_blocks()[block_index]
+                block_rewrites[block_index] = rewrite_block(
+                    block, numbered, pool
+                )
+            new_program = rewrite_program(
+                program, block_rewrites, pool, cfg_table
             )
+        with self.report.phase("measure", owner=version):
+            cycles, result = self._run(new_program, cfg_table)
         replicated = []
         for mapping in all_mappings:
             for node_id in mapping.remote_node_ids:
@@ -239,13 +336,23 @@ class KernelCompiler:
                 region = self.replicable.get(pc)
                 if region is not None and region not in replicated:
                     replicated.append(region)
+        version.measured(
+            cycles, self.baseline_cycles, all_mappings,
+            replicated_regions=replicated,
+        )
+        with self.report.phase("validate", owner=version):
+            if result != self._reference:
+                version.note_validation(False)
+                raise MiscompileError.from_results(
+                    self.kernel.name, option.name, self._reference, result
+                )
+            version.note_validation(True)
         compiled = CompiledKernel(
             self.kernel, option, new_program, cfg_table, all_mappings,
             cycles, self.baseline_cycles, replicated_regions=replicated,
         )
         if self.verify:
             self._verify(compiled)
-        self._cache[option.name] = compiled
         return compiled
 
     def _verify(self, compiled):

@@ -8,6 +8,12 @@ ESU algorithm; convexity and I/O limits filter the stream.  The
 enumeration tractable on large blocks.
 """
 
+from repro.provenance.records import (
+    REJECT_CONVEXITY,
+    REJECT_INPUTS,
+    REJECT_OUTPUTS,
+)
+
 
 class Candidate:
     """One custom-instruction candidate over a block DFG."""
@@ -73,11 +79,19 @@ def enumerate_candidates(
     max_inputs=4,
     max_outputs=2,
     limit=20000,
+    observer=None,
 ):
     """All feasible candidates of a block DFG, largest first.
 
     ``limit`` bounds the number of connected subgraphs visited; blocks
     big enough to hit it get a truncated (still valid) candidate set.
+
+    ``observer`` optionally receives provenance callbacks (the
+    :class:`repro.provenance.EnumerationLog` protocol):
+    ``note_visited()`` per subgraph examined, ``note_rejected(reason)``
+    per infeasible one — convexity or the 4-input/2-output register-file
+    budget — and ``note_truncated()`` when ``limit`` cuts the sweep
+    short.  Passing ``None`` (the default) costs nothing.
     """
     eligible_ids = [node.id for node in dfg.eligible_nodes()]
     adjacency = _adjacency(dfg, eligible_ids)
@@ -85,20 +99,30 @@ def enumerate_candidates(
     visited = 0
 
     def feasible(node_set):
+        if observer is not None:
+            observer.note_visited()
         if not dfg.is_convex(node_set):
+            if observer is not None:
+                observer.note_rejected(REJECT_CONVEXITY)
             return None
         candidate = Candidate(dfg, node_set)
         if len(candidate.inputs) > max_inputs:
+            if observer is not None:
+                observer.note_rejected(REJECT_INPUTS)
             return None
         # Zero outputs is legal (pure store patterns); codegen binds a
         # placeholder destination register.
         if len(candidate.outputs) > max_outputs:
+            if observer is not None:
+                observer.note_rejected(REJECT_OUTPUTS)
             return None
         return candidate
 
     def extend(sub, ext, root, sub_neighborhood):
         nonlocal visited
         if visited >= limit:
+            if observer is not None:
+                observer.note_truncated()
             return
         visited += 1
         if len(sub) >= min_size:

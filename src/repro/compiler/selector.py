@@ -11,9 +11,27 @@ Greedy (largest coverage first), honoring:
 
 from repro.compiler.codegen import CodegenError, rewrite_block
 from repro.compiler.mapper import map_candidate
+from repro.core.fusion import FusedConfig
+from repro.provenance.records import (
+    REJECT_IMM_POOL,
+    REJECT_MAX_PER_BLOCK,
+    REJECT_OVERLAP,
+    REJECT_UNMAPPABLE,
+    REJECT_UNSCHEDULABLE,
+    REJECTED,
+    SELECTED,
+)
 
 
-def select_ises(candidates, targets, pool, max_per_block=8):
+def _target_name(mapping):
+    """Patch-type name(s) the mapping landed on, e.g. ``AT-MA+AT-AS``."""
+    config = mapping.config
+    if isinstance(config, FusedConfig):
+        return f"{config.cfg_a.ptype.name}+{config.cfg_b.ptype.name}"
+    return config.ptype.name
+
+
+def select_ises(candidates, targets, pool, max_per_block=8, observer=None):
     """Pick mappings for one block.
 
     ``targets`` is an ordered list of mapping targets (best first), e.g.
@@ -22,17 +40,31 @@ def select_ises(candidates, targets, pool, max_per_block=8):
     target that admits a mapping wins.  The returned list of
     :class:`~repro.compiler.mapper.Mapping` is guaranteed to rewrite
     cleanly as a set.
+
+    ``observer`` optionally receives the fate of **every** candidate
+    (the :class:`repro.provenance.BlockRecord` protocol):
+    ``decide(candidate, status, reason=..., target=...)`` — selected, or
+    rejected with one of the documented reasons — so accepted plus
+    rejected always sums to ``len(candidates)``.  With the default
+    ``None`` the loop short-circuits exactly as before.
     """
     chosen = []
     covered = set()
     block = candidates[0].dfg.block if candidates else None
     for candidate in candidates:
         if len(chosen) >= max_per_block:
-            break
+            if observer is None:
+                break
+            observer.decide(candidate, REJECTED, reason=REJECT_MAX_PER_BLOCK)
+            continue
         if candidate.node_ids & covered:
+            if observer is not None:
+                observer.decide(candidate, REJECTED, reason=REJECT_OVERLAP)
             continue
         imm_values = [ref[1] for ref in candidate.inputs if ref[0] == "imm"]
         if not pool.can_allocate(imm_values):
+            if observer is not None:
+                observer.decide(candidate, REJECTED, reason=REJECT_IMM_POOL)
             continue
         mapping = None
         for target in targets:
@@ -40,12 +72,20 @@ def select_ises(candidates, targets, pool, max_per_block=8):
             if mapping is not None:
                 break
         if mapping is None:
+            if observer is not None:
+                observer.decide(candidate, REJECTED, reason=REJECT_UNMAPPABLE)
             continue
         trial = chosen + [mapping]
         try:
             rewrite_block(block, [(m, 0) for m in trial], pool)
         except CodegenError:
+            if observer is not None:
+                observer.decide(
+                    candidate, REJECTED, reason=REJECT_UNSCHEDULABLE
+                )
             continue
         chosen.append(mapping)
         covered |= candidate.node_ids
+        if observer is not None:
+            observer.decide(candidate, SELECTED, target=_target_name(mapping))
     return chosen

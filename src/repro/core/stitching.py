@@ -18,6 +18,21 @@ from repro.core.fusion import MAX_FUSION_HOPS
 from repro.core.placement import DEFAULT_PLACEMENT
 from repro.interpatch.network import InterPatchNetwork
 from repro.interpatch.pathfinder import find_path
+from repro.provenance.stitch import (
+    CHOSEN,
+    INFEASIBLE,
+    LOST,
+    NO_FEASIBLE_TILE,
+    NO_FREE_PAIR,
+    NULL_ATTEMPT,
+    NULL_ROUND,
+    NULL_VARIANT,
+    PLACED,
+    STOP_BOTTLENECK_DONE,
+    STOP_BOTTLENECK_STUCK,
+    STOP_CONVERGED,
+    STOP_PATCHES_EXHAUSTED,
+)
 
 BASELINE = "baseline"
 
@@ -50,10 +65,11 @@ class Assignment:
 class StitchPlan:
     """Complete output of Algorithm 1 for one application."""
 
-    def __init__(self, app_name, assignments, network):
+    def __init__(self, app_name, assignments, network, placement=None):
         self.app_name = app_name
         self.assignments = assignments     # stage id -> Assignment
         self.network = network             # configured InterPatchNetwork
+        self.placement = placement         # patch Placement (timing info)
 
     def tile_of(self, stage_id):
         return self.assignments[stage_id].tile
@@ -68,9 +84,35 @@ class StitchPlan:
         return [a for a in self.assignments.values() if a.fused]
 
     def describe(self):
+        """Human-readable plan, with stitched-path timing per fusion."""
+        # Local import: interpatch.timing has no dependency back here,
+        # but keeping describe() self-contained mirrors render().
+        from repro.interpatch.timing import (
+            fused_path_delay_ns,
+            path_hops,
+            path_traversals,
+        )
+
         lines = [f"Stitching for {self.app_name}:"]
         for stage_id in sorted(self.assignments):
-            lines.append(f"  {self.assignments[stage_id]!r}")
+            assignment = self.assignments[stage_id]
+            lines.append(f"  {assignment!r}")
+            if not assignment.fused or not assignment.path:
+                continue
+            hops = path_hops(assignment.path)
+            route = "->".join(str(tile) for tile in assignment.path)
+            detail = (
+                f"    path {route}: {hops} hop{'s' if hops != 1 else ''}, "
+                f"{path_traversals(assignment.path)} round-trip traversals"
+            )
+            if self.placement is not None:
+                delay = fused_path_delay_ns(
+                    self.placement.type_of(assignment.tile),
+                    self.placement.type_of(assignment.remote_tile),
+                    assignment.path,
+                )
+                detail += f", {delay:.2f} ns fused delay"
+            lines.append(detail)
         return "\n".join(lines)
 
 
@@ -83,9 +125,16 @@ def _feasible_single(ptype_name, placement, host_free, patch_free):
 
 
 def _feasible_pair(local_name, remote_name, placement, host_free,
-                   patch_free, network):
-    """Best (origin, remote, path): shortest free round-trip path."""
+                   patch_free, network, attempt=NULL_ATTEMPT):
+    """Best (origin, remote, path): shortest free round-trip path.
+
+    ``attempt`` (an :class:`repro.provenance.OptionAttempt`) receives
+    every (origin, remote) alternative examined and its fate, plus the
+    individual path probes, so a trace can say exactly why a fusion
+    landed where it did — or could not land at all.
+    """
     best = None
+    best_record = None
     for origin in sorted(host_free):
         if origin not in patch_free:
             continue
@@ -97,28 +146,45 @@ def _feasible_pair(local_name, remote_name, placement, host_free,
             if placement.type_of(remote).name != remote_name:
                 continue
             if placement.hops(origin, remote) > MAX_FUSION_HOPS:
+                attempt.alternative(
+                    origin, remote, None, INFEASIBLE, "beyond hop budget"
+                )
                 continue
             path = find_path(
                 placement.mesh, origin, remote,
                 reserved_links=network.reserved_links,
+                probe=attempt.probe,
             )
             if path is None:
+                attempt.alternative(
+                    origin, remote, None, INFEASIBLE, "no free path"
+                )
                 continue
+            record = attempt.alternative(
+                origin, remote, path, LOST, f"{len(path) - 1}-hop path"
+            )
             if best is None or len(path) < len(best[2]):
                 best = (origin, remote, path)
+                best_record = record
+    if best_record is not None:
+        best_record.outcome = CHOSEN
     return best
 
 
 def stitch_application(app_name, stage_cycles, placement=None,
-                       allowed=None):
+                       allowed=None, trace=None):
     """Run Algorithm 1.
 
     ``stage_cycles`` maps stage id to ``{option name: cycles}`` and
     must include ``"baseline"``.  ``allowed`` optionally restricts the
     usable option names (e.g. singles only for Stitch-w/o-fusion).
+    ``trace`` (a :class:`repro.provenance.VariantTrace`) optionally
+    records every bottleneck-relief round, option attempt and placement
+    alternative; the default null trace costs nothing.
     Returns a :class:`StitchPlan`.
     """
     placement = placement if placement is not None else DEFAULT_PLACEMENT
+    trace = trace if trace is not None else NULL_VARIANT
     network = InterPatchNetwork(placement.mesh)
     stage_ids = sorted(stage_cycles)
     if len(stage_ids) > placement.mesh.num_tiles:
@@ -148,16 +214,20 @@ def stitch_application(app_name, stage_cycles, placement=None,
         if bottleneck in done:
             # The slowest kernel is already accelerated as far as it
             # goes; the pipeline rate cannot improve further.
+            trace.stop(STOP_BOTTLENECK_DONE)
             break
+        round_rec = trace.round(bottleneck, current[bottleneck])
         placed = False
         for name in options_for(bottleneck):
+            attempt = round_rec.attempt(name, stage_cycles[bottleneck][name])
             if "+" in name:
                 local_name, remote_name = name.split("+", 1)
                 found = _feasible_pair(
                     local_name, remote_name, placement,
-                    host_free, patch_free, network,
+                    host_free, patch_free, network, attempt=attempt,
                 )
                 if found is None:
+                    attempt.outcome = NO_FREE_PAIR
                     checked[bottleneck].add(name)
                     continue
                 origin, remote, path = found
@@ -172,15 +242,24 @@ def stitch_application(app_name, stage_cycles, placement=None,
             else:
                 tiles = _feasible_single(name, placement, host_free, patch_free)
                 if not tiles:
+                    attempt.outcome = NO_FEASIBLE_TILE
                     checked[bottleneck].add(name)
                     continue
                 origin = tiles[0]
+                attempt.alternative(origin, None, None, CHOSEN)
+                for loser in tiles[1:]:
+                    attempt.alternative(
+                        loser, None, None, LOST, "later in tile order"
+                    )
                 assignments[bottleneck] = Assignment(
                     bottleneck, origin, name, None, None,
                     stage_cycles[bottleneck][name],
                 )
                 host_free.discard(origin)
                 patch_free.discard(origin)
+            attempt.outcome = PLACED
+            round_rec.placed = name
+            round_rec.cycles_after = stage_cycles[bottleneck][name]
             current[bottleneck] = stage_cycles[bottleneck][name]
             done.add(bottleneck)
             placed = True
@@ -188,7 +267,10 @@ def stitch_application(app_name, stage_cycles, placement=None,
         if not placed:
             # The bottleneck cannot be sped up: overall throughput is
             # fixed, so Algorithm 1 returns (lines 6-7 of the paper).
+            trace.stop(STOP_BOTTLENECK_STUCK)
             break
+    if not patch_free:
+        trace.stop(STOP_PATCHES_EXHAUSTED)
 
     # Remaining stages take the leftover tiles, unaccelerated.
     leftovers = sorted(host_free)
@@ -199,18 +281,23 @@ def stitch_application(app_name, stage_cycles, placement=None,
         assignments[sid] = Assignment(
             sid, tile, BASELINE, None, None, current[sid]
         )
-    return StitchPlan(app_name, assignments, network)
+    plan = StitchPlan(app_name, assignments, network, placement=placement)
+    trace.finish(plan.bottleneck_cycles())
+    return plan
 
 
-def upgrade_plan(plan, stage_cycles, placement=None, allowed=None):
+def upgrade_plan(plan, stage_cycles, placement=None, allowed=None,
+                 trace=None):
     """Second pass: spend leftover patches on the rotating bottleneck.
 
     Placement is kept fixed; an unaccelerated stage may claim its own
     tile's patch (single or fused), and a single-patch stage may
     upgrade to a fusion whose local half matches its tile.  Runs until
-    the bottleneck stage cannot improve.
+    the bottleneck stage cannot improve.  ``trace`` continues the same
+    :class:`repro.provenance.VariantTrace` the base greedy run wrote.
     """
     placement = placement if placement is not None else DEFAULT_PLACEMENT
+    trace = trace if trace is not None else NULL_VARIANT
     network = plan.network
     assignments = plan.assignments
     patch_free = set(range(placement.mesh.num_tiles))
@@ -243,46 +330,73 @@ def upgrade_plan(plan, stage_cycles, placement=None, allowed=None):
              and usable(name, bottleneck)),
             key=lambda name: table[name],
         )
+        round_rec = (
+            trace.round(bottleneck.stage_id, bottleneck.cycles)
+            if names else NULL_ROUND
+        )
         for name in names:
+            attempt = round_rec.attempt(name, table[name])
             if "+" not in name:
                 patch_free.discard(bottleneck.tile)
+                attempt.alternative(bottleneck.tile, None, None, CHOSEN)
+                attempt.outcome = PLACED
                 bottleneck.option = name
                 bottleneck.cycles = table[name]
-                improved = True
-                break
-            remote_name = name.split("+", 1)[1]
-            chosen = None
-            for remote in sorted(patch_free):
-                if remote == bottleneck.tile:
-                    continue
-                if placement.type_of(remote).name != remote_name:
-                    continue
-                if placement.hops(bottleneck.tile, remote) > MAX_FUSION_HOPS:
-                    continue
-                path = find_path(
-                    placement.mesh, bottleneck.tile, remote,
-                    reserved_links=network.reserved_links,
-                )
-                if path is not None:
+            else:
+                remote_name = name.split("+", 1)[1]
+                chosen = None
+                for remote in sorted(patch_free):
+                    if remote == bottleneck.tile:
+                        continue
+                    if placement.type_of(remote).name != remote_name:
+                        continue
+                    hops = placement.hops(bottleneck.tile, remote)
+                    if hops > MAX_FUSION_HOPS:
+                        attempt.alternative(
+                            bottleneck.tile, remote, None, INFEASIBLE,
+                            "beyond hop budget",
+                        )
+                        continue
+                    path = find_path(
+                        placement.mesh, bottleneck.tile, remote,
+                        reserved_links=network.reserved_links,
+                        probe=attempt.probe,
+                    )
+                    if path is None:
+                        attempt.alternative(
+                            bottleneck.tile, remote, None, INFEASIBLE,
+                            "no free path",
+                        )
+                        continue
                     chosen = (remote, path)
+                    attempt.alternative(
+                        bottleneck.tile, remote, path, CHOSEN,
+                        f"{len(path) - 1}-hop path",
+                    )
                     break
-            if chosen is None:
-                continue
-            remote, path = chosen
-            network.stitch(path)
-            patch_free.discard(bottleneck.tile)
-            patch_free.discard(remote)
-            bottleneck.option = name
-            bottleneck.remote_tile = remote
-            bottleneck.path = path
-            bottleneck.cycles = table[name]
+                if chosen is None:
+                    attempt.outcome = NO_FREE_PAIR
+                    continue
+                remote, path = chosen
+                network.stitch(path)
+                patch_free.discard(bottleneck.tile)
+                patch_free.discard(remote)
+                attempt.outcome = PLACED
+                bottleneck.option = name
+                bottleneck.remote_tile = remote
+                bottleneck.path = path
+                bottleneck.cycles = table[name]
+            round_rec.placed = name
+            round_rec.cycles_after = table[name]
             improved = True
             break
+    trace.stop(STOP_CONVERGED)
+    trace.finish(plan.bottleneck_cycles())
     return plan
 
 
 def stitch_best(app_name, stage_cycles, placement=None, allowed=None,
-                verify=False):
+                verify=False, trace=None):
     """Version selection over greedy variants (Section IV's goal).
 
     The pure bottleneck greedy can starve replicated bottleneck kernels
@@ -300,23 +414,38 @@ def stitch_best(app_name, stage_cycles, placement=None, allowed=None,
     static network rules (link disjointness, hop and delay budgets) and
     raises :class:`repro.verify.VerificationError` on any violation
     rather than returning an invalid plan.
+
+    ``trace`` (a :class:`repro.provenance.StitchTrace`) optionally
+    records all three variants round by round and which one won.
     """
-    plans = [stitch_application(app_name, stage_cycles, placement, allowed)]
+    def variant(name):
+        return trace.variant(name) if trace is not None else None
+
+    traces = [variant("greedy-all"), variant("singles-only"),
+              variant("singles+upgrade")]
+    plans = [
+        stitch_application(app_name, stage_cycles, placement, allowed,
+                           trace=traces[0])
+    ]
     singles = {
         name for sid in stage_cycles for name in stage_cycles[sid]
         if name != BASELINE and "+" not in name
         and (allowed is None or name in allowed)
     }
     plans.append(
-        stitch_application(app_name, stage_cycles, placement, singles)
+        stitch_application(app_name, stage_cycles, placement, singles,
+                           trace=traces[1])
     )
     plans.append(
         upgrade_plan(
-            stitch_application(app_name, stage_cycles, placement, singles),
-            stage_cycles, placement, allowed,
+            stitch_application(app_name, stage_cycles, placement, singles,
+                               trace=traces[2]),
+            stage_cycles, placement, allowed, trace=traces[2],
         )
     )
     best = min(plans, key=lambda plan: plan.bottleneck_cycles())
+    if trace is not None:
+        trace.chose(traces[plans.index(best)])
     if verify:
         # Local import: repro.verify.plan_checks imports this module.
         from repro.verify.diagnostics import VerificationError

@@ -13,11 +13,17 @@ import heapq
 from repro.core.fusion import MAX_FUSION_HOPS
 
 
-def find_path(mesh, src, dst, reserved_links=(), max_hops=MAX_FUSION_HOPS):
+def find_path(mesh, src, dst, reserved_links=(), max_hops=MAX_FUSION_HOPS,
+              probe=None):
     """Shortest free path ``src..dst`` (inclusive) or ``None``.
 
     A link is usable only if both directions are free, because a
     stitching reserves the round trip.
+
+    ``probe`` optionally receives ``(src, dst, path-or-None)`` for every
+    search — the :class:`repro.provenance.OptionAttempt` provenance
+    hook, so an ``explain`` trace can show which pair searches failed
+    for want of a free path rather than a free patch.
     """
     if src == dst:
         raise ValueError("a patch cannot be stitched to itself")
@@ -47,9 +53,13 @@ def find_path(mesh, src, dst, reserved_links=(), max_hops=MAX_FUSION_HOPS):
                 heapq.heappush(heap, (candidate, neighbor))
 
     if dst not in distances or distances[dst] > max_hops:
+        if probe is not None:
+            probe(src, dst, None)
         return None
     path = [dst]
     while path[-1] != src:
         path.append(previous[path[-1]])
     path.reverse()
+    if probe is not None:
+        probe(src, dst, path)
     return path

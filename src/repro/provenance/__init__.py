@@ -1,0 +1,106 @@
+"""Decision provenance for the compiler tool chain.
+
+Two record families, both with telemetry-style null objects so the
+instrumented code paths never branch on "is provenance on":
+
+* :class:`CompileReport` — per-kernel compile provenance: phase
+  wall-time spans, the fate of every enumerated ISE candidate, one
+  :class:`VersionRecord` per patch option with the bit-exact validation
+  verdict (threaded through :class:`repro.compiler.KernelCompiler`),
+* :class:`StitchTrace` — chip-wide stitching provenance: every plan
+  variant, bottleneck-relief round and placement alternative Algorithm 1
+  considered (threaded through :func:`repro.core.stitching.stitch_best`).
+
+``python -m repro explain`` renders either as a human narrative
+(:mod:`repro.provenance.narrative`), machine JSON (``to_dict``) or
+Graphviz pictures (:mod:`repro.provenance.dot`).
+"""
+
+from repro.provenance.records import (
+    NULL_REPORT,
+    NULL_VERSION,
+    REJECTED,
+    REJECT_CONVEXITY,
+    REJECT_IMM_POOL,
+    REJECT_INPUTS,
+    REJECT_MAX_PER_BLOCK,
+    REJECT_OUTPUTS,
+    REJECT_OVERLAP,
+    REJECT_UNMAPPABLE,
+    REJECT_UNSCHEDULABLE,
+    SELECTED,
+    BlockRecord,
+    CandidateRecord,
+    CompileReport,
+    EnumerationLog,
+    NullCompileReport,
+    PhaseSpan,
+    VersionRecord,
+)
+from repro.provenance.stitch import (
+    CHOSEN,
+    INFEASIBLE,
+    LOST,
+    NO_FEASIBLE_TILE,
+    NO_FREE_PAIR,
+    NO_IMPROVEMENT,
+    NULL_ATTEMPT,
+    NULL_ROUND,
+    NULL_VARIANT,
+    PLACED,
+    AlternativeRecord,
+    NullVariantTrace,
+    OptionAttempt,
+    RoundRecord,
+    StitchTrace,
+    VariantTrace,
+)
+from repro.provenance.narrative import (
+    explain_summary,
+    render_compile_report,
+    render_stitch_trace,
+)
+from repro.provenance.dot import dfg_dot, plan_dot
+
+__all__ = [
+    "BlockRecord",
+    "CandidateRecord",
+    "CompileReport",
+    "EnumerationLog",
+    "NullCompileReport",
+    "PhaseSpan",
+    "VersionRecord",
+    "NULL_REPORT",
+    "NULL_VERSION",
+    "SELECTED",
+    "REJECTED",
+    "REJECT_CONVEXITY",
+    "REJECT_INPUTS",
+    "REJECT_OUTPUTS",
+    "REJECT_MAX_PER_BLOCK",
+    "REJECT_OVERLAP",
+    "REJECT_IMM_POOL",
+    "REJECT_UNMAPPABLE",
+    "REJECT_UNSCHEDULABLE",
+    "AlternativeRecord",
+    "NullVariantTrace",
+    "OptionAttempt",
+    "RoundRecord",
+    "StitchTrace",
+    "VariantTrace",
+    "NULL_ATTEMPT",
+    "NULL_ROUND",
+    "NULL_VARIANT",
+    "PLACED",
+    "CHOSEN",
+    "LOST",
+    "INFEASIBLE",
+    "NO_FEASIBLE_TILE",
+    "NO_FREE_PAIR",
+    "NO_IMPROVEMENT",
+    "explain_summary",
+    "render_compile_report",
+    "render_stitch_trace",
+    "dfg_dot",
+    "plan_dot",
+]

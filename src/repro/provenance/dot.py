@@ -1,0 +1,129 @@
+"""Graphviz dumps for ``repro explain --dot``.
+
+Two pictures, both plain DOT text (no graphviz dependency — render with
+``dot -Tsvg`` / ``neato -Tsvg`` wherever graphviz is installed):
+
+* :func:`dfg_dot` — the hot-block dataflow graphs of one compiled
+  kernel version, with the nodes of every selected custom instruction
+  highlighted and grouped,
+* :func:`plan_dot` — a stitch plan overlaid on the 4x4 mesh: tiles
+  labelled with their patch type and assigned stage, mesh links in
+  light gray, reserved inter-patch paths in bold color.
+"""
+
+_ISE_COLORS = (
+    "#aec7e8", "#ffbb78", "#98df8a", "#ff9896",
+    "#c5b0d5", "#c49c94", "#f7b6d2", "#dbdb8d",
+)
+
+_PATH_COLORS = ("#d62728", "#1f77b4", "#2ca02c", "#9467bd",
+                "#8c564b", "#e377c2", "#17becf", "#bcbd22")
+
+
+def _esc(text):
+    return str(text).replace('"', r'\"')
+
+
+def dfg_dot(compiled):
+    """DOT digraph of a :class:`CompiledKernel`'s hot-block DFGs.
+
+    Nodes belonging to a selected ISE are filled with that custom
+    instruction's color; plain nodes stay white.  One cluster per
+    rewritten basic block.
+    """
+    # Selected mappings share their block's DFG object; group by block.
+    by_block = {}
+    for mapping in compiled.mappings:
+        dfg = mapping.candidate.dfg
+        by_block.setdefault(dfg.block.index, (dfg, []))[1].append(mapping)
+
+    lines = [
+        f'digraph "{_esc(compiled.kernel.name)}@{_esc(compiled.option.name)}" {{',
+        "  rankdir=TB;",
+        '  node [shape=box, style=filled, fillcolor=white, '
+        'fontname="monospace"];',
+    ]
+    for block_index in sorted(by_block):
+        dfg, mappings = by_block[block_index]
+        member_color = {}
+        for index, mapping in enumerate(mappings):
+            color = _ISE_COLORS[index % len(_ISE_COLORS)]
+            for node_id in mapping.candidate.node_ids:
+                member_color[node_id] = (index, color)
+        lines.append(f"  subgraph cluster_block{block_index} {{")
+        lines.append(f'    label="block {block_index}";')
+        for node in dfg.nodes:
+            name = f"b{block_index}n{node.id}"
+            label = f"#{node.id} {node.op.value}"
+            if node.out_reg is not None:
+                label += f" r{node.out_reg}"
+            attrs = [f'label="{_esc(label)}"']
+            hit = member_color.get(node.id)
+            if hit is not None:
+                index, color = hit
+                attrs.append(f'fillcolor="{color}"')
+                attrs.append(f'tooltip="cix {index}"')
+            lines.append(f"    {name} [{', '.join(attrs)}];")
+        for node in dfg.nodes:
+            for pred in node.value_pred_ids():
+                lines.append(
+                    f"    b{block_index}n{pred} -> b{block_index}n{node.id};"
+                )
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def plan_dot(plan, placement):
+    """DOT graph of a :class:`StitchPlan` over the placement's mesh.
+
+    Positions are pinned (``pos=...!``), so render with ``neato -n`` or
+    ``fdp``; plain ``dot`` ignores them but keeps the topology.
+    """
+    mesh = placement.mesh
+    assignments = {a.tile: a for a in plan.assignments.values()}
+    remote_of = {
+        a.remote_tile: a for a in plan.assignments.values()
+        if a.remote_tile is not None
+    }
+
+    lines = [
+        f'graph "{_esc(plan.app_name)}" {{',
+        "  layout=neato; overlap=false; splines=true;",
+        '  node [shape=box, style=filled, fillcolor=white, '
+        'fontname="monospace", width=1.1, height=0.6];',
+    ]
+    for tile in range(mesh.num_tiles):
+        col, row = mesh.coords(tile)
+        label = f"tile {tile}\\n{placement.type_of(tile).name}"
+        fill = "white"
+        assignment = assignments.get(tile)
+        if assignment is not None:
+            label += f"\\nstage {assignment.stage_id}: {assignment.option}"
+            fill = "#e6f2e6" if assignment.option != "baseline" else "#f2f2f2"
+        if tile in remote_of:
+            label += f"\\nremote of stage {remote_of[tile].stage_id}"
+            fill = "#fff2cc"
+        lines.append(
+            f'  t{tile} [label="{label}", fillcolor="{fill}", '
+            f'pos="{col * 1.6:.1f},{-row * 1.1:.1f}!"];'
+        )
+    drawn = set()
+    for tile in range(mesh.num_tiles):
+        for neighbor in mesh.neighbors(tile):
+            key = tuple(sorted((tile, neighbor)))
+            if key in drawn:
+                continue
+            drawn.add(key)
+            lines.append(f'  t{key[0]} -- t{key[1]} [color="#cccccc"];')
+    for index, assignment in enumerate(sorted(
+        plan.fused_pairs(), key=lambda a: a.stage_id
+    )):
+        color = _PATH_COLORS[index % len(_PATH_COLORS)]
+        for a, b in zip(assignment.path, assignment.path[1:]):
+            lines.append(
+                f'  t{a} -- t{b} [color="{color}", penwidth=3, '
+                f'label="s{assignment.stage_id}", fontcolor="{color}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,185 @@
+"""Human-readable decision narratives for ``python -m repro explain``.
+
+Renders a :class:`~repro.provenance.records.CompileReport` (per-kernel
+compile provenance) or a :class:`~repro.provenance.stitch.StitchTrace`
+(chip-wide stitching provenance) as indented text a person can read to
+answer "why did this kernel/app end up with this plan?".
+"""
+
+from repro.provenance.records import SELECTED
+from repro.provenance.stitch import CHOSEN
+
+
+def _fmt_seconds(seconds):
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def render_compile_report(report, verbose=False):
+    """The per-kernel decision narrative.
+
+    ``verbose`` additionally lists every rejected candidate; the default
+    keeps rejections aggregated by reason (they can number thousands).
+    """
+    lines = [
+        f"compile provenance for {report.kernel_name} "
+        f"(baseline {report.baseline_cycles} cycles)"
+    ]
+    if report.phases:
+        phases = ", ".join(
+            f"{span.name} {_fmt_seconds(span.seconds)}"
+            for span in report.phases
+        )
+        lines.append(f"  kernel phases: {phases}")
+    totals = report.candidate_totals()
+    lines.append(
+        f"  candidates across all versions: {totals['enumerated']} "
+        f"enumerated = {totals['selected']} selected "
+        f"+ {totals['rejected']} rejected"
+        + ("" if report.accounted() else "  [NOT FULLY ACCOUNTED]")
+    )
+    best = report.best_version()
+    for name in sorted(report.versions):
+        version = report.versions[name]
+        verdict = {
+            True: "bit-exact ok",
+            False: "VALIDATION FAILED",
+            None: "not validated",
+        }[version.validated]
+        marks = []
+        if best is not None and version is best:
+            marks.append("best")
+        if version.fallback_single:
+            marks.append("fused option fell back to single-patch mappings")
+        if version.replicated_regions:
+            marks.append(
+                "replicates " + ",".join(version.replicated_regions)
+            )
+        tag = f"  [{'; '.join(marks)}]" if marks else ""
+        lines.append(
+            f"  version {version.option}: {version.cycles} cycles "
+            f"({version.speedup:.2f}x), {version.mappings} cix "
+            f"({version.fused_mappings} fused), {verdict}, "
+            f"{_fmt_seconds(version.wall_seconds)}{tag}"
+        )
+        if version.phases:
+            phases = ", ".join(
+                f"{span.name} {_fmt_seconds(span.seconds)}"
+                for span in version.phases
+            )
+            lines.append(f"    phases: {phases}")
+        for block in version.blocks:
+            enum = block.enumeration
+            lines.append(
+                f"    block {block.block_index} "
+                f"(weight {block.weight:.2f}): {enum.visited} subgraphs "
+                f"visited, {enum.total_rejected()} infeasible, "
+                f"{block.enumerated} candidates"
+                + (" [truncated]" if enum.truncated else "")
+            )
+            if enum.rejections:
+                detail = ", ".join(
+                    f"{reason} {count}"
+                    for reason, count in sorted(enum.rejections.items())
+                )
+                lines.append(f"      infeasible subgraphs: {detail}")
+            selected = block.selected()
+            rejections = block.rejection_counts()
+            detail = ", ".join(
+                f"{reason} {count}"
+                for reason, count in sorted(rejections.items())
+            )
+            lines.append(
+                f"      selected {len(selected)} / rejected "
+                f"{sum(rejections.values())}"
+                + (f" ({detail})" if detail else "")
+            )
+            for record in selected:
+                lines.append(
+                    f"      cix {record.signature} over nodes "
+                    f"{list(record.node_ids)} -> {record.target} "
+                    f"({record.n_inputs} in / {record.n_outputs} out)"
+                )
+            if verbose:
+                for record in block.candidates:
+                    if record.status == SELECTED:
+                        continue
+                    lines.append(
+                        f"      rejected {record.signature} "
+                        f"{list(record.node_ids)}: {record.reason}"
+                    )
+    return "\n".join(lines)
+
+
+def render_stitch_trace(trace, plan=None):
+    """The chip-wide stitching narrative."""
+    lines = [f"stitching provenance for {trace.app_name}"]
+    for variant in trace.variants:
+        mark = "  << winner" if variant.winner else ""
+        lines.append(
+            f"  variant {variant.name}: bottleneck "
+            f"{variant.bottleneck_cycles} cycles, "
+            f"{len(variant.placements())} placements, "
+            f"stopped: {variant.stopped}{mark}"
+        )
+        for index, round_rec in enumerate(variant.rounds):
+            outcome = (
+                f"placed {round_rec.placed} "
+                f"({round_rec.cycles_before} -> {round_rec.cycles_after} cyc)"
+                if round_rec.placed is not None else "no option placed"
+            )
+            lines.append(
+                f"    round {index}: bottleneck stage "
+                f"{round_rec.stage_id} ({round_rec.cycles_before} cyc) "
+                f"-> {outcome}"
+            )
+            for attempt in round_rec.attempts:
+                lines.append(
+                    f"      option {attempt.name} "
+                    f"({attempt.cycles} cyc): {attempt.outcome}"
+                )
+                for alt in attempt.alternatives:
+                    where = (
+                        f"tile {alt.origin} + tile {alt.remote}"
+                        if alt.remote is not None else f"tile {alt.origin}"
+                    )
+                    path = (
+                        f", path {alt.path} "
+                        f"({alt.hops} hop{'s' if alt.hops != 1 else ''})"
+                        if alt.path else ""
+                    )
+                    marker = ">>" if alt.outcome == CHOSEN else "--"
+                    detail = f": {alt.detail}" if alt.detail else ""
+                    lines.append(
+                        f"        {marker} {where}{path} "
+                        f"[{alt.outcome}{detail}]"
+                    )
+        if variant.winner and plan is not None:
+            lines.append("")
+            lines.append(
+                "\n".join("  " + ln for ln in plan.describe().splitlines())
+            )
+    return "\n".join(lines)
+
+
+def explain_summary(trace):
+    """One-line summary per variant, for quick CLI output."""
+    parts = []
+    for variant in trace.variants:
+        placed = sum(
+            1 for r in variant.rounds
+            if r.placed is not None and r.placed.count("+")
+        )
+        parts.append(
+            f"{variant.name}={variant.bottleneck_cycles}cyc"
+            f"({placed} fused)" + ("*" if variant.winner else "")
+        )
+    return " ".join(parts)
+
+
+__all__ = [
+    "render_compile_report",
+    "render_stitch_trace",
+    "explain_summary",
+]

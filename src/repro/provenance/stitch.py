@@ -1,0 +1,289 @@
+"""Stitching decision provenance: why Algorithm 1 placed what it did.
+
+A :class:`StitchTrace` records every plan variant :func:`stitch_best`
+generates; within a variant, every bottleneck-relief round, every patch
+option tried for the bottleneck, and — for fused options — every
+(origin, remote) placement alternative the pair search examined, with
+its path cost and why it lost to the winner.  Path searches delegated
+to :func:`repro.interpatch.pathfinder.find_path` are captured through
+its ``probe`` hook.
+
+Like the compile report, the disabled path is a shared null object
+(:data:`NULL_VARIANT`), so the stitcher's hot loops never branch on
+"is tracing on".
+"""
+
+# Attempt outcomes.
+PLACED = "placed"
+NO_FEASIBLE_TILE = "no-feasible-tile"
+NO_FREE_PAIR = "no-free-pair"
+NO_IMPROVEMENT = "no-improvement"
+
+# Alternative outcomes.
+CHOSEN = "chosen"
+LOST = "lost"
+INFEASIBLE = "infeasible"
+
+# Variant stop reasons.
+STOP_ALL_PLACED = "all-stages-placed"
+STOP_PATCHES_EXHAUSTED = "patches-exhausted"
+STOP_BOTTLENECK_DONE = "bottleneck-fully-accelerated"
+STOP_BOTTLENECK_STUCK = "bottleneck-unimprovable"
+STOP_CONVERGED = "upgrade-converged"
+
+
+class AlternativeRecord:
+    """One placement alternative examined for one option attempt."""
+
+    __slots__ = ("origin", "remote", "path", "outcome", "detail")
+
+    def __init__(self, origin, remote, path, outcome, detail=""):
+        self.origin = origin
+        self.remote = remote          # None for single-patch placements
+        self.path = list(path) if path is not None else None
+        self.outcome = outcome
+        self.detail = detail
+
+    @property
+    def hops(self):
+        return len(self.path) - 1 if self.path else None
+
+    def to_dict(self):
+        return {
+            "origin": self.origin,
+            "remote": self.remote,
+            "path": self.path,
+            "hops": self.hops,
+            "outcome": self.outcome,
+            "detail": self.detail,
+        }
+
+    def __repr__(self):
+        where = (
+            f"{self.origin}+{self.remote}" if self.remote is not None
+            else f"{self.origin}"
+        )
+        return f"AlternativeRecord({where}: {self.outcome} {self.detail})"
+
+
+class OptionAttempt:
+    """One patch option tried for the round's bottleneck stage."""
+
+    __slots__ = ("name", "cycles", "outcome", "alternatives", "path_probes")
+
+    def __init__(self, name, cycles):
+        self.name = name
+        self.cycles = cycles          # the option's table cycles
+        self.outcome = None           # PLACED / NO_FEASIBLE_TILE / ...
+        self.alternatives = []
+        self.path_probes = []         # (src, dst, hops-or-None)
+
+    def alternative(self, origin, remote, path, outcome, detail=""):
+        record = AlternativeRecord(origin, remote, path, outcome, detail)
+        self.alternatives.append(record)
+        return record
+
+    def probe(self, src, dst, path):
+        """``find_path`` provenance hook."""
+        self.path_probes.append(
+            (src, dst, len(path) - 1 if path is not None else None)
+        )
+
+    def chosen(self):
+        return next(
+            (a for a in self.alternatives if a.outcome == CHOSEN), None
+        )
+
+    def to_dict(self):
+        return {
+            "option": self.name,
+            "cycles": self.cycles,
+            "outcome": self.outcome,
+            "alternatives": [a.to_dict() for a in self.alternatives],
+            "path_probes": [
+                {"src": s, "dst": d, "hops": h}
+                for s, d, h in self.path_probes
+            ],
+        }
+
+
+class RoundRecord:
+    """One bottleneck-relief iteration (Algorithm 1's outer loop)."""
+
+    __slots__ = ("stage_id", "cycles_before", "attempts", "placed",
+                 "cycles_after")
+
+    def __init__(self, stage_id, cycles_before):
+        self.stage_id = stage_id
+        self.cycles_before = cycles_before
+        self.attempts = []
+        self.placed = None            # winning option name or None
+        self.cycles_after = None
+
+    def attempt(self, name, cycles):
+        record = OptionAttempt(name, cycles)
+        self.attempts.append(record)
+        return record
+
+    def to_dict(self):
+        return {
+            "stage": self.stage_id,
+            "cycles_before": self.cycles_before,
+            "cycles_after": self.cycles_after,
+            "placed": self.placed,
+            "attempts": [a.to_dict() for a in self.attempts],
+        }
+
+
+class VariantTrace:
+    """One greedy run (stitch_application or an upgrade pass)."""
+
+    def __init__(self, name):
+        self.name = name
+        self.rounds = []
+        self.stopped = None
+        self.bottleneck_cycles = None
+        self.winner = False
+
+    def round(self, stage_id, cycles_before):
+        record = RoundRecord(stage_id, cycles_before)
+        self.rounds.append(record)
+        return record
+
+    def stop(self, reason):
+        # Keep the first (most specific) stop reason.
+        if self.stopped is None:
+            self.stopped = reason
+
+    def finish(self, bottleneck_cycles):
+        self.bottleneck_cycles = bottleneck_cycles
+        if self.stopped is None:
+            self.stopped = STOP_ALL_PLACED
+
+    def placements(self):
+        return [r for r in self.rounds if r.placed is not None]
+
+    def to_dict(self):
+        return {
+            "variant": self.name,
+            "bottleneck_cycles": self.bottleneck_cycles,
+            "stopped": self.stopped,
+            "winner": self.winner,
+            "rounds": [r.to_dict() for r in self.rounds],
+        }
+
+    def __repr__(self):
+        return (
+            f"VariantTrace({self.name}: {len(self.rounds)} rounds, "
+            f"bottleneck={self.bottleneck_cycles})"
+        )
+
+
+class StitchTrace:
+    """Provenance of one :func:`stitch_best` version selection."""
+
+    def __init__(self, app_name):
+        self.app_name = app_name
+        self.variants = []
+
+    def variant(self, name):
+        record = VariantTrace(name)
+        self.variants.append(record)
+        return record
+
+    def chose(self, variant):
+        for record in self.variants:
+            record.winner = record is variant
+
+    def winner(self):
+        return next((v for v in self.variants if v.winner), None)
+
+    def to_dict(self):
+        return {
+            "app": self.app_name,
+            "winner": getattr(self.winner(), "name", None),
+            "variants": [v.to_dict() for v in self.variants],
+        }
+
+    def render(self, plan=None):
+        from repro.provenance.narrative import render_stitch_trace
+
+        return render_stitch_trace(self, plan=plan)
+
+    def __repr__(self):
+        return f"StitchTrace({self.app_name}, {len(self.variants)} variants)"
+
+
+# -- disabled path -------------------------------------------------------------
+
+
+class _NullAlternative:
+    __slots__ = ()
+    outcome = None
+
+    def to_dict(self):
+        return {}
+
+    def __setattr__(self, name, value):
+        pass
+
+
+class _NullAttempt:
+    __slots__ = ()
+    alternatives = ()
+    path_probes = ()
+
+    def alternative(self, origin, remote, path, outcome, detail=""):
+        return _NULL_ALTERNATIVE
+
+    def probe(self, src, dst, path):
+        pass
+
+    def chosen(self):
+        return None
+
+    def __setattr__(self, name, value):
+        pass
+
+
+class _NullRound:
+    __slots__ = ()
+    attempts = ()
+
+    def attempt(self, name, cycles):
+        return NULL_ATTEMPT
+
+    def __setattr__(self, name, value):
+        pass
+
+
+class NullVariantTrace:
+    """Disabled stitch tracing: every hook is a no-op."""
+
+    name = None
+    rounds = ()
+    winner = False
+
+    def round(self, stage_id, cycles_before):
+        return NULL_ROUND
+
+    def stop(self, reason):
+        pass
+
+    def finish(self, bottleneck_cycles):
+        pass
+
+    def placements(self):
+        return []
+
+    def to_dict(self):
+        return {}
+
+    def __setattr__(self, name, value):
+        pass
+
+
+_NULL_ALTERNATIVE = _NullAlternative()
+NULL_ATTEMPT = _NullAttempt()
+NULL_ROUND = _NullRound()
+NULL_VARIANT = NullVariantTrace()

@@ -97,17 +97,22 @@ class AppEvaluator:
 
     # -- architecture plans ------------------------------------------------------
 
-    def plan(self, architecture):
-        """A StitchPlan-compatible assignment for each architecture."""
+    def plan(self, architecture, trace=None):
+        """A StitchPlan-compatible assignment for each architecture.
+
+        ``trace`` (a :class:`repro.provenance.StitchTrace`) records the
+        stitcher's decisions for the two architectures that stitch.
+        """
         tables = self.cycle_tables()
         if architecture == ARCH_STITCH:
             return stitch_best(
-                f"{self.app.name}/{architecture}", tables, self.placement
+                f"{self.app.name}/{architecture}", tables, self.placement,
+                trace=trace,
             )
         if architecture == ARCH_NOFUSE:
             return stitch_best(
                 f"{self.app.name}/{architecture}", tables, self.placement,
-                allowed=_SINGLE_NAMES,
+                allowed=_SINGLE_NAMES, trace=trace,
             )
         # baseline / LOCUS: identity placement, uniform per-core option.
         option = LOCUS_OPTION.name if architecture == ARCH_LOCUS else BASELINE

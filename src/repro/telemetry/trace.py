@@ -27,8 +27,9 @@ COUNTER = "counter"
 # Track namespaces (Chrome "processes").
 TILES = "tiles"
 NOC = "noc"
+COMPILER = "compiler"
 
-_PIDS = {TILES: 1, NOC: 2}
+_PIDS = {TILES: 1, NOC: 2, COMPILER: 3}
 
 
 class TraceEvent:
@@ -141,7 +142,12 @@ class Tracer:
             namespace, label = track
             pid = _PIDS[namespace]
             tid = tids.setdefault(track, len(tids))
-            name = f"tile {label}" if namespace == TILES else f"link {label}"
+            if namespace == TILES:
+                name = f"tile {label}"
+            elif namespace == NOC:
+                name = f"link {label}"
+            else:
+                name = f"compile {label}"
             trace_events.append({
                 "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
                 "args": {"name": name},

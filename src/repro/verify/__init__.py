@@ -11,7 +11,10 @@ Four passes, none of which simulates anything:
 * **MPI checks** (``V4xx``) — static deadlock detection over an app's
   blocking channel graph,
 * **telemetry checks** (``V5xx``) — cycle-attribution cross-checks over
-  measured runs (pure consistency checks; nothing simulated here).
+  measured runs (pure consistency checks; nothing simulated here),
+* **report checks** (``V6xx``) — compile-provenance accounting: every
+  enumerated ISE candidate selected or rejected-with-reason, and stitch
+  plans consistent with the versions the compiler actually measured.
 
 Entry points: :func:`verify_source`, :func:`verify_kernel`,
 :func:`verify_compiled`, :func:`verify_plan`, :func:`verify_app`;
@@ -39,6 +42,10 @@ from repro.verify.ise_checks import check_ises
 from repro.verify.mpi_checks import check_app_channels
 from repro.verify.plan_checks import check_plan
 from repro.verify.program_lint import lint_program
+from repro.verify.report_checks import (
+    check_compile_report,
+    check_report_against_plan,
+)
 from repro.verify.telemetry_checks import (
     check_core,
     check_cycle_attribution,
@@ -62,8 +69,10 @@ __all__ = [
     "check_ises",
     "check_app_channels",
     "check_plan",
+    "check_compile_report",
     "check_core",
     "check_cycle_attribution",
+    "check_report_against_plan",
     "check_run",
     "lint_program",
 ]

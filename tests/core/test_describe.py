@@ -1,0 +1,68 @@
+"""StitchPlan.describe(): per-assignment path hops and ns delay."""
+
+from repro.core.stitching import BASELINE, stitch_application
+from repro.interpatch.timing import fused_path_delay_ns
+
+
+class TestSyntheticDescribe:
+    def test_exact_text_is_pinned(self):
+        # Deterministic tables over the default 4x4 placement; cycles
+        # are synthetic so the text can be pinned exactly.
+        tables = {
+            0: {BASELINE: 1000, "AT-MA+AT-AS": 400},
+            1: {BASELINE: 300},
+        }
+        plan = stitch_application("pinned", tables)
+        origin = plan.assignments[0]
+        delay = fused_path_delay_ns(
+            plan.placement.type_of(origin.tile),
+            plan.placement.type_of(origin.remote_tile),
+            origin.path,
+        )
+        route = "->".join(str(t) for t in origin.path)
+        assert plan.describe() == (
+            "Stitching for pinned:\n"
+            f"  Assignment(stage 0 @ tile {origin.tile} + tile "
+            f"{origin.remote_tile}: AT-MA+AT-AS, 400 cyc)\n"
+            f"    path {route}: 1 hop, 2 round-trip traversals, "
+            f"{delay:.2f} ns fused delay\n"
+            f"  Assignment(stage 1 @ tile {plan.assignments[1].tile}: "
+            "baseline, 300 cyc)"
+        )
+
+    def test_singles_have_no_path_line(self):
+        tables = {0: {BASELINE: 1000, "AT-MA": 400}}
+        plan = stitch_application("t", tables)
+        text = plan.describe()
+        assert "path" not in text
+        assert "AT-MA" in text
+
+    def test_describe_without_placement_omits_delay(self):
+        tables = {0: {BASELINE: 1000, "AT-MA+AT-AS": 400}}
+        plan = stitch_application("t", tables)
+        plan.placement = None
+        text = plan.describe()
+        assert "round-trip traversals" in text
+        assert "ns fused delay" not in text
+
+
+class TestApp1Describe:
+    def test_app1_fused_assignments_show_hops_and_delay(self):
+        from repro.sim.baselines import ARCH_STITCH, AppEvaluator
+        from repro.workloads.apps import APP_FACTORIES
+
+        evaluator = AppEvaluator(APP_FACTORIES["APP1"](seed=1))
+        plan = evaluator.plan(ARCH_STITCH)
+        text = plan.describe()
+        lines = text.splitlines()
+        assert lines[0] == f"Stitching for {plan.app_name}:"
+        fused = plan.fused_pairs()
+        assert fused  # APP1's FFT stages stitch (Table 1 / Fig. 10)
+        path_lines = [ln for ln in lines if ln.startswith("    path ")]
+        assert len(path_lines) == len(fused)
+        for line in path_lines:
+            assert "ns fused delay" in line
+            assert "round-trip traversals" in line
+        # Every stage appears exactly once.
+        stage_lines = [ln for ln in lines if ln.startswith("  Assignment")]
+        assert len(stage_lines) == len(plan.assignments)

@@ -1,0 +1,150 @@
+"""The ``repro explain`` and ``repro bench`` command-line surfaces."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.bench import (
+    bench_fig11,
+    compare_bench,
+    load_bench,
+    write_bench,
+)
+
+
+class TestExplainKernel:
+    def test_narrative_accounts_for_all_candidates(self, capsys):
+        main(["explain", "fir", "--option", "AT-MA"])
+        out = capsys.readouterr().out
+        assert "compile provenance for fir" in out
+        assert "selected" in out and "rejected" in out
+        assert "NOT FULLY ACCOUNTED" not in out
+        assert "verify compile report fir: clean" in out
+
+    def test_json_is_machine_readable(self, capsys):
+        main(["explain", "fir", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kernel"] == "fir"
+        assert payload["accounted"] is True
+        totals = payload["candidate_totals"]
+        assert totals["selected"] + totals["rejected"] == totals["enumerated"]
+        assert len(payload["versions"]) == 13  # 12 patch options + LOCUS
+
+    def test_dot_writes_a_dfg(self, tmp_path, capsys):
+        prefix = str(tmp_path / "fir")
+        main(["explain", "fir", "--option", "AT-MA", "--dot", prefix])
+        dot = (tmp_path / "fir.dfg.dot").read_text()
+        assert dot.startswith("digraph")
+        assert "cluster_block" in dot
+
+    def test_verbose_lists_rejections(self, capsys):
+        main(["explain", "fir", "--option", "AT-MA", "--verbose"])
+        out = capsys.readouterr().out
+        assert "rejected " in out
+
+    def test_unknown_target_exits(self):
+        with pytest.raises(SystemExit):
+            main(["explain", "nope"])
+
+
+class TestExplainApp:
+    def test_narrative_names_winner_and_plan(self, capsys):
+        main(["explain", "APP1"])
+        out = capsys.readouterr().out
+        assert "stitching provenance for APP1" in out
+        assert "<< winner" in out
+        assert "Stitching for APP1-gesture/Stitch:" in out
+
+    def test_json_includes_trace_and_plan(self, capsys):
+        main(["explain", "APP1", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["app"] == "APP1"
+        assert len(payload["variants"]) == 3
+        assert payload["plan"]["bottleneck_cycles"] > 0
+        assert payload["plan"]["assignments"]
+
+    def test_dot_writes_a_mesh_plan(self, tmp_path, capsys):
+        prefix = str(tmp_path / "app1")
+        main(["explain", "APP1", "--dot", prefix])
+        dot = (tmp_path / "app1.plan.dot").read_text()
+        assert dot.startswith("graph")
+        assert "pos=" in dot  # pinned mesh coordinates
+
+
+class TestBench:
+    @pytest.fixture(scope="class")
+    def fig11(self):
+        return bench_fig11(["fir"])
+
+    def test_payload_shape(self, fig11):
+        entry = fig11["kernels"]["fir"]
+        assert entry["baseline_cycles"] > 0
+        assert entry["best_speedup"] >= entry["best_single"]["speedup"]
+        assert entry["candidates_accounted"] is True
+        assert entry["compile_wall_seconds"] > 0
+        assert entry["simulated_cycles_per_second"] > 0
+
+    def test_write_load_round_trip(self, fig11, tmp_path):
+        path = write_bench(fig11, str(tmp_path / "BENCH_fig11.json"))
+        assert load_bench(path) == json.loads(json.dumps(fig11))
+
+    def test_identical_payloads_compare_clean(self, fig11):
+        regressions, notes = compare_bench(fig11, fig11)
+        assert regressions == [] and notes == []
+
+    def test_speedup_regression_detected(self, fig11):
+        baseline = json.loads(json.dumps(fig11))
+        baseline["kernels"]["fir"]["best_speedup"] *= 1.5
+        regressions, _ = compare_bench(fig11, baseline)
+        assert any("best_speedup" in line for line in regressions)
+
+    def test_cycle_increase_is_a_regression(self, fig11):
+        baseline = json.loads(json.dumps(fig11))
+        baseline["kernels"]["fir"]["baseline_cycles"] = int(
+            baseline["kernels"]["fir"]["baseline_cycles"] * 0.5
+        )
+        regressions, _ = compare_bench(fig11, baseline)
+        assert any("baseline_cycles" in line for line in regressions)
+
+    def test_wall_clock_drift_is_ignored(self, fig11):
+        baseline = json.loads(json.dumps(fig11))
+        baseline["kernels"]["fir"]["compile_wall_seconds"] = 9999.0
+        baseline["kernels"]["fir"]["simulated_cycles_per_second"] = 1
+        regressions, notes = compare_bench(fig11, baseline)
+        assert regressions == [] and notes == []
+
+    def test_in_tolerance_drift_is_a_note(self, fig11):
+        baseline = json.loads(json.dumps(fig11))
+        baseline["kernels"]["fir"]["best_speedup"] *= 1.01
+        regressions, notes = compare_bench(fig11, baseline)
+        assert regressions == []
+        assert any("best_speedup" in line for line in notes)
+
+    def test_missing_kernel_is_a_regression(self, fig11):
+        baseline = json.loads(json.dumps(fig11))
+        baseline["kernels"]["ghost"] = {"best_speedup": 2.0}
+        regressions, _ = compare_bench(fig11, baseline)
+        assert any("ghost" in line for line in regressions)
+
+    def test_cli_writes_and_checks(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        main(["bench", "--out", str(out), "--kernels", "fir",
+              "--skip-fig12"])
+        assert (out / "BENCH_fig11.json").is_file()
+        capsys.readouterr()
+        main(["bench", "--out", str(tmp_path / "out2"), "--kernels", "fir",
+              "--skip-fig12", "--check", str(out)])
+        assert "within" in capsys.readouterr().out
+
+    def test_cli_exits_on_regression(self, tmp_path, capsys):
+        out = tmp_path / "base"
+        main(["bench", "--out", str(out), "--kernels", "fir",
+              "--skip-fig12"])
+        baseline = load_bench(str(out / "BENCH_fig11.json"))
+        baseline["kernels"]["fir"]["best_speedup"] = 99.0
+        write_bench(baseline, str(out / "BENCH_fig11.json"))
+        with pytest.raises(SystemExit):
+            main(["bench", "--out", str(tmp_path / "cur"), "--kernels",
+                  "fir", "--skip-fig12", "--check", str(out)])
+        assert "REGRESSION" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""Stitching provenance: the StitchTrace threaded through Algorithm 1."""
+
+import json
+
+from repro.core.stitching import (
+    BASELINE,
+    stitch_application,
+    stitch_best,
+    upgrade_plan,
+)
+from repro.provenance import (
+    CHOSEN,
+    PLACED,
+    StitchTrace,
+    VariantTrace,
+)
+
+TABLES = {
+    0: {BASELINE: 1000, "AT-MA": 600, "AT-MA+AT-AS": 400},
+    1: {BASELINE: 900, "AT-AS": 700},
+    2: {BASELINE: 1200, "AT-MA": 500, "AT-SA": 800, "AT-MA+AT-MA": 300},
+    3: {BASELINE: 400},
+}
+
+
+class TestVariantTrace:
+    def test_rounds_mirror_placements(self):
+        trace = VariantTrace("greedy")
+        plan = stitch_application("t", TABLES, trace=trace)
+        placed_options = [r.placed for r in trace.placements()]
+        accelerated = {a.option for a in plan.accelerated()}
+        assert set(placed_options) == accelerated
+        assert len(placed_options) == len(plan.accelerated())
+
+    def test_placed_round_carries_cycle_delta(self):
+        trace = VariantTrace("greedy")
+        stitch_application("t", TABLES, trace=trace)
+        for round_rec in trace.placements():
+            assert round_rec.cycles_after < round_rec.cycles_before
+            winning = round_rec.attempts[-1]
+            assert winning.name == round_rec.placed
+            assert winning.outcome == PLACED
+
+    def test_exactly_one_chosen_alternative_per_placement(self):
+        trace = VariantTrace("greedy")
+        stitch_application("t", TABLES, trace=trace)
+        for round_rec in trace.placements():
+            winning = round_rec.attempts[-1]
+            chosen = [
+                a for a in winning.alternatives if a.outcome == CHOSEN
+            ]
+            assert len(chosen) == 1
+
+    def test_fused_placement_records_path_probes(self):
+        trace = VariantTrace("greedy")
+        plan = stitch_application("t", TABLES, trace=trace)
+        fused = {a.option for a in plan.fused_pairs()}
+        assert fused  # the table offers strictly better fused options
+        for round_rec in trace.placements():
+            if "+" not in round_rec.placed:
+                continue
+            winning = round_rec.attempts[-1]
+            assert winning.path_probes
+            chosen = winning.chosen()
+            assert chosen.hops == len(chosen.path) - 1
+
+    def test_trace_does_not_change_the_plan(self):
+        with_trace = stitch_application(
+            "t", TABLES, trace=VariantTrace("greedy")
+        )
+        without = stitch_application("t", TABLES)
+        assert {
+            sid: (a.tile, a.option, a.remote_tile, a.cycles)
+            for sid, a in with_trace.assignments.items()
+        } == {
+            sid: (a.tile, a.option, a.remote_tile, a.cycles)
+            for sid, a in without.assignments.items()
+        }
+
+    def test_stop_reason_always_set(self):
+        trace = VariantTrace("greedy")
+        stitch_application("t", TABLES, trace=trace)
+        assert trace.stopped is not None
+        assert trace.bottleneck_cycles is not None
+
+
+class TestStitchBestTrace:
+    def test_three_variants_and_a_winner(self):
+        trace = StitchTrace("t")
+        plan = stitch_best("t", TABLES, trace=trace)
+        assert [v.name for v in trace.variants] == [
+            "greedy-all", "singles-only", "singles+upgrade",
+        ]
+        winner = trace.winner()
+        assert winner is not None
+        assert winner.bottleneck_cycles == plan.bottleneck_cycles()
+        assert sum(1 for v in trace.variants if v.winner) == 1
+
+    def test_winner_has_minimal_bottleneck(self):
+        trace = StitchTrace("t")
+        stitch_best("t", TABLES, trace=trace)
+        cycles = [v.bottleneck_cycles for v in trace.variants]
+        assert trace.winner().bottleneck_cycles == min(cycles)
+
+    def test_singles_variant_never_fuses(self):
+        trace = StitchTrace("t")
+        stitch_best("t", TABLES, trace=trace)
+        singles = trace.variants[1]
+        for round_rec in singles.rounds:
+            for attempt in round_rec.attempts:
+                assert "+" not in attempt.name
+
+    def test_upgrade_rounds_continue_the_base_variant(self):
+        trace = StitchTrace("t")
+        singles = {
+            name for sid in TABLES for name in TABLES[sid]
+            if name != BASELINE and "+" not in name
+        }
+        variant = trace.variant("singles+upgrade")
+        plan = stitch_application("t", TABLES, allowed=singles, trace=variant)
+        before = len(variant.rounds)
+        upgrade_plan(plan, TABLES, trace=variant)
+        # The upgrade pass appends its rounds (if any) to the same trace
+        # and refreshes the final bottleneck.
+        assert len(variant.rounds) >= before
+        assert variant.bottleneck_cycles == plan.bottleneck_cycles()
+
+    def test_to_dict_json_round_trips(self):
+        trace = StitchTrace("t")
+        stitch_best("t", TABLES, trace=trace)
+        payload = json.loads(json.dumps(trace.to_dict()))
+        assert payload["app"] == "t"
+        assert payload["winner"] in {
+            "greedy-all", "singles-only", "singles+upgrade",
+        }
+        assert len(payload["variants"]) == 3
+        for variant in payload["variants"]:
+            for round_rec in variant["rounds"]:
+                assert round_rec["cycles_before"] is not None
+
+    def test_render_marks_winner_and_chosen(self):
+        trace = StitchTrace("t")
+        plan = stitch_best("t", TABLES, trace=trace)
+        text = trace.render(plan=plan)
+        assert "<< winner" in text
+        assert ">>" in text
+        assert "Stitching for" in text  # plan.describe() appended
