@@ -21,10 +21,14 @@ Commands:
   candidate's fate, each version's measured cycles and bit-exact
   verdict, each placement alternative Algorithm 1 weighed; ``--json``
   for the machine form, ``--dot PREFIX`` for Graphviz pictures,
-* ``bench [--out DIR] [--check DIR]`` — re-measure the Fig. 11/12
-  result sets into ``BENCH_fig11.json``/``BENCH_fig12.json`` and
-  optionally diff them against a committed baseline (CI's regression
-  gate),
+* ``bench [--out DIR] [--check DIR] [--workers N]`` — re-measure the
+  Fig. 11/12 result sets into ``BENCH_fig11.json``/``BENCH_fig12.json``
+  and optionally diff them against a committed baseline (CI's
+  regression gate); ``--workers`` fans kernels/apps over processes,
+* ``sweep [--study NAME] [--smoke] [--workers N] [--out FILE]`` — run a
+  design-space study (mesh size / DRAM latency / D$ capacity, or a
+  custom platform JSON via ``--config``) over a process pool;
+  ``--check-serial`` re-runs serially and asserts identical JSON,
 * ``report [path]`` — regenerate the full EXPERIMENTS.md (slow).
 """
 
@@ -169,6 +173,16 @@ def cmd_verify(args):
                   f"{rule.pass_name:12s} {rule.summary}")
         return
 
+    if args.platform:
+        report = _verify_platform(args.platform)
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        if not report.ok(strict=args.strict):
+            sys.exit(1)
+        return
+
     if args.target is None:
         sys.exit("verify needs a kernel name, app name or .s file")
 
@@ -198,6 +212,44 @@ def cmd_verify(args):
         print(report.render())
     if args.strict and not report.ok(strict=True):
         sys.exit(1)
+
+
+def _load_platform(spec):
+    """Resolve ``spec`` (preset name or JSON file) to a PlatformConfig.
+
+    Validation is deferred to the caller — the verify command wants to
+    *report* inconsistencies, not crash on them.
+    """
+    import json
+
+    from repro.platform import PRESET_NAMES, PlatformConfig, get_preset
+
+    if spec in PRESET_NAMES:
+        return get_preset(spec)
+    if os.path.isfile(spec):
+        with open(spec) as handle:
+            return PlatformConfig.from_dict(json.load(handle), validate=False)
+    sys.exit(
+        f"unknown platform {spec!r}: not a preset ({list(PRESET_NAMES)}) "
+        f"or an existing JSON file"
+    )
+
+
+def _verify_platform(spec):
+    from repro.platform import PlatformConfigError
+    from repro.verify import Report, check_platform
+
+    try:
+        config = _load_platform(spec)
+    except PlatformConfigError as exc:
+        # Structurally broken (unknown fields/groups): report the
+        # issues instead of tracebacking.
+        report = Report(spec)
+        for code, loc, message in exc.issues:
+            report.emit(code, loc, message)
+        return report
+    print(config.describe())
+    return check_platform(config)
 
 
 def _explain_kernel(name, args):
@@ -305,10 +357,14 @@ def cmd_bench(args):
     payloads = {}
     if not args.skip_fig11:
         print("bench fig11 (compiles every kernel x option)...")
-        payloads["BENCH_fig11.json"] = bench_fig11(kernels, seed=args.seed)
+        payloads["BENCH_fig11.json"] = bench_fig11(
+            kernels, seed=args.seed, workers=args.workers
+        )
     if not args.skip_fig12:
         print("bench fig12 (stitches every app)...")
-        payloads["BENCH_fig12.json"] = bench_fig12(apps, seed=args.seed)
+        payloads["BENCH_fig12.json"] = bench_fig12(
+            apps, seed=args.seed, workers=args.workers
+        )
     for filename, payload in payloads.items():
         path = os.path.join(args.out, filename)
         write_bench(payload, path)
@@ -334,6 +390,56 @@ def cmd_bench(args):
             print(f"{filename}: within {args.tolerance:.0%} of baseline")
     if failed:
         sys.exit(1)
+
+
+def cmd_sweep(args):
+    from repro.sweep import make_points, run_sweep, smoke_points, sweep_to_json
+    from repro.sweep.studies import STUDY_KERNELS
+
+    if args.smoke:
+        points = smoke_points()
+    elif args.config:
+        config = _load_platform(args.config)
+        config.validate()
+        print(config.describe())
+        points = [
+            {
+                "id": f"{config.name}/{kernel}",
+                "config": config.to_dict(),
+                "workload": {"kind": "kernel", "name": kernel,
+                             "seed": args.seed},
+            }
+            for kernel in STUDY_KERNELS
+        ]
+    else:
+        studies = args.study.split(",") if args.study else None
+        try:
+            points = make_points(studies)
+        except KeyError as exc:
+            sys.exit(str(exc.args[0]))
+    workers = args.workers
+    print(f"sweep: {len(points)} point(s), "
+          f"{'serial' if not workers or workers <= 1 else f'{workers} workers'}")
+    payload = run_sweep(points, workers=workers)
+    if args.check_serial and workers and workers > 1:
+        serial = run_sweep(points, workers=1)
+        if sweep_to_json(serial) != sweep_to_json(payload):
+            sys.exit("sweep: parallel and serial runs disagree")
+        print("sweep: parallel == serial (checked)")
+    rendered = sweep_to_json(payload)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.out}")
+    for record in payload["results"]:
+        if "error" in record:
+            print(f"  {record['id']}: ERROR {record['error']}")
+        else:
+            metrics = record["metrics"]
+            line = ", ".join(f"{k}={v}" for k, v in metrics.items())
+            print(f"  {record['id']}: {line}")
+    if payload["errors"]:
+        sys.exit(f"sweep: {payload['errors']} point(s) failed")
 
 
 def cmd_report(args):
@@ -406,6 +512,11 @@ def main(argv=None):
     p_verify.add_argument(
         "--rules", action="store_true", help="list registered rules and exit"
     )
+    p_verify.add_argument(
+        "--platform", metavar="PRESET|FILE",
+        help="verify a platform config (preset name or JSON file) "
+             "against the V700 rule family",
+    )
 
     p_explain = sub.add_parser(
         "explain", help="narrate the tool chain's decisions with provenance"
@@ -453,6 +564,40 @@ def main(argv=None):
     p_bench.add_argument("--skip-fig11", action="store_true")
     p_bench.add_argument("--skip-fig12", action="store_true")
     p_bench.add_argument("--seed", type=int, default=1)
+    p_bench.add_argument(
+        "--workers", type=int,
+        help="fan kernels/apps over N worker processes (default: serial)",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a design-space study over a process pool"
+    )
+    p_sweep.add_argument(
+        "--study",
+        help="comma-separated studies to run (mesh | dram | dcache; "
+             "default: all)",
+    )
+    p_sweep.add_argument(
+        "--smoke", action="store_true",
+        help="the tiny CI sweep: 2 configs x 2 kernels",
+    )
+    p_sweep.add_argument(
+        "--config", metavar="PRESET|FILE",
+        help="sweep the study kernels on one platform (preset name or "
+             "config JSON) instead of a built-in study",
+    )
+    p_sweep.add_argument(
+        "--workers", type=int,
+        help="worker processes (default: serial)",
+    )
+    p_sweep.add_argument(
+        "--out", metavar="FILE", help="write the sweep JSON here"
+    )
+    p_sweep.add_argument(
+        "--check-serial", action="store_true",
+        help="re-run serially and assert byte-identical results",
+    )
+    p_sweep.add_argument("--seed", type=int, default=1)
 
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_report.add_argument("path", nargs="?", default="EXPERIMENTS.md")
@@ -466,6 +611,7 @@ def main(argv=None):
         "verify": cmd_verify,
         "explain": cmd_explain,
         "bench": cmd_bench,
+        "sweep": cmd_sweep,
         "report": cmd_report,
     }[args.command]
     handler(args)

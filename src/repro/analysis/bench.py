@@ -18,6 +18,7 @@ simulated performance fails the build instead of drifting the figures.
 """
 
 import json
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.provenance import CompileReport, StitchTrace
 
@@ -31,9 +32,8 @@ WALL_FIELDS = frozenset({
 })
 
 
-def bench_fig11(kernels=None, seed=1):
-    """Per-kernel speedup + compile-cost table (Figure 11 axis)."""
-    from repro.analysis.experiments.kernels import FIG11_KERNELS
+def _bench_one_kernel(name, seed):
+    """One Fig. 11 row; top-level so a process pool can run it."""
     from repro.compiler.driver import (
         ALL_OPTIONS,
         FUSED_OPTIONS,
@@ -43,80 +43,121 @@ def bench_fig11(kernels=None, seed=1):
     )
     from repro.workloads import make_kernel
 
-    names = tuple(kernels) if kernels is not None else FIG11_KERNELS
-    result = {"bench": "fig11", "schema": SCHEMA_VERSION, "kernels": {}}
-    for name in names:
-        kernel = make_kernel(name, seed=seed)
-        report = CompileReport(name)
-        compiler = KernelCompiler(kernel, allow_replication=True,
-                                  report=report)
-        compiled = compiler.compile_options(ALL_OPTIONS + (LOCUS_OPTION,))
+    kernel = make_kernel(name, seed=seed)
+    report = CompileReport(name)
+    compiler = KernelCompiler(kernel, allow_replication=True,
+                              report=report)
+    compiled = compiler.compile_options(ALL_OPTIONS + (LOCUS_OPTION,))
 
-        def best(options):
-            return max(
-                (compiled[o.name] for o in options), key=lambda c: c.speedup
-            )
-
-        best_single = best(SINGLE_OPTIONS)
-        best_fused = best(FUSED_OPTIONS)
-        best_any = best(ALL_OPTIONS)
-        measure_seconds = sum(
-            span.seconds
-            for version in report.versions.values()
-            for span in version.phases
-            if span.name == "measure"
+    def best(options):
+        return max(
+            (compiled[o.name] for o in options), key=lambda c: c.speedup
         )
-        simulated = sum(
-            version.cycles or 0 for version in report.versions.values()
-        )
-        result["kernels"][name] = {
-            "baseline_cycles": compiler.baseline_cycles,
-            "locus_speedup": round(compiled[LOCUS_OPTION.name].speedup, 4),
-            "best_single": {
-                "option": best_single.option.name,
-                "speedup": round(best_single.speedup, 4),
-            },
-            "best_fused": {
-                "option": best_fused.option.name,
-                "speedup": round(best_fused.speedup, 4),
-            },
-            "best_speedup": round(best_any.speedup, 4),
-            "candidates_accounted": report.accounted(),
-            # wall-clock (trend-only, never compared):
-            "compile_wall_seconds": round(report.total_wall_seconds(), 3),
-            "simulated_cycles_per_second": (
-                round(simulated / measure_seconds) if measure_seconds else None
-            ),
-        }
-    return result
+
+    best_single = best(SINGLE_OPTIONS)
+    best_fused = best(FUSED_OPTIONS)
+    best_any = best(ALL_OPTIONS)
+    measure_seconds = sum(
+        span.seconds
+        for version in report.versions.values()
+        for span in version.phases
+        if span.name == "measure"
+    )
+    simulated = sum(
+        version.cycles or 0 for version in report.versions.values()
+    )
+    return name, {
+        "baseline_cycles": compiler.baseline_cycles,
+        "locus_speedup": round(compiled[LOCUS_OPTION.name].speedup, 4),
+        "best_single": {
+            "option": best_single.option.name,
+            "speedup": round(best_single.speedup, 4),
+        },
+        "best_fused": {
+            "option": best_fused.option.name,
+            "speedup": round(best_fused.speedup, 4),
+        },
+        "best_speedup": round(best_any.speedup, 4),
+        "candidates_accounted": report.accounted(),
+        # wall-clock (trend-only, never compared):
+        "compile_wall_seconds": round(report.total_wall_seconds(), 3),
+        "simulated_cycles_per_second": (
+            round(simulated / measure_seconds) if measure_seconds else None
+        ),
+    }
 
 
-def bench_fig12(apps=None, seed=1):
-    """Per-app architecture throughput table (Figure 12 axis)."""
+def _bench_one_kernel_star(args):
+    return _bench_one_kernel(*args)
+
+
+def _bench_one_app(name, seed):
+    """One Fig. 12 row; top-level so a process pool can run it."""
     import time
 
     from repro.sim.baselines import ARCHITECTURES, ARCH_STITCH, AppEvaluator
     from repro.workloads.apps import APP_FACTORIES
 
+    start = time.perf_counter()
+    evaluator = AppEvaluator(APP_FACTORIES[name](seed=seed))
+    throughputs = evaluator.normalized_throughputs()
+    trace = StitchTrace(name)
+    plan = evaluator.plan(ARCH_STITCH, trace=trace)
+    return name, {
+        "throughputs": {
+            arch: round(throughputs[arch], 4) for arch in ARCHITECTURES
+        },
+        "bottleneck_cycles": plan.bottleneck_cycles(),
+        "fused_pairs": len(plan.fused_pairs()),
+        "winning_variant": getattr(trace.winner(), "name", None),
+        # wall-clock (trend-only, never compared):
+        "wall_seconds": round(time.perf_counter() - start, 3),
+    }
+
+
+def _bench_one_app_star(args):
+    return _bench_one_app(*args)
+
+
+def _fan_out(worker, names, seed, workers):
+    """Per-item process fan-out with a deterministic, submission-ordered
+    merge (and ``write_bench`` sorts keys on disk anyway).
+
+    Every item is an independent measurement (the in-process compile
+    caches only ever dedupe *within* one item), so farming items out to
+    fresh processes produces bit-identical simulated numbers — only the
+    wall-clock fields (never compared) differ from a serial run.
+    """
+    if workers is not None and workers > 1 and len(names) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            rows = list(pool.map(worker, [(name, seed) for name in names]))
+    else:
+        rows = [worker((name, seed)) for name in names]
+    return dict(rows)
+
+
+def bench_fig11(kernels=None, seed=1, workers=None):
+    """Per-kernel speedup + compile-cost table (Figure 11 axis)."""
+    from repro.analysis.experiments.kernels import FIG11_KERNELS
+
+    names = tuple(kernels) if kernels is not None else FIG11_KERNELS
+    return {
+        "bench": "fig11",
+        "schema": SCHEMA_VERSION,
+        "kernels": _fan_out(_bench_one_kernel_star, names, seed, workers),
+    }
+
+
+def bench_fig12(apps=None, seed=1, workers=None):
+    """Per-app architecture throughput table (Figure 12 axis)."""
+    from repro.workloads.apps import APP_FACTORIES
+
     names = tuple(apps) if apps is not None else tuple(sorted(APP_FACTORIES))
-    result = {"bench": "fig12", "schema": SCHEMA_VERSION, "apps": {}}
-    for name in names:
-        start = time.perf_counter()
-        evaluator = AppEvaluator(APP_FACTORIES[name](seed=seed))
-        throughputs = evaluator.normalized_throughputs()
-        trace = StitchTrace(name)
-        plan = evaluator.plan(ARCH_STITCH, trace=trace)
-        result["apps"][name] = {
-            "throughputs": {
-                arch: round(throughputs[arch], 4) for arch in ARCHITECTURES
-            },
-            "bottleneck_cycles": plan.bottleneck_cycles(),
-            "fused_pairs": len(plan.fused_pairs()),
-            "winning_variant": getattr(trace.winner(), "name", None),
-            # wall-clock (trend-only, never compared):
-            "wall_seconds": round(time.perf_counter() - start, 3),
-        }
-    return result
+    return {
+        "bench": "fig12",
+        "schema": SCHEMA_VERSION,
+        "apps": _fan_out(_bench_one_app_star, names, seed, workers),
+    }
 
 
 def write_bench(payload, path):

@@ -225,7 +225,10 @@ def run_table1_gesture(seed=1):
                stitch.gesture_ms, "ms", tolerance=0.25)
     report.add("w/o-fusion ms/gesture", PAPER_TABLE1["Stitch w/o fusion"],
                nofuse.gesture_ms, "ms", tolerance=0.4)
-    report.add("Stitch power", 139.5, stitch.power_mw, "mW", compare="exact")
+    from repro.platform import DEFAULT_PLATFORM
+
+    report.add("Stitch power", DEFAULT_PLATFORM.power.stitch_power_mw,
+               stitch.power_mw, "mW", compare="exact")
     return report
 
 

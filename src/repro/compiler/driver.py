@@ -185,10 +185,13 @@ class KernelCompiler:
 
     def __init__(self, kernel, hot_threshold=0.05, max_instructions=20_000_000,
                  max_inputs=4, max_outputs=2, allow_replication=True,
-                 verify=False, report=None):
+                 verify=False, report=None, platform=None):
         self.kernel = kernel
         self.hot_threshold = hot_threshold
         self.max_instructions = max_instructions
+        # Platform the measured versions are simulated on (None = the
+        # stitch preset; sweeps pass alternative configurations).
+        self.platform = platform
         # Opt-in static verification: every compiled artifact must pass
         # the repro.verify ISE checks (and the kernel body its lint)
         # before it is returned or cached.
@@ -227,6 +230,11 @@ class KernelCompiler:
 
     # -- execution ------------------------------------------------------------
 
+    def _memory(self):
+        if self.platform is None:
+            return MemorySystem.stitch()
+        return MemorySystem(self.platform.mem)
+
     def _replica_memory(self, cfg_table):
         """A stand-in remote scratchpad preloaded with the replicated
         read-only regions, when any fused config's B half loads."""
@@ -238,20 +246,21 @@ class KernelCompiler:
         )
         if not needs:
             return None
-        replica = MemorySystem.stitch()
+        replica = self._memory()
         for region, words in getattr(self.kernel, "consts", []):
             replica.load(region.addr, words)
         return replica
 
     def _run(self, program, cfg_table):
-        memory = MemorySystem.stitch()
+        memory = self._memory()
         patch = None
         if cfg_table:
             patch = PatchExecutor(
                 cfg_table, memory,
                 replica_memory=self._replica_memory(cfg_table),
             )
-        core = Core(program, memory, patch=patch)
+        core_params = None if self.platform is None else self.platform.core
+        core = Core(program, memory, patch=patch, params=core_params)
         self.kernel.setup(core)
         outcome = core.run(max_instructions=self.max_instructions)
         if outcome.reason != STOP_HALT:

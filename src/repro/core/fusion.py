@@ -14,13 +14,16 @@ critical path, setting the 200 MHz clock.
 """
 
 from repro.core.config import PatchConfig
+from repro.platform import DEFAULT_PLATFORM
 
-# Table IV / Section VI-D constants (40 nm).
-SWITCH_DELAY_NS = 0.17
-WIRE_DELAY_PER_HOP_NS = 0.1
-CLOCK_NS = 5.0          # 200 MHz
-MAX_FUSION_HOPS = 3     # Manhattan distance between stitched tiles; the
-                        # operands traverse <= 6 hops round trip (paper rule)
+# Table IV / Section VI-D numbers — derived compatibility aliases; the
+# values themselves live in repro.platform's presets.
+SWITCH_DELAY_NS = DEFAULT_PLATFORM.fabric.switch_delay_ns
+WIRE_DELAY_PER_HOP_NS = DEFAULT_PLATFORM.fabric.wire_delay_per_hop_ns
+CLOCK_NS = DEFAULT_PLATFORM.fabric.clock_ns          # 200 MHz
+MAX_FUSION_HOPS = DEFAULT_PLATFORM.fabric.max_fusion_hops
+# (Manhattan distance between stitched tiles; the operands traverse
+# <= 2 * MAX_FUSION_HOPS link hops round trip — the paper's <= 6 rule.)
 
 # Sources selectable for the fused pair's external wiring.
 A_OUT0 = "a_out0"
@@ -32,11 +35,29 @@ _OUT_CHOICES = (A_OUT0, A_OUT1, B_OUT0, B_OUT1)
 
 
 class FusionTiming:
-    """Critical-path arithmetic for single and fused patches."""
+    """Critical-path arithmetic for single and fused patches.
+
+    The class attributes carry the stitch preset's fabric delays;
+    :meth:`configured` derives a timing class for any other
+    :class:`repro.platform.FabricParams` (every classmethod below works
+    unchanged on the derived class).
+    """
 
     switch_ns = SWITCH_DELAY_NS
     wire_ns = WIRE_DELAY_PER_HOP_NS
     clock_ns = CLOCK_NS
+
+    @classmethod
+    def configured(cls, fabric):
+        """A timing class bound to another fabric's delays."""
+        return type(
+            f"FusionTiming_{id(fabric):x}", (cls,),
+            {
+                "switch_ns": fabric.switch_delay_ns,
+                "wire_ns": fabric.wire_delay_per_hop_ns,
+                "clock_ns": fabric.clock_ns,
+            },
+        )
 
     @classmethod
     def single_delay(cls, ptype):

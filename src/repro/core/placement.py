@@ -21,12 +21,26 @@ _DEFAULT_LAYOUT = (
 )
 
 
+def default_layout(mesh):
+    """The paper's 8/4/4 pattern tiled periodically over any mesh.
+
+    On the 4x4 mesh this is exactly the paper's layout; larger meshes
+    repeat it so every tile still has each patch type within the fusion
+    radius, smaller meshes take the top-left corner.
+    """
+    layout = []
+    for tile in range(mesh.num_tiles):
+        x, y = mesh.coords(tile)
+        layout.append(_DEFAULT_LAYOUT[(y % 4) * 4 + (x % 4)])
+    return tuple(layout)
+
+
 class Placement:
     """Mapping of tiles (0-indexed) to patch types on a mesh."""
 
-    def __init__(self, layout=_DEFAULT_LAYOUT, mesh=None):
-        self.mesh = mesh if mesh is not None else Mesh(4, 4)
-        layout = tuple(layout)
+    def __init__(self, layout=None, mesh=None):
+        self.mesh = mesh if mesh is not None else Mesh()
+        layout = tuple(layout) if layout is not None else default_layout(self.mesh)
         if len(layout) != self.mesh.num_tiles:
             raise ValueError(
                 f"layout names {len(layout)} patches for "
@@ -53,7 +67,7 @@ class Placement:
     @classmethod
     def homogeneous(cls, ptype, mesh=None):
         """Ablation: every tile carries the same patch type."""
-        mesh = mesh if mesh is not None else Mesh(4, 4)
+        mesh = mesh if mesh is not None else Mesh()
         return cls(tuple([ptype] * mesh.num_tiles), mesh)
 
     def __repr__(self):

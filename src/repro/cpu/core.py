@@ -21,6 +21,7 @@ from repro.isa.instructions import (
     eval_shift,
     wrap32,
 )
+from repro.platform import DEFAULT_PLATFORM
 from repro.telemetry.rollup import ATTRIBUTION_BUCKETS  # noqa: F401 (re-export)
 from repro.telemetry.trace import NULL_TRACER
 
@@ -96,20 +97,28 @@ class Core:
         patch=None,
         comm=None,
         core_id=0,
-        taken_branch_penalty=1,
+        taken_branch_penalty=None,
         profile=False,
         tracer=None,
+        params=None,
     ):
+        if params is None:
+            params = DEFAULT_PLATFORM.core
         self.program = program
         self.memory = memory
         self.patch = patch
         self.comm = comm if comm is not None else NullComm()
         self.core_id = core_id
-        self.taken_branch_penalty = taken_branch_penalty
+        self.params = params
+        self.taken_branch_penalty = (
+            taken_branch_penalty
+            if taken_branch_penalty is not None
+            else params.taken_branch_penalty
+        )
         self.profile = profile
         self.tracer = tracer if tracer is not None else NULL_TRACER
 
-        self.regs = [0] * 16
+        self.regs = [0] * params.num_regs
         self.pc = 0
         self.cycles = 0
         self.instret = 0

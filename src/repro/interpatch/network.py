@@ -48,7 +48,7 @@ class InterPatchNetwork:
     """All switches of the inter-patch mesh plus the reservation state."""
 
     def __init__(self, mesh=None):
-        self.mesh = mesh if mesh is not None else Mesh(4, 4)
+        self.mesh = mesh if mesh is not None else Mesh()
         self.switches = [CrossbarSwitch(t) for t in range(self.mesh.num_tiles)]
         self.reserved_links = set()
         self.stitchings = []  # (origin, remote, path) for reporting

@@ -9,6 +9,8 @@ the clockless repeaters let signals bypass asynchronously to the next
 hop within the cycle.
 """
 
+from repro.platform import DEFAULT_PLATFORM
+
 PORT_N = "N"
 PORT_E = "E"
 PORT_S = "S"
@@ -18,9 +20,11 @@ PORT_REG = "reg"
 
 PORTS = (PORT_N, PORT_E, PORT_S, PORT_W, PORT_PATCH, PORT_REG)
 
-LINK_DATA_BITS = 4 * 32
-LINK_CONTROL_BITS = 38
-LINK_BITS = LINK_DATA_BITS + LINK_CONTROL_BITS  # 166
+# Derived compatibility aliases — the numbers themselves live in
+# repro.platform's presets (single source of truth).
+LINK_DATA_BITS = DEFAULT_PLATFORM.fabric.link_data_bits
+LINK_CONTROL_BITS = DEFAULT_PLATFORM.fabric.link_control_bits
+LINK_BITS = DEFAULT_PLATFORM.fabric.link_bits  # 166
 
 _PORT_CODE = {port: index for index, port in enumerate(PORTS)}
 _CODE_PORT = dict(enumerate(PORTS))

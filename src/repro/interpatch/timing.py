@@ -6,18 +6,28 @@ The stitching rules of Section III-B, in checkable form:
   link hops round trip (the reserved path is walked once out and once
   back, so a path of ``h`` hops costs ``2 * h`` traversals),
 * the complete fused critical path — 3 switch crossings, both patch
-  chains and the round-trip wire/switch transit — must fit the 5 ns
-  clock (:data:`repro.core.fusion.CLOCK_NS`).
+  chains and the round-trip wire/switch transit — must fit the clock
+  (:data:`repro.core.fusion.CLOCK_NS`).
 
 The arithmetic itself lives in :class:`repro.core.fusion.FusionTiming`;
 this module exposes it keyed by *concrete paths and placements*, which
-is what the plan verifier works on.
+is what the plan verifier works on.  Every check accepts an optional
+``fabric`` (:class:`repro.platform.FabricParams`) so other machines'
+budgets can be verified; the default is the stitch preset.
 """
 
 from repro.core.fusion import CLOCK_NS, MAX_FUSION_HOPS, FusionTiming
 
-# Round trip over a MAX_FUSION_HOPS-hop path (paper's <= 6 rule).
+# Round trip over a MAX_FUSION_HOPS-hop path (paper's <= 6 rule) —
+# derived from the preset, like MAX_FUSION_HOPS itself.
 MAX_PATH_TRAVERSALS = 2 * MAX_FUSION_HOPS
+
+
+def _budgets(fabric):
+    """(timing class, max traversals) for a fabric (None = preset)."""
+    if fabric is None:
+        return FusionTiming, MAX_PATH_TRAVERSALS
+    return FusionTiming.configured(fabric), fabric.max_path_traversals
 
 
 def path_hops(path):
@@ -32,33 +42,37 @@ def path_traversals(path):
     return 2 * path_hops(path)
 
 
-def fused_path_delay_ns(ptype_a, ptype_b, path):
+def fused_path_delay_ns(ptype_a, ptype_b, path, fabric=None):
     """Critical-path delay of a fused pair stitched along ``path``."""
-    return FusionTiming.fused_delay(ptype_a, ptype_b, path_hops(path))
+    timing, _ = _budgets(fabric)
+    return timing.fused_delay(ptype_a, ptype_b, path_hops(path))
 
 
-def within_hop_budget(path):
-    return path_traversals(path) <= MAX_PATH_TRAVERSALS
+def within_hop_budget(path, fabric=None):
+    _, max_traversals = _budgets(fabric)
+    return path_traversals(path) <= max_traversals
 
 
-def within_delay_budget(ptype_a, ptype_b, path):
-    return FusionTiming.fits_single_cycle(
-        fused_path_delay_ns(ptype_a, ptype_b, path)
+def within_delay_budget(ptype_a, ptype_b, path, fabric=None):
+    timing, _ = _budgets(fabric)
+    return timing.fits_single_cycle(
+        fused_path_delay_ns(ptype_a, ptype_b, path, fabric=fabric)
     )
 
 
-def check_path(ptype_a, ptype_b, path):
+def check_path(ptype_a, ptype_b, path, fabric=None):
     """(ok, detail) for one stitched path against both budgets."""
+    timing, max_traversals = _budgets(fabric)
     traversals = path_traversals(path)
-    if traversals > MAX_PATH_TRAVERSALS:
+    if traversals > max_traversals:
         return False, (
             f"{traversals} link traversals exceed the "
-            f"{MAX_PATH_TRAVERSALS}-traversal budget"
+            f"{max_traversals}-traversal budget"
         )
-    delay = fused_path_delay_ns(ptype_a, ptype_b, path)
-    if not FusionTiming.fits_single_cycle(delay):
+    delay = fused_path_delay_ns(ptype_a, ptype_b, path, fabric=fabric)
+    if not timing.fits_single_cycle(delay):
         return False, (
             f"fused path delay {delay:.2f} ns misses the "
-            f"{CLOCK_NS:.2f} ns clock"
+            f"{timing.clock_ns:.2f} ns clock"
         )
     return True, f"{traversals} traversals, {delay:.2f} ns"

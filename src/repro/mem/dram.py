@@ -1,9 +1,12 @@
-"""Sparse word-granular DRAM model (512 MB address space, 30-cycle access)."""
+"""Sparse word-granular DRAM model (per-tile private main memory)."""
 
 from repro.isa.instructions import wrap32
+from repro.platform import DEFAULT_PLATFORM
 
-DRAM_LATENCY = 30
-DRAM_SIZE = 512 * 1024 * 1024
+# Derived compatibility aliases — the numbers themselves live in
+# repro.platform's presets (single source of truth).
+DRAM_LATENCY = DEFAULT_PLATFORM.mem.dram_latency
+DRAM_SIZE = DEFAULT_PLATFORM.mem.dram_size_bytes
 
 
 class Dram:

@@ -10,40 +10,78 @@ Code lives in a dedicated window so instruction fetches exercise the
 I-cache without colliding with data lines.
 """
 
+import dataclasses
+
 from repro.mem.cache import Cache
 from repro.mem.dram import Dram
-from repro.mem.spm import Scratchpad, SPM_BASE, SPM_SIZE
+from repro.mem.spm import Scratchpad
+from repro.platform import DEFAULT_PLATFORM, PlatformConfig
 
-CODE_BASE = 0x0800_0000
+# Derived compatibility alias — the number lives in repro.platform.
+CODE_BASE = DEFAULT_PLATFORM.mem.code_base
+
+_FIELD_FOR_KWARG = {
+    "icache_bytes": "icache_bytes",
+    "dcache_bytes": "dcache_bytes",
+    "assoc": "cache_assoc",
+    "line_bytes": "cache_line_bytes",
+    "spm_bytes": "spm_bytes",
+    "spm_base": "spm_base",
+    "dram_latency": "dram_latency",
+}
 
 
 class MemorySystem:
-    """Timing + contents for one tile's private memory."""
+    """Timing + contents for one tile's private memory.
 
-    def __init__(
-        self,
-        icache_bytes=8 * 1024,
-        dcache_bytes=4 * 1024,
-        assoc=2,
-        line_bytes=64,
-        spm_bytes=SPM_SIZE,
-        spm_base=SPM_BASE,
-        dram_latency=30,
-    ):
-        self.icache = Cache(icache_bytes, assoc, line_bytes, name="icache")
-        self.dcache = Cache(dcache_bytes, assoc, line_bytes, name="dcache")
-        self.spm = Scratchpad(spm_base, spm_bytes) if spm_bytes else None
-        self.dram = Dram(latency=dram_latency)
+    Geometry comes from a :class:`repro.platform.MemParams`; the legacy
+    keyword arguments (``dcache_bytes=...``) still work as overrides on
+    top of the stitch preset.
+    """
+
+    def __init__(self, params=None, **overrides):
+        if params is None:
+            params = DEFAULT_PLATFORM.mem
+        if overrides:
+            unknown = sorted(set(overrides) - set(_FIELD_FOR_KWARG))
+            if unknown:
+                raise TypeError(f"unknown MemorySystem argument(s): {unknown}")
+            params = dataclasses.replace(
+                params,
+                **{_FIELD_FOR_KWARG[k]: v for k, v in overrides.items()},
+            )
+        self.params = params
+        self.code_base = params.code_base
+        self.icache = Cache(
+            params.icache_bytes, params.cache_assoc, params.cache_line_bytes,
+            hit_latency=params.cache_hit_latency, name="icache",
+        )
+        self.dcache = Cache(
+            params.dcache_bytes, params.cache_assoc, params.cache_line_bytes,
+            hit_latency=params.cache_hit_latency, name="dcache",
+        )
+        self.spm = (
+            Scratchpad(params.spm_base, params.spm_bytes,
+                       latency=params.spm_latency)
+            if params.spm_bytes else None
+        )
+        self.dram = Dram(size_bytes=params.dram_size_bytes,
+                         latency=params.dram_latency)
+
+    @classmethod
+    def from_params(cls, params):
+        """Build the memory system one :class:`MemParams` describes."""
+        return cls(params)
 
     @classmethod
     def baseline(cls):
         """Baseline tile: SPM budget folded back into the D-cache."""
-        return cls(dcache_bytes=8 * 1024, spm_bytes=0)
+        return cls(PlatformConfig.baseline().mem)
 
     @classmethod
     def stitch(cls):
         """Stitch tile per Table II."""
-        return cls()
+        return cls(PlatformConfig.stitch().mem)
 
     def is_spm(self, addr):
         return self.spm is not None and self.spm.contains(addr)
@@ -97,7 +135,7 @@ class MemorySystem:
         almost always share a line so the extra cost is one cycle.
         """
         cycles = 0
-        byte_addr = CODE_BASE + instruction_index * 4
+        byte_addr = self.code_base + instruction_index * 4
         for word in range(words):
             hit, _ = self.icache.lookup(byte_addr + word * 4, write=False)
             cycles += self.icache.hit_latency

@@ -8,10 +8,13 @@ core may touch only its own, which the tile enforces.
 """
 
 from repro.isa.instructions import wrap32
+from repro.platform import DEFAULT_PLATFORM
 
-SPM_BASE = 0x1000_0000
-SPM_SIZE = 4 * 1024
-SPM_LATENCY = 1
+# Derived compatibility aliases — the numbers themselves live in
+# repro.platform's presets (single source of truth).
+SPM_BASE = DEFAULT_PLATFORM.mem.spm_base
+SPM_SIZE = DEFAULT_PLATFORM.mem.spm_bytes
+SPM_LATENCY = DEFAULT_PLATFORM.mem.spm_latency
 
 
 class Scratchpad:

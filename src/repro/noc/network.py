@@ -1,23 +1,29 @@
 """Inter-core NoC timing models.
 
-Per Table II each hop costs a 5-stage router traversal plus a 1-cycle
-link.  For a packet of ``F`` flits over ``H`` hops, the uncontended
+Per Table II each hop costs a router-pipeline traversal plus a link
+cycle.  For a packet of ``F`` flits over ``H`` hops, the uncontended
 pipeline latency is::
 
-    (ROUTER_STAGES + LINK_CYCLES) * H + (F - 1)
+    (router_stages + link_cycles) * H + (F - 1)
 
 (the head flit pays the full per-hop pipeline; body flits stream behind
 it).  The link-reservation model additionally serializes packets that
 compete for the same physical link, so congestion delays are captured
 without simulating individual router microarchitecture.
+
+The stage/link/flit numbers come from a
+:class:`repro.platform.NoCParams` (default: the stitch preset).
 """
 
 from repro.noc.packet import packetize
 from repro.noc.topology import Mesh
+from repro.platform import DEFAULT_PLATFORM
 from repro.telemetry import NULL_TELEMETRY
 
-ROUTER_STAGES = 5
-LINK_CYCLES = 1
+# Derived compatibility aliases — the numbers themselves live in
+# repro.platform's presets (single source of truth).
+ROUTER_STAGES = DEFAULT_PLATFORM.noc.router_stages
+LINK_CYCLES = DEFAULT_PLATFORM.noc.link_cycles
 
 
 class LinkSchedule:
@@ -46,8 +52,12 @@ class Network:
     injecting (the core is free again after ``injection_done``).
     """
 
-    def __init__(self, mesh=None, contention=True, telemetry=None):
-        self.mesh = mesh if mesh is not None else Mesh(4, 4)
+    def __init__(self, mesh=None, contention=True, telemetry=None,
+                 params=None):
+        self.params = params if params is not None else DEFAULT_PLATFORM.noc
+        self.router_stages = self.params.router_stages
+        self.link_cycles = self.params.link_cycles
+        self.mesh = mesh if mesh is not None else Mesh.from_params(self.params)
         self.contention = contention
         telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.tracer = telemetry.tracer
@@ -74,17 +84,18 @@ class Network:
     def uncontended_latency(self, src, dst, nwords):
         """Analytic latency of a whole message, ignoring contention."""
         hops = self.mesh.hop_count(src, dst)
-        packets = packetize(src, dst, nwords)
+        packets = packetize(src, dst, nwords, params=self.params)
         total_flits = sum(p.flits for p in packets)
         # Packets of one message stream back-to-back; latency is the head
         # pipeline plus total serialization.
-        return (ROUTER_STAGES + LINK_CYCLES) * max(hops, 1) + total_flits - 1
+        per_hop = self.router_stages + self.link_cycles
+        return per_hop * max(hops, 1) + total_flits - 1
 
     def send(self, src, dst, nwords, time):
         """Inject a message; returns ``(arrival_cycle, injection_done)``."""
         if src == dst:
             # Local loopback through the NIC: just serialization.
-            packets = packetize(src, dst, nwords)
+            packets = packetize(src, dst, nwords, params=self.params)
             flits = sum(p.flits for p in packets)
             self.packets_sent += len(packets)
             self.flits_sent += flits
@@ -94,7 +105,7 @@ class Network:
         arrival = time
         injection_done = time
         cursor = time
-        for packet in packetize(src, dst, nwords):
+        for packet in packetize(src, dst, nwords, params=self.params):
             flits = packet.flits
             self.packets_sent += 1
             self.flits_sent += flits
@@ -104,7 +115,7 @@ class Network:
                 for link_index, link in enumerate(route):
                     schedule = self._link(*link)
                     # Head flit reaches this link after the router pipeline.
-                    earliest = head_time + ROUTER_STAGES
+                    earliest = head_time + self.router_stages
                     crossed = schedule.reserve(earliest, flits)
                     waited = crossed - earliest
                     self.link_busy[link] = self.link_busy.get(link, 0) + flits
@@ -118,18 +129,19 @@ class Network:
                         self.tracer.link_reserved(
                             link, src, dst, crossed, flits, waited
                         )
-                    head_time = crossed + LINK_CYCLES
+                    head_time = crossed + self.link_cycles
                     if link_index == 0:
                         injection_done = max(injection_done, crossed + flits)
                 packet_arrival = head_time + flits - 1
             else:
-                packet_arrival = cursor + (ROUTER_STAGES + LINK_CYCLES) * hops + flits - 1
+                per_hop = self.router_stages + self.link_cycles
+                packet_arrival = cursor + per_hop * hops + flits - 1
                 injection_done = max(injection_done, cursor + flits)
                 for link_index, link in enumerate(route):
                     self.link_busy[link] = self.link_busy.get(link, 0) + flits
                     if self.tracer.enabled:
-                        crossed = (cursor + ROUTER_STAGES
-                                   + (ROUTER_STAGES + LINK_CYCLES) * link_index)
+                        crossed = (cursor + self.router_stages
+                                   + per_hop * link_index)
                         self.tracer.link_reserved(
                             link, src, dst, crossed, flits, 0
                         )

@@ -6,8 +6,12 @@ one head flit plus up to four 16-byte payload flits, i.e. at most
 :func:`packetize`.
 """
 
-FLIT_BYTES = 16
-PAYLOAD_FLITS_PER_PACKET = 4
+from repro.platform import DEFAULT_PLATFORM
+
+# Derived compatibility aliases — the numbers themselves live in
+# repro.platform's presets (single source of truth).
+FLIT_BYTES = DEFAULT_PLATFORM.noc.flit_bytes
+PAYLOAD_FLITS_PER_PACKET = DEFAULT_PLATFORM.noc.payload_flits_per_packet
 WORDS_PER_FLIT = FLIT_BYTES // 4
 MAX_WORDS_PER_PACKET = PAYLOAD_FLITS_PER_PACKET * WORDS_PER_FLIT
 
@@ -15,23 +19,26 @@ MAX_WORDS_PER_PACKET = PAYLOAD_FLITS_PER_PACKET * WORDS_PER_FLIT
 class Packet:
     """One NoC packet: a head flit plus payload flits."""
 
-    __slots__ = ("src", "dst", "payload_words", "sequence")
+    __slots__ = ("src", "dst", "payload_words", "sequence", "words_per_flit")
 
-    def __init__(self, src, dst, payload_words, sequence=0):
-        if payload_words < 0 or payload_words > MAX_WORDS_PER_PACKET:
+    def __init__(self, src, dst, payload_words, sequence=0,
+                 max_words=MAX_WORDS_PER_PACKET,
+                 words_per_flit=WORDS_PER_FLIT):
+        if payload_words < 0 or payload_words > max_words:
             raise ValueError(
-                f"payload must be 0..{MAX_WORDS_PER_PACKET} words, "
+                f"payload must be 0..{max_words} words, "
                 f"got {payload_words}"
             )
         self.src = src
         self.dst = dst
         self.payload_words = payload_words
         self.sequence = sequence
+        self.words_per_flit = words_per_flit
 
     @property
     def payload_flits(self):
         words = self.payload_words
-        return (words + WORDS_PER_FLIT - 1) // WORDS_PER_FLIT
+        return (words + self.words_per_flit - 1) // self.words_per_flit
 
     @property
     def flits(self):
@@ -48,21 +55,32 @@ class Packet:
         )
 
 
-def packetize(src, dst, nwords):
+def packetize(src, dst, nwords, params=None):
     """Split an ``nwords`` message into maximal packets.
 
-    A zero-word message still produces one control packet.
+    A zero-word message still produces one control packet.  ``params``
+    (a :class:`repro.platform.NoCParams`) sets the flit geometry; the
+    default is the stitch preset's.
     """
+    if params is None:
+        max_words, words_per_flit = MAX_WORDS_PER_PACKET, WORDS_PER_FLIT
+    else:
+        max_words, words_per_flit = (
+            params.max_words_per_packet, params.words_per_flit
+        )
     if nwords < 0:
         raise ValueError("message length must be non-negative")
     if nwords == 0:
-        return [Packet(src, dst, 0, sequence=0)]
+        return [Packet(src, dst, 0, sequence=0, max_words=max_words,
+                       words_per_flit=words_per_flit)]
     packets = []
     sequence = 0
     remaining = nwords
     while remaining > 0:
-        chunk = min(remaining, MAX_WORDS_PER_PACKET)
-        packets.append(Packet(src, dst, chunk, sequence=sequence))
+        chunk = min(remaining, max_words)
+        packets.append(Packet(src, dst, chunk, sequence=sequence,
+                              max_words=max_words,
+                              words_per_flit=words_per_flit))
         sequence += 1
         remaining -= chunk
     return packets

@@ -5,15 +5,31 @@ The paper numbers tiles 1..16 starting from the top-left corner
 converts for display and for reproducing the paper's figures.
 """
 
+from repro.platform import DEFAULT_PLATFORM
+
 
 class Mesh:
-    """A ``width`` x ``height`` mesh of tiles."""
+    """A ``width`` x ``height`` mesh of tiles.
 
-    def __init__(self, width=4, height=4):
+    Defaults come from the stitch preset's NoC parameters (the paper's
+    4x4 array); pass explicit dimensions or use :meth:`from_params` to
+    build other machines.
+    """
+
+    def __init__(self, width=None, height=None):
+        if width is None:
+            width = DEFAULT_PLATFORM.noc.mesh_width
+        if height is None:
+            height = DEFAULT_PLATFORM.noc.mesh_height
         if width < 1 or height < 1:
             raise ValueError("mesh dimensions must be positive")
         self.width = width
         self.height = height
+
+    @classmethod
+    def from_params(cls, params):
+        """The mesh a :class:`repro.platform.NoCParams` describes."""
+        return cls(params.mesh_width, params.mesh_height)
 
     @property
     def num_tiles(self):

@@ -1,0 +1,39 @@
+"""Unified platform configuration: one object describes one machine.
+
+The Table II / Table IV numbers the reproduction used to scatter as
+module constants live here, in the :meth:`PlatformConfig.stitch` and
+:meth:`PlatformConfig.baseline` presets.  ``DEFAULT_PLATFORM`` (the
+stitch preset) backs the derived compatibility aliases the memory, NoC
+and inter-patch layers still re-export.
+"""
+
+from repro.platform.params import (
+    CoreParams,
+    FabricParams,
+    MemParams,
+    NoCParams,
+    PARAM_GROUPS,
+    PlatformConfigError,
+    PowerParams,
+)
+from repro.platform.config import (
+    PRESET_NAMES,
+    PlatformConfig,
+    get_preset,
+)
+
+DEFAULT_PLATFORM = PlatformConfig.stitch()
+
+__all__ = [
+    "CoreParams",
+    "MemParams",
+    "NoCParams",
+    "FabricParams",
+    "PowerParams",
+    "PARAM_GROUPS",
+    "PlatformConfig",
+    "PlatformConfigError",
+    "DEFAULT_PLATFORM",
+    "PRESET_NAMES",
+    "get_preset",
+]

@@ -1,0 +1,163 @@
+"""Parameter groups of one simulated machine.
+
+Each group is a small frozen dataclass covering one layer of the
+platform — core, memory, inter-core NoC, inter-patch fabric, power —
+and :class:`repro.platform.config.PlatformConfig` composes the five
+into a validated whole.  The actual Table II / Table IV numbers appear
+*only* in the named presets (:meth:`PlatformConfig.stitch` /
+:meth:`PlatformConfig.baseline`); every other module reads them from a
+config instance (or from the re-exported preset-derived aliases kept
+for backward compatibility).
+
+This package is a leaf: it imports nothing from the rest of ``repro``
+so every layer may depend on it without cycles.
+"""
+
+import dataclasses
+from dataclasses import dataclass
+
+
+class PlatformConfigError(ValueError):
+    """An inconsistent or non-physical platform description.
+
+    ``issues`` lists ``(code, loc, message)`` tuples using the V700+
+    stitch-lint vocabulary (see :mod:`repro.verify.platform_checks`).
+    """
+
+    def __init__(self, issues):
+        self.issues = list(issues)
+        lines = [f"{code} @ {loc}: {message}" for code, loc, message in self.issues]
+        super().__init__(
+            "invalid platform configuration:\n  " + "\n  ".join(lines)
+        )
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """The in-order core's micro-architectural knobs."""
+
+    num_regs: int
+    taken_branch_penalty: int
+
+
+@dataclass(frozen=True)
+class MemParams:
+    """One tile's private memory system (Table II geometry)."""
+
+    icache_bytes: int
+    dcache_bytes: int
+    cache_assoc: int
+    cache_line_bytes: int
+    cache_hit_latency: int
+    spm_base: int
+    spm_bytes: int
+    spm_latency: int
+    dram_latency: int
+    dram_size_bytes: int
+    code_base: int
+    code_window_bytes: int
+
+    @property
+    def has_spm(self):
+        return self.spm_bytes > 0
+
+    @property
+    def spm_end(self):
+        return self.spm_base + self.spm_bytes
+
+
+@dataclass(frozen=True)
+class NoCParams:
+    """The inter-core packet-switched mesh (Table II timing)."""
+
+    mesh_width: int
+    mesh_height: int
+    router_stages: int
+    link_cycles: int
+    flit_bytes: int
+    payload_flits_per_packet: int
+
+    @property
+    def num_tiles(self):
+        return self.mesh_width * self.mesh_height
+
+    @property
+    def words_per_flit(self):
+        return self.flit_bytes // 4
+
+    @property
+    def max_words_per_packet(self):
+        return self.payload_flits_per_packet * self.words_per_flit
+
+
+@dataclass(frozen=True)
+class FabricParams:
+    """The inter-patch stitching fabric (Table IV delays + hop limit)."""
+
+    switch_delay_ns: float
+    wire_delay_per_hop_ns: float
+    clock_ns: float
+    max_fusion_hops: int
+    link_data_bits: int
+    link_control_bits: int
+    switch_area_um2: int
+
+    @property
+    def link_bits(self):
+        return self.link_data_bits + self.link_control_bits
+
+    @property
+    def max_path_traversals(self):
+        """Round-trip link traversals of the longest legal path."""
+        return 2 * self.max_fusion_hops
+
+    @property
+    def clock_mhz(self):
+        return 1e3 / self.clock_ns
+
+
+@dataclass(frozen=True)
+class PowerParams:
+    """Chip-level power anchors (Table I / Figure 13)."""
+
+    clock_mhz: int
+    stitch_power_mw: float
+    nofusion_power_mw: float
+    accel_power_fraction: float
+    accel_area_fraction: float
+
+
+PARAM_GROUPS = {
+    "core": CoreParams,
+    "mem": MemParams,
+    "noc": NoCParams,
+    "fabric": FabricParams,
+    "power": PowerParams,
+}
+
+
+def group_to_dict(params):
+    return dataclasses.asdict(params)
+
+
+def group_from_dict(cls, payload, base=None, loc="platform"):
+    """Build a parameter group from a dict, overlaying ``base``.
+
+    Unknown keys are rejected (a typoed knob must not silently fall
+    back to the preset value).  Missing keys take the ``base`` value;
+    with no base, every field is required.
+    """
+    fields = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - fields)
+    if unknown:
+        raise PlatformConfigError(
+            [("V706", loc, f"unknown {cls.__name__} field(s): {', '.join(unknown)}")]
+        )
+    if base is not None:
+        return dataclasses.replace(base, **payload)
+    missing = sorted(fields - set(payload))
+    if missing:
+        raise PlatformConfigError(
+            [("V706", loc, f"missing {cls.__name__} field(s): {', '.join(missing)}")]
+        )
+    return cls(**payload)

@@ -7,13 +7,16 @@ other) is a documented model assumption — the paper's figure gives the
 accelerator share only.
 """
 
+from repro.platform import DEFAULT_PLATFORM
 from repro.power.components import StitchAreaModel
 
-STITCH_POWER_MW = 139.5          # Table I
-NOFUSION_POWER_MW = 108.0        # Table I ("Stitch w/o fusion" column)
-ACCEL_POWER_FRACTION = 0.23      # Figure 13
-ACCEL_AREA_FRACTION = 0.005      # Figure 13 (0.5 % of the chip)
-CLOCK_MHZ = 200
+# Derived compatibility aliases — the numbers themselves live in
+# repro.platform's presets (single source of truth).
+STITCH_POWER_MW = DEFAULT_PLATFORM.power.stitch_power_mw        # Table I
+NOFUSION_POWER_MW = DEFAULT_PLATFORM.power.nofusion_power_mw    # Table I
+ACCEL_POWER_FRACTION = DEFAULT_PLATFORM.power.accel_power_fraction  # Fig 13
+ACCEL_AREA_FRACTION = DEFAULT_PLATFORM.power.accel_area_fraction    # Fig 13
+CLOCK_MHZ = DEFAULT_PLATFORM.power.clock_mhz
 
 # Model assumption: how the remaining 77 % of power divides.
 POWER_BREAKDOWN = {

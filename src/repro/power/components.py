@@ -15,10 +15,13 @@ a fraction of a percent.
 
 from repro.core.patches import LOCUS_SFU
 from repro.core.placement import DEFAULT_PLACEMENT
+from repro.platform import DEFAULT_PLATFORM
 
-NOC_SWITCH_DELAY_NS = 0.17
-NOC_SWITCH_AREA_UM2 = 7423
-WIRE_DELAY_PER_HOP_NS = 0.1
+# Derived compatibility aliases — the numbers themselves live in
+# repro.platform's presets (single source of truth).
+NOC_SWITCH_DELAY_NS = DEFAULT_PLATFORM.fabric.switch_delay_ns
+NOC_SWITCH_AREA_UM2 = DEFAULT_PLATFORM.fabric.switch_area_um2
+WIRE_DELAY_PER_HOP_NS = DEFAULT_PLATFORM.fabric.wire_delay_per_hop_ns
 
 # Table III's published totals (um^2), kept for validation.
 ACCEL_AREA_UM2 = {

@@ -14,6 +14,8 @@ fit to the paper's absolute milliseconds (see DESIGN.md §1).
 """
 
 
+from repro.platform import DEFAULT_PLATFORM
+
 GESTURE_DEADLINE_MS = 7.81   # 128 Hz sampling for real-time response
 WINDOWS_PER_GESTURE = 224    # ~1.75 s of 128 Hz samples, one 64-pt window/sample
 
@@ -49,9 +51,12 @@ SENSORTAG = Platform("TI SensorTag (Cortex-M3)", 48, 8.78, 577.0, "-")
 CORTEX_A7 = Platform("Quad Cortex-A7 (Odroid XU3)", 1200, 469.0, 13.0, "28nm")
 
 
-def stitch_platform(gesture_ms, power_mw=139.5, name="Stitch"):
+def stitch_platform(gesture_ms, power_mw=None, name="Stitch"):
     """A Platform view of a simulated Stitch configuration."""
-    return Platform(name, 200, power_mw, gesture_ms, "40nm")
+    power = DEFAULT_PLATFORM.power
+    if power_mw is None:
+        power_mw = power.stitch_power_mw
+    return Platform(name, power.clock_mhz, power_mw, gesture_ms, "40nm")
 
 
 STITCH_PLATFORM = stitch_platform  # alias for the factory

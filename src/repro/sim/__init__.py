@@ -10,7 +10,13 @@
   (baseline / LOCUS / Stitch w/o fusion / Stitch).
 """
 
-from repro.sim.system import DeadlockError, RunResults, StitchSystem, TileResult
+from repro.sim.system import (
+    DeadlockError,
+    RoundBudgetError,
+    RunResults,
+    StitchSystem,
+    TileResult,
+)
 from repro.sim.streaming import wrap_streaming
 from repro.sim.pipeline_model import PipelineModel, StageTiming
 
@@ -19,6 +25,7 @@ __all__ = [
     "TileResult",
     "RunResults",
     "DeadlockError",
+    "RoundBudgetError",
     "wrap_streaming",
     "PipelineModel",
     "StageTiming",

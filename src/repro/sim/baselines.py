@@ -21,8 +21,9 @@ from repro.compiler.driver import (
     LOCUS_OPTION,
     SINGLE_OPTIONS,
 )
-from repro.core.placement import DEFAULT_PLACEMENT
+from repro.core.placement import DEFAULT_PLACEMENT, Placement
 from repro.core.stitching import BASELINE, stitch_application, stitch_best
+from repro.noc.topology import Mesh
 from repro.sim.pipeline_model import PipelineModel, StageTiming
 from repro.sim.streaming import wrap_streaming
 from repro.sim.system import StitchSystem
@@ -43,11 +44,14 @@ def _structural_key(kernel):
     return (key[0], tuple(kv for kv in key[2] if kv[0] != "seed"))
 
 
-def compile_kernel_options(kernel, options=None, allow_replication=False):
+def compile_kernel_options(kernel, options=None, allow_replication=False,
+                           platform=None):
     """Cycle table + compiled programs for one kernel (cached).
 
     Returns ``(cycles: {name: cycles}, compiled: {name: CompiledKernel})``
-    with ``cycles["baseline"]`` included.
+    with ``cycles["baseline"]`` included.  ``platform`` keys the cache
+    too (via :meth:`~repro.platform.PlatformConfig.cache_key`), so
+    sweeps over memory/NoC configurations never share measurements.
 
     Const-region replication defaults off: placing a replica needs free
     space at the region's address in the *remote* tile's scratchpad,
@@ -57,9 +61,11 @@ def compile_kernel_options(kernel, options=None, allow_replication=False):
     """
     options = options if options is not None else ALL_OPTIONS + (LOCUS_OPTION,)
     key = (_structural_key(kernel), tuple(o.name for o in options),
-           allow_replication)
+           allow_replication,
+           platform.cache_key() if platform is not None else None)
     if key not in _COMPILE_CACHE:
-        compiler = KernelCompiler(kernel, allow_replication=allow_replication)
+        compiler = KernelCompiler(kernel, allow_replication=allow_replication,
+                                  platform=platform)
         compiled = compiler.compile_options(options)
         cycles = {name: c.cycles for name, c in compiled.items()}
         cycles[BASELINE] = compiler.baseline_cycles
@@ -70,9 +76,15 @@ def compile_kernel_options(kernel, options=None, allow_replication=False):
 class AppEvaluator:
     """Evaluate one application across the four architectures."""
 
-    def __init__(self, app, placement=None):
+    def __init__(self, app, placement=None, platform=None):
         self.app = app
-        self.placement = placement if placement is not None else DEFAULT_PLACEMENT
+        self.platform = platform
+        if placement is None:
+            placement = (
+                DEFAULT_PLACEMENT if platform is None
+                else Placement(mesh=Mesh.from_params(platform.noc))
+            )
+        self.placement = placement
         self._tables = None
         self._compiled = None
 
@@ -84,7 +96,9 @@ class AppEvaluator:
             tables = {}
             compiled = {}
             for stage in self.app.stages:
-                cycles, programs = compile_kernel_options(stage.kernel)
+                cycles, programs = compile_kernel_options(
+                    stage.kernel, platform=self.platform
+                )
                 tables[stage.id] = dict(cycles)
                 compiled[stage.id] = programs
             self._tables = tables
@@ -176,7 +190,7 @@ class AppEvaluator:
         plan = self.plan(architecture)
         compiled = self.compiled_programs()
         system = StitchSystem(self.placement.mesh, contention=contention,
-                              telemetry=telemetry)
+                              telemetry=telemetry, platform=self.platform)
         for stage in self.app.stages:
             assignment = plan.assignments[stage.id]
             option = assignment.option

@@ -16,6 +16,8 @@ rates, NoC/fabric/patch counters).  Pass ``telemetry=True`` (or a
 trace events across the whole stack.
 """
 
+import dataclasses
+
 from repro.core.executor import PatchExecutor
 from repro.cpu.core import Core, STOP_HALT, STOP_RECV
 from repro.isa.instructions import Op
@@ -23,6 +25,7 @@ from repro.mem.hierarchy import MemorySystem
 from repro.mpi.runtime import MessagePassing
 from repro.noc.network import Network
 from repro.noc.topology import Mesh
+from repro.platform import DEFAULT_PLATFORM
 from repro.telemetry import SystemStats, ensure_telemetry
 
 
@@ -32,6 +35,22 @@ class DeadlockError(RuntimeError):
     ``snapshot`` maps each blocked tile to its pending receive — the
     peer it waits on, how many words it needs, and the words actually
     queued toward it per source channel.
+    """
+
+    def __init__(self, message, snapshot=None):
+        super().__init__(message)
+        self.snapshot = snapshot if snapshot is not None else {}
+
+
+class RoundBudgetError(RuntimeError):
+    """The co-simulation exceeded ``max_rounds`` without finishing.
+
+    Unlike a deadlock the system was still making progress — tiles kept
+    retiring instructions or waking each other up — it just did not
+    converge within the budget (usually a ping-pong workload with the
+    budget set too low, or a livelock).  ``snapshot`` carries the
+    scheduler's state at the point of surrender: which tiles were still
+    runnable, and for each blocked tile the words queued toward it.
     """
 
     def __init__(self, message, snapshot=None):
@@ -78,21 +97,35 @@ class RunResults(list):
 
 
 class StitchSystem:
-    """A 4x4 tile array over the message-passing fabric."""
+    """A tile array over the message-passing fabric.
+
+    ``platform`` (a :class:`repro.platform.PlatformConfig`) sizes every
+    component: the mesh, the NoC timing, each tile's memory system and
+    the core parameters.  ``mesh`` overrides the platform's mesh when
+    given.  ``baseline_memory=True`` re-purposes each tile's SPM budget
+    as extra D$ (the paper's baseline many-core memory system).
+    """
 
     def __init__(self, mesh=None, contention=True, baseline_memory=False,
-                 telemetry=None):
-        self.mesh = mesh if mesh is not None else Mesh(4, 4)
+                 telemetry=None, platform=None):
+        self.platform = platform if platform is not None else DEFAULT_PLATFORM
+        self.mesh = mesh if mesh is not None else Mesh.from_params(self.platform.noc)
         self.telemetry = ensure_telemetry(telemetry)
         self.fabric = MessagePassing(
             Network(self.mesh, contention=contention,
-                    telemetry=self.telemetry),
+                    telemetry=self.telemetry, params=self.platform.noc),
             num_tiles=self.mesh.num_tiles,
             telemetry=self.telemetry,
         )
+        mem_params = self.platform.mem
+        if baseline_memory:
+            mem_params = dataclasses.replace(
+                mem_params,
+                dcache_bytes=mem_params.dcache_bytes + mem_params.spm_bytes,
+                spm_bytes=0,
+            )
         self.memories = [
-            MemorySystem.baseline() if baseline_memory else MemorySystem.stitch()
-            for _ in range(self.mesh.num_tiles)
+            MemorySystem(mem_params) for _ in range(self.mesh.num_tiles)
         ]
         self.cores = [None] * self.mesh.num_tiles
 
@@ -113,7 +146,7 @@ class StitchSystem:
         core = Core(
             program, memory, patch=patch,
             comm=self.fabric.port(tile), core_id=tile,
-            tracer=self.telemetry.tracer,
+            tracer=self.telemetry.tracer, params=self.platform.core,
         )
         if setup is not None:
             setup(core)
@@ -132,7 +165,7 @@ class StitchSystem:
         while pending or blocked:
             rounds += 1
             if rounds > max_rounds:
-                raise RuntimeError("co-simulation exceeded the round budget")
+                raise self._round_budget(max_rounds, pending, blocked)
             progressed = False
             next_pending = []
             for core in pending:
@@ -233,6 +266,29 @@ class StitchSystem:
         if self.telemetry.stats.enabled:
             stats.populate(self.telemetry.stats)
         return stats
+
+    def _round_budget(self, max_rounds, pending, blocked):
+        """Build the RoundBudgetError with its scheduler snapshot."""
+        snapshot = {
+            "rounds": max_rounds,
+            "pending_tiles": sorted(core.core_id for core in pending),
+            "blocked_tiles": {
+                core.core_id: {
+                    "words_queued": self.fabric.pending_words(core.core_id),
+                    "channels": self.fabric.pending_channels(core.core_id),
+                    "cycles": core.cycles,
+                }
+                for core in blocked
+            },
+        }
+        message = (
+            f"co-simulation exceeded the {max_rounds}-round budget: "
+            f"{len(snapshot['pending_tiles'])} tile(s) still runnable "
+            f"{snapshot['pending_tiles']}, "
+            f"{len(snapshot['blocked_tiles'])} blocked "
+            f"{sorted(snapshot['blocked_tiles'])}"
+        )
+        return RoundBudgetError(message, snapshot=snapshot)
 
     def _deadlock(self, blocked):
         """Build the DeadlockError with its telemetry snapshot."""

@@ -1,0 +1,21 @@
+"""Design-space sweep runner (``python -m repro sweep``).
+
+A sweep point pairs a :class:`repro.platform.PlatformConfig` (as its
+JSON dict) with a workload; :func:`repro.sweep.runner.run_sweep` fans
+the points over a process pool and merges the results
+deterministically, so ``--workers 8`` and ``--workers 1`` produce
+byte-identical JSON.  :mod:`repro.sweep.studies` defines the built-in
+studies (mesh size, DRAM latency, D$ capacity).
+"""
+
+from repro.sweep.runner import run_point, run_sweep, sweep_to_json
+from repro.sweep.studies import STUDIES, make_points, smoke_points
+
+__all__ = [
+    "run_point",
+    "run_sweep",
+    "sweep_to_json",
+    "STUDIES",
+    "make_points",
+    "smoke_points",
+]

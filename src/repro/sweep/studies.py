@@ -1,0 +1,116 @@
+"""Built-in design-space studies.
+
+Each study is a function returning a list of sweep points (see
+:mod:`repro.sweep.runner` for the point shape).  All configs are
+derived from the ``stitch`` preset, so a study varies exactly one axis
+and holds everything else at the paper's numbers:
+
+* ``mesh`` — the token ring on 2x2 / 4x4 / 8x8 meshes (NoC scaling),
+* ``dram`` — kernel cycles as DRAM latency sweeps 10..100 cycles,
+* ``dcache`` — kernel cycles as the D$ sweeps 2..16 KB.
+"""
+
+from repro.platform import PlatformConfig
+
+# Kernels the memory studies run: FIR streams through the D$, the
+# histogram's table lives in the SPM — together they show which axis a
+# memory knob actually moves.
+STUDY_KERNELS = ("fir", "histogram")
+
+MESH_SIZES = ((2, 2), (4, 4), (8, 8))
+DRAM_LATENCIES = (10, 30, 50, 70, 100)
+DCACHE_KB = (2, 4, 8, 16)
+
+
+def _kernel_point(config, kernel, seed=1):
+    return {
+        "id": f"{config.name}/{kernel}",
+        "config": config.to_dict(),
+        "workload": {"kind": "kernel", "name": kernel, "seed": seed},
+    }
+
+
+def _ring_point(config, laps=2):
+    return {
+        "id": f"{config.name}/ring",
+        "config": config.to_dict(),
+        "workload": {"kind": "ring", "laps": laps},
+    }
+
+
+def study_mesh():
+    """Token-ring scaling over mesh sizes (Section VI's 16-tile array
+    versus smaller/larger wearable-class fabrics)."""
+    points = []
+    for width, height in MESH_SIZES:
+        config = PlatformConfig.stitch().derive(
+            f"mesh{width}x{height}",
+            noc={"mesh_width": width, "mesh_height": height},
+        )
+        points.append(_ring_point(config))
+    return points
+
+
+def study_dram():
+    """Kernel sensitivity to DRAM latency (Table II says 30 cycles).
+
+    Derived from the *baseline* preset: with the SPM folded into the
+    D$ the kernels' data traffic actually reaches DRAM on misses, so
+    the latency knob moves cycle counts instead of only the I$ fill.
+    """
+    points = []
+    for latency in DRAM_LATENCIES:
+        config = PlatformConfig.baseline().derive(
+            f"dram{latency}", mem={"dram_latency": latency}
+        )
+        for kernel in STUDY_KERNELS:
+            points.append(_kernel_point(config, kernel))
+    return points
+
+
+def study_dcache():
+    """Kernel sensitivity to D$ capacity (the paper's SPM-vs-8KB-D$
+    discussion, Section III-C).  Baseline-derived for the same reason
+    as :func:`study_dram`: the suite's data lives in the SPM when one
+    exists, so only a cache-backed tile shows the capacity effect."""
+    points = []
+    for kilobytes in DCACHE_KB:
+        config = PlatformConfig.baseline().derive(
+            f"dcache{kilobytes}k", mem={"dcache_bytes": kilobytes * 1024}
+        )
+        for kernel in STUDY_KERNELS:
+            points.append(_kernel_point(config, kernel))
+    return points
+
+
+STUDIES = {
+    "mesh": study_mesh,
+    "dram": study_dram,
+    "dcache": study_dcache,
+}
+
+
+def make_points(studies=None):
+    """Concatenate the requested studies (default: all, in name order)."""
+    names = tuple(studies) if studies is not None else tuple(sorted(STUDIES))
+    points = []
+    for name in names:
+        try:
+            study = STUDIES[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown study {name!r}; choose from {sorted(STUDIES)}"
+            ) from None
+        points.extend(study())
+    return points
+
+
+def smoke_points():
+    """The CI smoke sweep: 2 configs x 2 kernels, a few seconds total."""
+    stitch = PlatformConfig.stitch()
+    dram50 = stitch.derive("dram50", mem={"dram_latency": 50})
+    return [
+        _kernel_point(config, kernel)
+        for config in (stitch, dram50)
+        for kernel in STUDY_KERNELS
+    ]

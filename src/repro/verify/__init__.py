@@ -14,7 +14,11 @@ Four passes, none of which simulates anything:
   measured runs (pure consistency checks; nothing simulated here),
 * **report checks** (``V6xx``) — compile-provenance accounting: every
   enumerated ISE candidate selected or rejected-with-reason, and stitch
-  plans consistent with the versions the compiler actually measured.
+  plans consistent with the versions the compiler actually measured,
+* **platform checks** (``V7xx``) — consistency of a
+  :class:`repro.platform.PlatformConfig`: address-map overlaps, link
+  vs. flit widths, cache geometry, and the cross-layer rule that the
+  worst fused pair at the hop limit still fits the clock.
 
 Entry points: :func:`verify_source`, :func:`verify_kernel`,
 :func:`verify_compiled`, :func:`verify_plan`, :func:`verify_app`;
@@ -41,6 +45,7 @@ from repro.verify.api import (
 from repro.verify.ise_checks import check_ises
 from repro.verify.mpi_checks import check_app_channels
 from repro.verify.plan_checks import check_plan
+from repro.verify.platform_checks import check_platform
 from repro.verify.program_lint import lint_program
 from repro.verify.report_checks import (
     check_compile_report,
@@ -69,6 +74,7 @@ __all__ = [
     "check_ises",
     "check_app_channels",
     "check_plan",
+    "check_platform",
     "check_compile_report",
     "check_core",
     "check_cycle_attribution",

@@ -1,0 +1,67 @@
+"""Platform-config checks (``V7xx``).
+
+The pure-config half of the family lives on
+:meth:`repro.platform.PlatformConfig.issues` — the platform package is
+a leaf and cannot import the verifier, so it reports plain ``(code,
+loc, message)`` tuples and this pass re-emits them as diagnostics.  The
+cross-layer check V703 lives here because it needs the patch library:
+it rebinds :class:`~repro.core.fusion.FusionTiming` to the config's
+fabric and asks whether the worst fused pair at the hop limit still
+fits the clock — a config whose fabric delays and ``max_fusion_hops``
+promise stitchings the timing rule would then reject is inconsistent.
+"""
+
+from repro.core.fusion import FusionTiming
+from repro.core.patches import PATCH_TYPES
+from repro.verify.diagnostics import Report, Severity, register_rule
+
+register_rule("V700", Severity.ERROR,
+              "SPM window overlaps the code window", "platform")
+register_rule("V701", Severity.ERROR,
+              "inter-patch link width disagrees with the NoC flit",
+              "platform")
+register_rule("V702", Severity.ERROR,
+              "cache geometry is not realizable", "platform")
+register_rule("V703", Severity.ERROR,
+              "fused path at the hop limit cannot fit the clock",
+              "platform")
+register_rule("V704", Severity.ERROR,
+              "non-physical parameter value", "platform")
+register_rule("V705", Severity.ERROR,
+              "address-map value is not word-aligned", "platform")
+register_rule("V706", Severity.ERROR,
+              "unknown preset, group or field", "platform")
+
+
+def check_platform(config, report=None):
+    """Verify a :class:`~repro.platform.PlatformConfig` end to end.
+
+    Emits the config's own consistency findings (V700/V701/V702/V704/
+    V705) plus the cross-layer timing check V703.
+    """
+    report = report if report is not None else Report(config.name)
+    for code, loc, message in config.issues():
+        report.emit(code, loc, message)
+    _check_fusion_closure(config, report)
+    return report
+
+
+def _check_fusion_closure(config, report):
+    """V703: every patch pair must be stitchable at the hop limit."""
+    fabric = config.fabric
+    if fabric.max_fusion_hops < 1 or fabric.clock_ns <= 0:
+        return  # V704 already covers the non-physical cases
+    timing = FusionTiming.configured(fabric)
+    for name_a, ptype_a in PATCH_TYPES.items():
+        for name_b, ptype_b in PATCH_TYPES.items():
+            delay = timing.fused_delay(ptype_a, ptype_b,
+                                       fabric.max_fusion_hops)
+            if not timing.fits_single_cycle(delay):
+                report.emit(
+                    "V703", f"{config.name}.fabric",
+                    f"{{{name_a}, {name_b}}} fused "
+                    f"{fabric.max_fusion_hops} hops apart needs "
+                    f"{delay:.2f} ns but the clock is "
+                    f"{fabric.clock_ns:.2f} ns; lower max_fusion_hops "
+                    f"or slow the clock",
+                )

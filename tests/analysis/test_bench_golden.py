@@ -1,0 +1,36 @@
+"""Golden test: the default platform reproduces the committed bench.
+
+The platform refactor's acceptance criterion is bit-identical behaviour
+on the stitch preset: re-measuring Figure-11 kernels live must land
+*exactly* on the committed ``benchmarks/baselines/BENCH_fig11.json``
+numbers (wall-clock fields excluded — those depend on the machine).
+A fast kernel subset keeps the test cheap; the CI bench gate covers
+the full axis.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.bench import WALL_FIELDS, bench_fig11
+
+BASELINES = Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+
+# Cheap-to-compile kernels (sub-second each).
+GOLDEN_KERNELS = ("specfilter", "svm", "update")
+
+
+def _strip_wall(entry):
+    return {k: v for k, v in entry.items() if k not in WALL_FIELDS}
+
+
+class TestGoldenBench:
+    def test_stitch_preset_reproduces_committed_fig11(self):
+        committed = json.loads(
+            (BASELINES / "BENCH_fig11.json").read_text()
+        )["kernels"]
+        fresh = bench_fig11(kernels=GOLDEN_KERNELS, seed=1)["kernels"]
+        for name in GOLDEN_KERNELS:
+            assert _strip_wall(fresh[name]) == _strip_wall(committed[name]), (
+                f"{name}: live measurement drifted from the committed "
+                f"baseline — the platform refactor is not bit-identical"
+            )

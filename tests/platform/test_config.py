@@ -1,0 +1,161 @@
+"""Unit tests for the unified platform-configuration layer."""
+
+import pytest
+
+from repro.platform import (
+    DEFAULT_PLATFORM,
+    PRESET_NAMES,
+    PlatformConfig,
+    PlatformConfigError,
+    get_preset,
+)
+
+
+class TestPresets:
+    def test_stitch_preset_matches_paper_numbers(self):
+        cfg = PlatformConfig.stitch()
+        assert cfg.mem.icache_bytes == 8 * 1024
+        assert cfg.mem.dcache_bytes == 4 * 1024
+        assert cfg.mem.spm_bytes == 4 * 1024
+        assert cfg.mem.dram_latency == 30
+        assert cfg.noc.num_tiles == 16
+        assert cfg.fabric.clock_mhz == pytest.approx(200.0)
+        assert cfg.fabric.link_bits == 166
+        assert cfg.power.stitch_power_mw == pytest.approx(139.5)
+
+    def test_baseline_folds_spm_into_dcache(self):
+        base = PlatformConfig.baseline()
+        assert base.mem.dcache_bytes == 8 * 1024
+        assert base.mem.spm_bytes == 0
+        assert not base.mem.has_spm
+        # Everything else is shared with the stitch preset.
+        assert base.noc == PlatformConfig.stitch().noc
+        assert base.fabric == PlatformConfig.stitch().fabric
+
+    def test_presets_are_cached_and_valid(self):
+        assert PlatformConfig.stitch() is PlatformConfig.stitch()
+        for name in PRESET_NAMES:
+            assert get_preset(name).validate().name == name
+        assert DEFAULT_PLATFORM is PlatformConfig.stitch()
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(PlatformConfigError):
+            get_preset("huge")
+
+    def test_legacy_module_aliases_derive_from_preset(self):
+        # The scattered constants are gone; the module-level names are
+        # views of the preset now.
+        from repro.core import fusion
+        from repro.interpatch import switch, timing
+        from repro.mem import dram, hierarchy, spm
+        from repro.noc import network, packet
+        from repro.power import chip, components
+
+        cfg = PlatformConfig.stitch()
+        assert spm.SPM_BASE == cfg.mem.spm_base
+        assert spm.SPM_SIZE == cfg.mem.spm_bytes
+        assert dram.DRAM_LATENCY == cfg.mem.dram_latency
+        assert hierarchy.CODE_BASE == cfg.mem.code_base
+        assert network.ROUTER_STAGES == cfg.noc.router_stages
+        assert packet.WORDS_PER_FLIT == cfg.noc.words_per_flit
+        assert switch.LINK_BITS == cfg.fabric.link_bits
+        assert fusion.CLOCK_NS == cfg.fabric.clock_ns
+        assert timing.MAX_PATH_TRAVERSALS == cfg.fabric.max_path_traversals
+        # The two formerly duplicated fabric delays now share a source.
+        assert components.NOC_SWITCH_DELAY_NS == fusion.SWITCH_DELAY_NS
+        assert components.WIRE_DELAY_PER_HOP_NS == fusion.WIRE_DELAY_PER_HOP_NS
+        assert chip.STITCH_POWER_MW == cfg.power.stitch_power_mw
+        assert chip.CLOCK_MHZ == cfg.power.clock_mhz
+
+
+class TestDerive:
+    def test_derive_overrides_one_field(self):
+        cfg = PlatformConfig.stitch().derive("dram50",
+                                             mem={"dram_latency": 50})
+        assert cfg.name == "dram50"
+        assert cfg.mem.dram_latency == 50
+        assert cfg.mem.spm_bytes == PlatformConfig.stitch().mem.spm_bytes
+        # The original preset is untouched (frozen dataclasses).
+        assert PlatformConfig.stitch().mem.dram_latency == 30
+
+    def test_derive_unknown_group_rejected(self):
+        with pytest.raises(PlatformConfigError):
+            PlatformConfig.stitch().derive("bad", gpu={"cores": 4})
+
+    def test_derive_unknown_field_rejected(self):
+        with pytest.raises(PlatformConfigError):
+            PlatformConfig.stitch().derive("bad", mem={"dram_lat": 50})
+
+
+class TestSerialization:
+    def test_round_trip_is_identity(self):
+        cfg = PlatformConfig.stitch().derive(
+            "big", noc={"mesh_width": 8, "mesh_height": 8}
+        )
+        assert PlatformConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_partial_dict_overlays_stitch_preset(self):
+        cfg = PlatformConfig.from_dict(
+            {"name": "slowmem", "mem": {"dram_latency": 90}}
+        )
+        assert cfg.mem.dram_latency == 90
+        assert cfg.mem.icache_bytes == 8 * 1024
+
+    def test_base_key_selects_the_overlay_preset(self):
+        cfg = PlatformConfig.from_dict({"name": "b", "base": "baseline"})
+        assert cfg.mem.spm_bytes == 0
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(PlatformConfigError):
+            PlatformConfig.from_dict({"name": "x", "gpu": {}})
+
+    def test_cache_key_distinguishes_configs(self):
+        stitch = PlatformConfig.stitch()
+        derived = stitch.derive("d", mem={"dram_latency": 31})
+        assert stitch.cache_key() != derived.cache_key()
+        assert stitch.cache_key() == PlatformConfig.stitch().cache_key()
+        hash(stitch.cache_key())  # usable as a dict key
+
+
+class TestValidation:
+    def test_spm_overlapping_code_window_is_v700(self):
+        cfg = PlatformConfig.stitch().derive(
+            "clash", mem={"spm_base": 0x0800_0000}
+        )
+        codes = [code for code, _, _ in cfg.issues()]
+        assert "V700" in codes
+        with pytest.raises(PlatformConfigError):
+            cfg.validate()
+
+    def test_link_flit_mismatch_is_v701(self):
+        cfg = PlatformConfig.stitch().derive(
+            "narrow", fabric={"link_data_bits": 64}
+        )
+        assert "V701" in [code for code, _, _ in cfg.issues()]
+
+    def test_broken_cache_geometry_is_v702(self):
+        cfg = PlatformConfig.stitch().derive(
+            "odd", mem={"dcache_bytes": 3000}
+        )
+        assert "V702" in [code for code, _, _ in cfg.issues()]
+
+    def test_non_physical_value_is_v704(self):
+        cfg = PlatformConfig.stitch().derive(
+            "nomesh", noc={"mesh_width": 0}
+        )
+        assert "V704" in [code for code, _, _ in cfg.issues()]
+
+    def test_misaligned_spm_base_is_v705(self):
+        cfg = PlatformConfig.stitch().derive(
+            "skew", mem={"spm_base": 0x1000_0002}
+        )
+        assert "V705" in [code for code, _, _ in cfg.issues()]
+
+    def test_error_message_names_every_issue(self):
+        cfg = PlatformConfig.stitch().derive(
+            "multi", mem={"dram_latency": 0}, noc={"mesh_width": 0}
+        )
+        with pytest.raises(PlatformConfigError) as excinfo:
+            cfg.validate()
+        assert "V704" in str(excinfo.value)
+        assert len(excinfo.value.issues) >= 2

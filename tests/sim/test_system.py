@@ -5,7 +5,12 @@ import pytest
 from repro.cpu import Core
 from repro.isa import assemble
 from repro.mem import MemorySystem, SPM_BASE
-from repro.sim import DeadlockError, StitchSystem, wrap_streaming
+from repro.sim import (
+    DeadlockError,
+    RoundBudgetError,
+    StitchSystem,
+    wrap_streaming,
+)
 from repro.workloads import make_kernel
 from repro.workloads.base import Region
 
@@ -76,6 +81,33 @@ class TestCoSim:
         system.load(1, assemble(wait.format(peer=0)))
         with pytest.raises(DeadlockError):
             system.run()
+
+    def test_round_budget_exceeded_is_typed_with_snapshot(self):
+        # A tiny budget cannot cover even one handshake; unlike a
+        # deadlock, progress was still possible when the budget ran out.
+        system = StitchSystem()
+        system.load(0, producer_source(1, 0x100, 2, 42))
+        system.load(1, consumer_source(0, 0x200, 2))
+        with pytest.raises(RoundBudgetError) as excinfo:
+            system.run(max_instructions_per_slice=1, max_rounds=2)
+        error = excinfo.value
+        assert isinstance(error, RuntimeError)  # old catch sites still work
+        assert "2-round budget" in str(error)
+        snapshot = error.snapshot
+        assert snapshot["rounds"] == 2
+        # Both tiles appear in the snapshot, as runnable or blocked.
+        seen = set(snapshot["pending_tiles"]) | set(snapshot["blocked_tiles"])
+        assert seen == {0, 1}
+        for entry in snapshot["blocked_tiles"].values():
+            assert entry["words_queued"] >= 0
+            assert entry["cycles"] >= 0
+
+    def test_generous_budget_still_completes(self):
+        system = StitchSystem()
+        system.load(0, producer_source(1, 0x100, 2, 42))
+        system.load(1, consumer_source(0, 0x200, 2))
+        results = system.run(max_rounds=100_000)
+        assert all(r.halted for r in results)
 
     def test_makespan_is_max_tile_cycles(self):
         system = StitchSystem()

@@ -1,0 +1,147 @@
+"""Tests for the design-space sweep runner and the built-in studies."""
+
+import pytest
+
+from repro.platform import PlatformConfig
+from repro.sweep import (
+    STUDIES,
+    make_points,
+    run_point,
+    run_sweep,
+    smoke_points,
+    sweep_to_json,
+)
+from repro.sweep.runner import ring_expected, ring_programs
+
+
+def _point(config, kernel="specfilter"):
+    return {
+        "id": f"{config.name}/{kernel}",
+        "config": config.to_dict(),
+        "workload": {"kind": "kernel", "name": kernel, "seed": 1},
+    }
+
+
+class TestRunner:
+    def test_kernel_point_reports_metrics(self):
+        record = run_point(_point(PlatformConfig.stitch()))
+        assert "error" not in record
+        metrics = record["metrics"]
+        assert metrics["cycles"] > metrics["instructions"] > 0
+        assert 0 <= metrics["icache_hit_rate"] <= 1
+
+    def test_point_is_a_pure_function_of_its_dict(self):
+        point = _point(PlatformConfig.stitch())
+        assert run_point(point) == run_point(dict(point))
+
+    def test_dram_latency_moves_cycles(self):
+        slow = PlatformConfig.baseline().derive(
+            "slow", mem={"dram_latency": 100}
+        )
+        fast = PlatformConfig.baseline().derive(
+            "fast", mem={"dram_latency": 10}
+        )
+        slow_cycles = run_point(_point(slow))["metrics"]["cycles"]
+        fast_cycles = run_point(_point(fast))["metrics"]["cycles"]
+        assert slow_cycles > fast_cycles
+        # Timing changed; results did not.
+        assert (run_point(_point(slow))["metrics"]["result_checksum"]
+                == run_point(_point(fast))["metrics"]["result_checksum"])
+
+    def test_workload_failure_is_captured_not_raised(self):
+        point = _point(PlatformConfig.stitch())
+        point["workload"]["name"] = "no-such-kernel"
+        record = run_point(point)
+        assert "metrics" not in record
+        assert "no-such-kernel" in record["error"]
+
+    def test_unknown_workload_kind_is_captured(self):
+        point = _point(PlatformConfig.stitch())
+        point["workload"]["kind"] = "quantum"
+        assert "quantum" in run_point(point)["error"]
+
+    def test_duplicate_point_ids_rejected(self):
+        point = _point(PlatformConfig.stitch())
+        with pytest.raises(ValueError, match="duplicate"):
+            run_sweep([point, dict(point)])
+
+    def test_parallel_equals_serial(self):
+        points = smoke_points()
+        serial = run_sweep(points, workers=1)
+        parallel = run_sweep(points, workers=2)
+        assert sweep_to_json(serial) == sweep_to_json(parallel)
+        assert serial["errors"] == 0
+        assert serial["points"] == len(points)
+
+    def test_results_preserve_submission_order(self):
+        points = smoke_points()
+        payload = run_sweep(points)
+        assert [r["id"] for r in payload["results"]] == [
+            p["id"] for p in points
+        ]
+
+
+class TestRingWorkload:
+    @pytest.mark.parametrize("width,height", [(2, 2), (8, 8)])
+    def test_ring_bit_exact_across_mesh_sizes(self, width, height):
+        """The message-passing ring computes the exact token on any
+        mesh, and two independent runs are bit-identical."""
+        config = PlatformConfig.stitch().derive(
+            f"m{width}x{height}",
+            noc={"mesh_width": width, "mesh_height": height},
+        )
+        point = {
+            "id": "ring",
+            "config": config.to_dict(),
+            "workload": {"kind": "ring", "laps": 2},
+        }
+        first = run_point(point)
+        second = run_point(point)
+        assert "error" not in first, first.get("error")
+        assert first == second
+        metrics = first["metrics"]
+        assert metrics["tiles"] == width * height
+        assert metrics["token"] == metrics["token_expected"]
+        assert metrics["token"] == ring_expected(width * height, laps=2)
+
+    def test_bigger_rings_take_longer(self):
+        results = {}
+        for width in (2, 4):
+            config = PlatformConfig.stitch().derive(
+                f"m{width}", noc={"mesh_width": width, "mesh_height": width}
+            )
+            results[width] = run_point({
+                "id": "r", "config": config.to_dict(),
+                "workload": {"kind": "ring"},
+            })["metrics"]["makespan"]
+        assert results[4] > results[2]
+
+    def test_ring_programs_reject_single_tile(self):
+        with pytest.raises(ValueError):
+            ring_programs(1)
+
+
+class TestStudies:
+    def test_all_studies_produce_unique_valid_points(self):
+        points = make_points()
+        ids = [p["id"] for p in points]
+        assert len(ids) == len(set(ids))
+        for point in points:
+            PlatformConfig.from_dict(point["config"])  # validates
+
+    def test_study_names(self):
+        assert sorted(STUDIES) == ["dcache", "dram", "mesh"]
+        with pytest.raises(KeyError):
+            make_points(["warp-drive"])
+
+    def test_mesh_study_runs_clean(self):
+        payload = run_sweep(make_points(["mesh"]))
+        assert payload["errors"] == 0
+        spans = [r["metrics"]["makespan"] for r in payload["results"]]
+        assert spans == sorted(spans)  # bigger mesh, longer ring
+
+    def test_smoke_points_are_small(self):
+        points = smoke_points()
+        assert len(points) == 4  # 2 configs x 2 kernels
+        payload = run_sweep(points)
+        assert payload["errors"] == 0

@@ -1,0 +1,50 @@
+"""Tests for the V700-family platform verification pass."""
+
+from repro.platform import PlatformConfig
+from repro.verify import RULES, check_platform
+
+
+class TestCheckPlatform:
+    def test_presets_are_clean(self):
+        assert check_platform(PlatformConfig.stitch()).ok(strict=True)
+        assert check_platform(PlatformConfig.baseline()).ok(strict=True)
+
+    def test_config_issues_become_diagnostics(self):
+        cfg = PlatformConfig.stitch().derive(
+            "clash", mem={"spm_base": 0x0800_0000}
+        )
+        report = check_platform(cfg)
+        assert not report.ok()
+        assert "V700" in report.codes()
+        (diag,) = [d for d in report if d.code == "V700"]
+        assert "overlaps the code window" in diag.message
+
+    def test_v703_fused_path_misses_clock(self):
+        # A 50 MHz-fast clock cannot close the 3-hop fused path.
+        cfg = PlatformConfig.stitch().derive(
+            "fastclock", fabric={"clock_ns": 1.0}
+        )
+        report = check_platform(cfg)
+        assert "V703" in report.codes()
+        assert any("max_fusion_hops" in d.message for d in report)
+
+    def test_tighter_clock_that_still_fits_stays_clean(self):
+        # The worst pair ({AT-MA, AT-MA}) at 3 hops needs 4.89 ns, so a
+        # 4.9 ns clock is still closable.
+        cfg = PlatformConfig.stitch().derive(
+            "tight", fabric={"clock_ns": 4.9}
+        )
+        assert check_platform(cfg).ok(strict=True)
+
+    def test_v703_skipped_when_v704_already_fires(self):
+        cfg = PlatformConfig.stitch().derive(
+            "nohops", fabric={"max_fusion_hops": 0}
+        )
+        report = check_platform(cfg)
+        assert "V704" in report.codes()
+        assert "V703" not in report.codes()
+
+    def test_v700_family_registered(self):
+        for code in ("V700", "V701", "V702", "V703", "V704", "V705", "V706"):
+            assert code in RULES
+            assert RULES[code].pass_name == "platform"
