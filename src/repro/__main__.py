@@ -160,10 +160,41 @@ def cmd_app(args):
             )
 
 
+def _verify_exit_code(report, strict):
+    """Severity-aware exit status of ``repro verify``.
+
+    0 — clean (or warnings only, outside strict mode);
+    1 — error-severity diagnostics, strict or not;
+    2 — strict mode and the report is not completely clean.
+    """
+    if report.errors():
+        return 1
+    if strict and not report.ok(strict=True):
+        return 2
+    return 0
+
+
+def _dump_cfg(prefix, program):
+    """Write ``<prefix>.cfg.dot``: the analyzed CFG of ``program``."""
+    from repro.verify.absint import analyze_program, cfg_dot
+
+    analysis = analyze_program(program)
+    if analysis is None:
+        sys.exit(f"cannot build a CFG for {program.name} "
+                 f"(empty program or broken branch targets)")
+    path = f"{prefix}.cfg.dot"
+    with open(path, "w") as handle:
+        handle.write(cfg_dot(analysis))
+    # stderr keeps --json stdout machine-readable
+    print(f"wrote {path}", file=sys.stderr)
+
+
 def cmd_verify(args):
     import json
 
     from repro.verify import RULES, verify_app, verify_kernel, verify_source
+
+    deep = args.deep or args.strict
 
     if args.rules:
         print(f"{'code':6s} {'severity':8s} {'pass':12s} summary")
@@ -179,8 +210,9 @@ def cmd_verify(args):
             print(json.dumps(report.to_dict(), indent=2))
         else:
             print(report.render())
-        if not report.ok(strict=args.strict):
-            sys.exit(1)
+        code = _verify_exit_code(report, args.strict)
+        if code:
+            sys.exit(code)
         return
 
     if args.target is None:
@@ -190,15 +222,26 @@ def cmd_verify(args):
     from repro.workloads.apps import APP_FACTORIES
 
     target = args.target
+    program = None  # the --dump-cfg subject, when the target has one
     if target in KERNEL_FACTORIES:
         kernel = make_kernel(target, seed=args.seed)
-        report = verify_kernel(kernel, compile_options=not args.no_compile)
+        report = verify_kernel(
+            kernel, compile_options=not args.no_compile, deep=deep
+        )
+        program = kernel.program
     elif target.upper() in APP_FACTORIES:
         app = APP_FACTORIES[target.upper()](seed=args.seed)
-        report = verify_app(app)
+        report = verify_app(app, deep=deep)
     elif os.path.isfile(target):
         with open(target) as handle:
-            report = verify_source(handle.read(), name=target)
+            source = handle.read()
+        report = verify_source(source, name=target, deep=deep)
+        from repro.isa.assembler import AssemblerError, assemble
+
+        try:
+            program = assemble(source, name=target)
+        except AssemblerError:
+            program = None  # already reported as V100
     else:
         sys.exit(
             f"unknown verify target {target!r}: not a kernel "
@@ -206,12 +249,19 @@ def cmd_verify(args):
             f"or existing file"
         )
 
+    if args.dump_cfg:
+        if program is None:
+            sys.exit(f"--dump-cfg needs a kernel or .s target, "
+                     f"not {target!r}")
+        _dump_cfg(args.dump_cfg, program)
+
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render())
-    if args.strict and not report.ok(strict=True):
-        sys.exit(1)
+    code = _verify_exit_code(report, args.strict)
+    if code:
+        sys.exit(code)
 
 
 def _load_platform(spec):
@@ -499,7 +549,18 @@ def main(argv=None):
     )
     p_verify.add_argument(
         "--strict", action="store_true",
-        help="exit non-zero unless the report is completely clean",
+        help="exit non-zero unless the report is completely clean "
+             "(implies --deep; exit 2 distinguishes warnings-only)",
+    )
+    p_verify.add_argument(
+        "--deep", action="store_true",
+        help="also run the abstract interpreter (V800 rule family: "
+             "init-before-use, SPM bounds, 19-bit control words, ...)",
+    )
+    p_verify.add_argument(
+        "--dump-cfg", metavar="PREFIX",
+        help="write PREFIX.cfg.dot: the target's CFG annotated with "
+             "per-block interval states (kernel or .s targets)",
     )
     p_verify.add_argument(
         "--json", action="store_true", help="machine-readable output"

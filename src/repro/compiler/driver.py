@@ -368,6 +368,7 @@ class KernelCompiler:
         """Reject the artifact if the static verifier finds errors."""
         # Local import: repro.verify pulls compiler modules for its
         # passes, so binding it at call time keeps the graph acyclic.
+        from repro.verify.dataflow_checks import check_dataflow
         from repro.verify.diagnostics import Report, VerificationError
         from repro.verify.ise_checks import check_ises
         from repro.verify.program_lint import lint_program
@@ -384,6 +385,13 @@ class KernelCompiler:
             cfg_table=compiled.cfg_table,
             mappings=compiled.mappings,
             original_program=self.kernel.program,
+            report=report,
+        )
+        check_dataflow(
+            compiled.program,
+            mem=self.platform.mem if self.platform is not None else None,
+            cfg_table=compiled.cfg_table,
+            exit_live=self.kernel.live_out_regs,
             report=report,
         )
         if not report.ok():

@@ -242,9 +242,17 @@ class _Parser:
         return Instruction(op, cfg=cfg, outs=outs, ins=ins)
 
     def resolve(self):
+        import difflib
+
         for index, label, lineno in self.pending:
             if label not in self.labels:
-                self.error(f"undefined label {label!r}", lineno=lineno)
+                message = f"undefined label {label!r}"
+                close = difflib.get_close_matches(
+                    label, self.labels, n=1, cutoff=0.6
+                )
+                if close:
+                    message += f" (did you mean {close[0]!r}?)"
+                self.error(message, lineno=lineno)
             self.instructions[index].target = self.labels[label]
 
 

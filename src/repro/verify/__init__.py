@@ -18,7 +18,12 @@ Four passes, none of which simulates anything:
 * **platform checks** (``V7xx``) — consistency of a
   :class:`repro.platform.PlatformConfig`: address-map overlaps, link
   vs. flit widths, cache geometry, and the cross-layer rule that the
-  worst fused pair at the hop limit still fits the clock.
+  worst fused pair at the hop limit still fits the clock,
+* **dataflow checks** (``V8xx``) — abstract interpretation (interval +
+  definedness lattices over the CFG, :mod:`repro.verify.absint`)
+  proving init-before-use, SPM bounds, 19-bit control-word limits,
+  dead stores, semantic reachability and loop-bound existence; the
+  ``--deep`` layer of ``repro verify``.
 
 Entry points: :func:`verify_source`, :func:`verify_kernel`,
 :func:`verify_compiled`, :func:`verify_plan`, :func:`verify_app`;
@@ -42,6 +47,7 @@ from repro.verify.api import (
     verify_plan,
     verify_source,
 )
+from repro.verify.dataflow_checks import check_dataflow
 from repro.verify.ise_checks import check_ises
 from repro.verify.mpi_checks import check_app_channels
 from repro.verify.plan_checks import check_plan
@@ -71,6 +77,7 @@ __all__ = [
     "verify_kernel",
     "verify_plan",
     "verify_source",
+    "check_dataflow",
     "check_ises",
     "check_app_channels",
     "check_plan",

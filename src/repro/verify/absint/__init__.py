@@ -1,0 +1,60 @@
+"""Reusable forward abstract-interpretation framework for stitch-lint.
+
+Layers:
+
+* :mod:`~repro.verify.absint.cfg` — labelled CFG over an assembled
+  program: taken/fall-through edges, dominators, natural loops;
+* :mod:`~repro.verify.absint.domains` — the interval value-range
+  lattice and the written-before-read definedness lattice, combined
+  into one product :class:`AbsState`, plus per-opcode transfer
+  functions and branch-edge refinement;
+* :mod:`~repro.verify.absint.solver` — the worklist fixed-point with
+  threshold widening, producing an :class:`Analysis` whose per-block
+  states the V800 rule family (``verify/dataflow_checks.py``), the
+  soundness harness and ``repro verify --dump-cfg`` all consume;
+* :mod:`~repro.verify.absint.dot` — Graphviz rendering of an analyzed
+  CFG.
+"""
+
+from repro.verify.absint.cfg import CFG, Loop, render_trace, targets_valid
+from repro.verify.absint.domains import (
+    AbsState,
+    BOOL,
+    INT32_MAX,
+    INT32_MIN,
+    TOP,
+    contains,
+    interval,
+    join,
+    meet,
+    refine_branch,
+    thresholds_for_program,
+    transfer,
+    widen,
+)
+from repro.verify.absint.dot import cfg_dot
+from repro.verify.absint.solver import Analysis, AnalysisError, analyze_program
+
+__all__ = [
+    "CFG",
+    "Loop",
+    "render_trace",
+    "targets_valid",
+    "AbsState",
+    "BOOL",
+    "INT32_MAX",
+    "INT32_MIN",
+    "TOP",
+    "contains",
+    "interval",
+    "join",
+    "meet",
+    "refine_branch",
+    "thresholds_for_program",
+    "transfer",
+    "widen",
+    "Analysis",
+    "AnalysisError",
+    "analyze_program",
+    "cfg_dot",
+]

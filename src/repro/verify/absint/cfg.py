@@ -1,0 +1,235 @@
+"""Control-flow graph over an assembled :class:`~repro.isa.program.Program`.
+
+Builds on the program's own basic-block partition (the leader
+algorithm in ``isa/program.py``) and the successor relation of
+:mod:`repro.compiler.liveness`, and adds what the abstract interpreter
+needs on top: labelled edges (taken / fall-through / unconditional /
+indirect), predecessors, a reverse post-order, dominators, and the
+natural loops the back edges induce.
+"""
+
+from repro.compiler.liveness import successor_map
+from repro.isa.instructions import Op
+
+EDGE_TAKEN = "taken"
+EDGE_FALL = "fall"
+EDGE_ALWAYS = "always"
+EDGE_INDIRECT = "indirect"
+
+
+class Edge:
+    """One CFG edge; ``branch`` is the conditional branch instruction
+    refining the edge (None for unconditional/indirect edges)."""
+
+    __slots__ = ("src", "dst", "kind", "branch")
+
+    def __init__(self, src, dst, kind, branch=None):
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.branch = branch
+
+    def __repr__(self):
+        return f"Edge(#{self.src} -> #{self.dst}, {self.kind})"
+
+
+class Loop:
+    """A natural loop: header block + the blocks of its body."""
+
+    __slots__ = ("header", "blocks", "back_edges")
+
+    def __init__(self, header, blocks, back_edges):
+        self.header = header
+        self.blocks = frozenset(blocks)
+        self.back_edges = tuple(back_edges)
+
+    def exits(self, cfg):
+        """Edges leaving the loop body."""
+        return [
+            edge for block in sorted(self.blocks)
+            for edge in cfg.out_edges[block]
+            if edge.dst not in self.blocks
+        ]
+
+    def __repr__(self):
+        return f"Loop(header=#{self.header}, {len(self.blocks)} blocks)"
+
+
+def targets_valid(program):
+    """True when every branch target is in range and a block leader
+    (the V104 precondition every CFG-based pass shares)."""
+    leaders = {block.start for block in program.basic_blocks()}
+    for instr in program.instructions:
+        if instr.target is None or instr.op is Op.JR:
+            continue
+        if not 0 <= instr.target < len(program) or instr.target not in leaders:
+            return False
+    return True
+
+
+class CFG:
+    """The labelled control-flow graph of one program."""
+
+    def __init__(self, program):
+        self.program = program
+        self.blocks = program.basic_blocks()
+        self.entry = 0
+        self.out_edges = {block.index: [] for block in self.blocks}
+        self.in_edges = {block.index: [] for block in self.blocks}
+        self._build_edges()
+        self.rpo = self._reverse_post_order()
+        self._rpo_index = {b: i for i, b in enumerate(self.rpo)}
+        self.dominators = self._dominators()
+        self.loops = self._natural_loops()
+        self.loop_headers = frozenset(loop.header for loop in self.loops)
+
+    # -- construction -----------------------------------------------------
+
+    def _build_edges(self):
+        succs = successor_map(self.program, self.blocks)
+        for block in self.blocks:
+            last = block.instructions[-1] if len(block) else None
+            successors = succs[block.index]
+            if last is None or not successors:
+                continue
+            op = last.op
+            if op is Op.JR:
+                for dst in successors:
+                    self._add(block.index, dst, EDGE_INDIRECT)
+            elif op in (Op.JMP, Op.JAL):
+                for dst in successors:
+                    self._add(block.index, dst, EDGE_ALWAYS)
+            elif last.is_branch():
+                start_to_index = {b.start: b.index for b in self.blocks}
+                target = start_to_index[last.target]
+                self._add(block.index, target, EDGE_TAKEN, last)
+                fall = block.index + 1
+                if fall < len(self.blocks):
+                    # Kept even when target == fall: the two edges carry
+                    # different refinements of the branch condition.
+                    self._add(block.index, fall, EDGE_FALL, last)
+            else:
+                for dst in successors:
+                    self._add(block.index, dst, EDGE_ALWAYS)
+
+    def _add(self, src, dst, kind, branch=None):
+        edge = Edge(src, dst, kind, branch)
+        self.out_edges[src].append(edge)
+        self.in_edges[dst].append(edge)
+
+    def _reverse_post_order(self):
+        seen = set()
+        order = []
+
+        def visit(index):
+            stack = [(index, iter(self.out_edges[index]))]
+            seen.add(index)
+            while stack:
+                node, edges = stack[-1]
+                advanced = False
+                for edge in edges:
+                    if edge.dst not in seen:
+                        seen.add(edge.dst)
+                        stack.append((edge.dst, iter(self.out_edges[edge.dst])))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        if self.blocks:
+            visit(self.entry)
+        return tuple(reversed(order))
+
+    def _dominators(self):
+        """Iterative dominator sets over the graph-reachable blocks."""
+        reachable = set(self.rpo)
+        dom = {b: set(reachable) for b in reachable}
+        if self.entry in dom:
+            dom[self.entry] = {self.entry}
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo:
+                if block == self.entry:
+                    continue
+                preds = [
+                    e.src for e in self.in_edges[block] if e.src in reachable
+                ]
+                if not preds:
+                    continue
+                new = set.intersection(*(dom[p] for p in preds)) | {block}
+                if new != dom[block]:
+                    dom[block] = new
+                    changed = True
+        return dom
+
+    def _natural_loops(self):
+        by_header = {}
+        for block in self.rpo:
+            for edge in self.out_edges[block]:
+                header = edge.dst
+                if header in self.dominators.get(block, ()):
+                    by_header.setdefault(header, []).append(edge)
+        loops = []
+        for header, back_edges in sorted(by_header.items()):
+            body = {header}
+            stack = [e.src for e in back_edges if e.src != header]
+            while stack:
+                node = stack.pop()
+                if node in body:
+                    continue
+                body.add(node)
+                stack.extend(
+                    e.src for e in self.in_edges[node] if e.src not in body
+                )
+            loops.append(Loop(header, body, back_edges))
+        return tuple(loops)
+
+    # -- queries ----------------------------------------------------------
+
+    def graph_reachable(self):
+        """Blocks reachable from the entry ignoring edge feasibility."""
+        return frozenset(self.rpo)
+
+    def block_trace(self, target, allowed_edges=None, block_filter=None):
+        """Shortest entry-to-``target`` block path for diagnostics.
+
+        ``allowed_edges`` restricts the walk to a set of (src, dst)
+        pairs (the solver's feasible edges); ``block_filter`` drops
+        intermediate blocks (witnesses that must avoid a definition).
+        Returns a list of block indices, or None when unreachable under
+        the constraints.
+        """
+        if target == self.entry:
+            return [self.entry]
+        if block_filter is not None and not block_filter(self.entry):
+            return None
+        parent = {self.entry: None}
+        queue = [self.entry]
+        while queue:
+            node = queue.pop(0)
+            for edge in self.out_edges[node]:
+                dst = edge.dst
+                if dst in parent:
+                    continue
+                if allowed_edges is not None and (node, dst) not in allowed_edges:
+                    continue
+                if dst != target and block_filter is not None \
+                        and not block_filter(dst):
+                    continue
+                parent[dst] = node
+                if dst == target:
+                    path = [dst]
+                    while parent[path[-1]] is not None:
+                        path.append(parent[path[-1]])
+                    return list(reversed(path))
+                queue.append(dst)
+        return None
+
+
+def render_trace(trace):
+    """Human form of a block-index witness path."""
+    if not trace:
+        return "<no path>"
+    return " -> ".join(f"#{index}" for index in trace)

@@ -1,0 +1,420 @@
+"""Abstract domains for the forward dataflow engine.
+
+Two lattices, combined into one product state per program point:
+
+* **interval domain** — each register abstracts to a signed 32-bit
+  interval ``(lo, hi)``; ``None`` is bottom (no value reaches here).
+  Transfer functions mirror :mod:`repro.isa.instructions` semantics and
+  fall back to TOP whenever two's-complement wrap-around could occur,
+  so the abstraction is sound against :class:`repro.cpu.core.Core`
+  (``wrap32`` at every write).
+* **definedness domain** — the set of registers written on *every*
+  path from the entry; the join is set intersection, so a register
+  missing from the set may be read before its first write on some
+  path (the V800 family's evidence).
+
+Intervals are plain ``(lo, hi)`` tuples (cheap to copy and hash);
+module functions implement join/meet/widening and the per-opcode
+transfer.  Widening jumps to the nearest *threshold* — the constants
+the program itself mentions plus a fixed ladder (0, ±1, the 16/19-bit
+immediate limits, the 32-bit extremes) — which keeps counted loops
+(``addi``/``bne`` against a ``movi`` bound) at their exact bounds
+instead of blowing straight to TOP.
+"""
+
+import bisect
+
+from repro.isa.instructions import Op
+
+INT32_MIN = -(1 << 31)
+INT32_MAX = (1 << 31) - 1
+UINT32_MAX = (1 << 32) - 1
+
+TOP = (INT32_MIN, INT32_MAX)
+ZERO = (0, 0)
+BOOL = (0, 1)
+
+# Always-available widening thresholds; program constants are added on
+# top (see thresholds_for_program).
+BASE_THRESHOLDS = (
+    INT32_MIN, -(1 << 19), -(1 << 16), -256, -1, 0, 1, 256,
+    (1 << 16) - 1, (1 << 19) - 1, INT32_MAX,
+)
+
+
+def interval(lo, hi):
+    """An interval, or bottom (None) when empty."""
+    return (lo, hi) if lo <= hi else None
+
+
+def is_singleton(ival):
+    return ival is not None and ival[0] == ival[1]
+
+
+def contains(ival, value):
+    return ival is not None and ival[0] <= value <= ival[1]
+
+
+def join(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+def meet(a, b):
+    if a is None or b is None:
+        return None
+    return interval(max(a[0], b[0]), min(a[1], b[1]))
+
+
+def widen(old, new, thresholds):
+    """Classic threshold widening: jump unstable bounds outward to the
+    nearest threshold instead of creeping one loop iteration at a time.
+    """
+    if old is None:
+        return new
+    if new is None:
+        return old
+    lo, hi = old
+    if new[0] < lo:
+        index = bisect.bisect_right(thresholds, new[0]) - 1
+        lo = thresholds[index] if index >= 0 else INT32_MIN
+    if new[1] > hi:
+        index = bisect.bisect_left(thresholds, new[1])
+        hi = thresholds[index] if index < len(thresholds) else INT32_MAX
+    return (lo, hi)
+
+
+def thresholds_for_program(program):
+    """The widening ladder: base thresholds + every constant the
+    program mentions (movi/addi immediates and their word-stepped
+    neighbours), clamped to the 32-bit signed range."""
+    values = set(BASE_THRESHOLDS)
+    for instr in program.instructions:
+        if instr.imm is not None:
+            values.add(instr.imm)
+            values.add(instr.imm - 1)
+            values.add(instr.imm + 1)
+    return tuple(sorted(
+        v for v in values if INT32_MIN <= v <= INT32_MAX
+    ))
+
+
+def _fit(lo, hi):
+    """Clamp a computed bound pair to a sound 32-bit interval: exact
+    when no wrap can happen, TOP otherwise."""
+    if INT32_MIN <= lo and hi <= INT32_MAX:
+        return (lo, hi)
+    return TOP
+
+
+def _bitlen_cap(hi):
+    """Smallest all-ones mask covering hi (for or/xor upper bounds)."""
+    return (1 << max(hi, 0).bit_length()) - 1
+
+
+def t_add(a, b):
+    return _fit(a[0] + b[0], a[1] + b[1])
+
+
+def t_sub(a, b):
+    return _fit(a[0] - b[1], a[1] - b[0])
+
+
+def t_mul(a, b):
+    corners = (a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1])
+    return _fit(min(corners), max(corners))
+
+
+def t_mulh(a, b):
+    corners = (a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1])
+    return (min(corners) >> 32, max(corners) >> 32)
+
+
+def t_and(a, b):
+    # AND with a provably non-negative side stays within [0, that hi].
+    if a[0] >= 0 and b[0] >= 0:
+        return (0, min(a[1], b[1]))
+    if a[0] >= 0:
+        return (0, a[1])
+    if b[0] >= 0:
+        return (0, b[1])
+    return TOP
+
+
+def t_or(a, b):
+    if a[0] >= 0 and b[0] >= 0:
+        return (max(a[0], b[0]), _bitlen_cap(max(a[1], b[1])))
+    return TOP
+
+
+def t_xor(a, b):
+    if a[0] >= 0 and b[0] >= 0:
+        return (0, _bitlen_cap(max(a[1], b[1])))
+    return TOP
+
+
+def t_slt(a, b):
+    if a[1] < b[0]:
+        return (1, 1)
+    if a[0] >= b[1]:
+        return (0, 0)
+    return BOOL
+
+
+def t_sltu(a, b):
+    if a[0] >= 0 and b[0] >= 0:
+        return t_slt(a, b)
+    return BOOL
+
+
+def t_seq(a, b):
+    if is_singleton(a) and a == b:
+        return (1, 1)
+    if meet(a, b) is None:
+        return (0, 0)
+    return BOOL
+
+
+def t_sll(a, b):
+    if is_singleton(b):
+        amount = b[0] & 31
+        return _fit(a[0] << amount, a[1] << amount)
+    return TOP
+
+
+def t_srl(a, b):
+    if is_singleton(b):
+        amount = b[0] & 31
+        if amount == 0:
+            return a
+        if a[0] >= 0:
+            return (a[0] >> amount, a[1] >> amount)
+        return (0, UINT32_MAX >> amount)
+    if a[0] >= 0:
+        # Any amount in [0, 31] can only shrink a non-negative value.
+        return (0, a[1])
+    return TOP
+
+
+def t_sra(a, b):
+    if is_singleton(b):
+        amount = b[0] & 31
+        return (a[0] >> amount, a[1] >> amount)
+    # x >> n moves monotonically toward the sign limit (0 or -1).
+    corners = (a[0], a[1], a[0] >> 31, a[1] >> 31)
+    return (min(corners), max(corners))
+
+
+_ALU = {
+    Op.ADD: t_add, Op.ADDI: t_add,
+    Op.SUB: t_sub,
+    Op.AND: t_and, Op.ANDI: t_and,
+    Op.OR: t_or, Op.ORI: t_or,
+    Op.XOR: t_xor, Op.XORI: t_xor,
+    Op.SLT: t_slt, Op.SLTI: t_slt,
+    Op.SLTU: t_sltu,
+    Op.SEQ: t_seq,
+    Op.MUL: t_mul,
+    Op.MULH: t_mulh,
+    Op.SLL: t_sll, Op.SLLI: t_sll,
+    Op.SRL: t_srl, Op.SRLI: t_srl,
+    Op.SRA: t_sra, Op.SRAI: t_sra,
+}
+
+
+class AbsState:
+    """Product state: per-register interval + defined-on-all-paths set."""
+
+    __slots__ = ("ivals", "defined")
+
+    def __init__(self, ivals, defined):
+        self.ivals = ivals          # list of interval-or-None, index = reg
+        self.defined = defined      # set of register indices
+
+    @classmethod
+    def entry(cls, num_regs, allowed_live_in=()):
+        """State at the program entry.
+
+        Registers the harness legitimately pre-loads (and ``r0``) are
+        defined; everything else is *maybe-undefined* but still holds
+        TOP (the concrete machine zero-fills the register file, and a
+        raw harness may have left anything behind).
+        """
+        ivals = [TOP] * num_regs
+        ivals[0] = ZERO
+        return cls(ivals, {0} | {r for r in allowed_live_in if r < num_regs})
+
+    def copy(self):
+        return AbsState(list(self.ivals), set(self.defined))
+
+    def get(self, reg):
+        return self.ivals[reg]
+
+    def set(self, reg, ival):
+        if reg == 0:
+            return
+        self.ivals[reg] = ival
+        self.defined.add(reg)
+
+    def refine(self, reg, ival):
+        """Narrow a register without touching definedness (branch edge)."""
+        if reg == 0:
+            return
+        self.ivals[reg] = ival
+
+    def join_from(self, other):
+        """In-place join; returns True when this state changed."""
+        changed = False
+        for reg, (mine, theirs) in enumerate(zip(self.ivals, other.ivals)):
+            merged = join(mine, theirs)
+            if merged != mine:
+                self.ivals[reg] = merged
+                changed = True
+        narrowed = self.defined & other.defined
+        if narrowed != self.defined:
+            self.defined = narrowed
+            changed = True
+        return changed
+
+    def widen_from(self, other, thresholds):
+        """In-place widening join at a loop header."""
+        changed = False
+        for reg, (mine, theirs) in enumerate(zip(self.ivals, other.ivals)):
+            widened = widen(mine, join(mine, theirs), thresholds)
+            if widened != mine:
+                self.ivals[reg] = widened
+                changed = True
+        narrowed = self.defined & other.defined
+        if narrowed != self.defined:
+            self.defined = narrowed
+            changed = True
+        return changed
+
+    def __eq__(self, other):
+        return (isinstance(other, AbsState)
+                and self.ivals == other.ivals
+                and self.defined == other.defined)
+
+    def __repr__(self):
+        shown = ", ".join(
+            f"r{reg}={ival}" for reg, ival in enumerate(self.ivals)
+            if ival not in (TOP, None) and reg
+        )
+        return f"AbsState({shown or 'top'}, defined={sorted(self.defined)})"
+
+
+def transfer(state, instr, pc):
+    """Apply one instruction to ``state`` in place.
+
+    Sound w.r.t. the interpreter: every register the instruction may
+    write ends up with an interval containing every value
+    :class:`~repro.cpu.core.Core` could store there.
+    """
+    op = instr.op
+    fn = _ALU.get(op)
+    if fn is not None:
+        a = state.get(instr.ra)
+        b = (instr.imm, instr.imm) if instr.imm is not None else state.get(instr.rb)
+        if a is None or b is None:
+            result = TOP
+        else:
+            result = fn(a, b)
+        state.set(instr.rd, result)
+    elif op is Op.MOV:
+        state.set(instr.rd, state.get(instr.ra))
+    elif op is Op.MOVI:
+        state.set(instr.rd, (instr.imm, instr.imm))
+    elif op is Op.LW:
+        state.set(instr.rd, TOP)   # memory contents are not modeled
+    elif op is Op.CIX:
+        for reg in instr.outs or ():
+            state.set(reg, TOP)    # patch outputs are not modeled
+    elif op is Op.JAL:
+        state.set(15, (pc + 1, pc + 1))
+    # sw / branches / jmp / jr / halt / nop / send / recv write nothing.
+
+
+_CONDS = {Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU}
+
+
+def refine_branch(state, instr, taken):
+    """Refine ``state`` along one edge of a conditional branch.
+
+    Returns the refined state, or ``None`` when the edge is provably
+    infeasible (the branch condition cannot evaluate that way for any
+    concrete values in the incoming intervals).
+    """
+    op = instr.op
+    if op not in _CONDS:
+        return state
+    a = state.get(instr.ra)
+    b = state.get(instr.rb)
+    if a is None or b is None:
+        return None
+
+    # Unsigned compares coincide with signed ones on non-negative
+    # intervals; anything else stays unrefined (sound, just imprecise).
+    if op in (Op.BLTU, Op.BGEU):
+        if a[0] < 0 or b[0] < 0:
+            return state
+        op = Op.BLT if op is Op.BLTU else Op.BGE
+
+    equal = (op is Op.BEQ and taken) or (op is Op.BNE and not taken)
+    unequal = (op is Op.BNE and taken) or (op is Op.BEQ and not taken)
+    less = (op is Op.BLT and taken) or (op is Op.BGE and not taken)
+    geq = (op is Op.BGE and taken) or (op is Op.BLT and not taken)
+
+    if equal:
+        both = meet(a, b)
+        if both is None:
+            return None
+        state.refine(instr.ra, both)
+        state.refine(instr.rb, both)
+        return state
+    if unequal:
+        if is_singleton(a) and a == b:
+            return None
+        # A singleton can trim the other side's matching endpoint.
+        if is_singleton(a):
+            b2 = _trim(b, a[0])
+            if b2 is None:
+                return None
+            state.refine(instr.rb, b2)
+        elif is_singleton(b):
+            a2 = _trim(a, b[0])
+            if a2 is None:
+                return None
+            state.refine(instr.ra, a2)
+        return state
+    if less:
+        a2 = meet(a, (INT32_MIN, b[1] - 1))
+        b2 = meet(b, (a[0] + 1, INT32_MAX))
+        if a2 is None or b2 is None:
+            return None
+        state.refine(instr.ra, a2)
+        state.refine(instr.rb, b2)
+        return state
+    if geq:
+        a2 = meet(a, (b[0], INT32_MAX))
+        b2 = meet(b, (INT32_MIN, a[1]))
+        if a2 is None or b2 is None:
+            return None
+        state.refine(instr.ra, a2)
+        state.refine(instr.rb, b2)
+        return state
+    return state
+
+
+def _trim(ival, value):
+    """Remove ``value`` from an interval when it sits on an endpoint."""
+    lo, hi = ival
+    if lo == hi == value:
+        return None
+    if lo == value:
+        return (lo + 1, hi)
+    if hi == value:
+        return (lo, hi - 1)
+    return ival

@@ -1,0 +1,100 @@
+"""Graphviz dump of an analyzed CFG (``repro verify --dump-cfg``).
+
+Follows the conventions of :mod:`repro.provenance.dot` (plain DOT
+text, no graphviz dependency, monospace boxes) and reuses its escaping
+helper.  Each block node shows its instruction range, the first few
+instructions, and the non-trivial register intervals at block entry;
+loop headers get a double border, semantically unreachable blocks are
+dashed gray, and edges are labelled taken / fall.
+"""
+
+from repro.provenance.dot import _esc
+from repro.verify.absint.cfg import EDGE_FALL, EDGE_INDIRECT, EDGE_TAKEN
+from repro.verify.absint.domains import TOP
+
+_MAX_INSTRS_SHOWN = 6
+_MAX_IVALS_SHOWN = 6
+
+
+def _format_interval(ival):
+    if ival is None:
+        return "bot"
+    lo, hi = ival
+    if lo == hi:
+        return f"{lo:#x}" if abs(lo) >= 4096 else str(lo)
+    fmt = (lambda v: f"{v:#x}") if max(abs(lo), abs(hi)) >= 4096 else str
+    return f"[{fmt(lo)}, {fmt(hi)}]"
+
+
+def _state_lines(state, num_regs):
+    shown = []
+    for reg in range(1, num_regs):
+        ival = state.get(reg)
+        if ival == TOP or ival is None:
+            continue
+        mark = "" if reg in state.defined else "?"
+        shown.append(f"r{reg}{mark}={_format_interval(ival)}")
+    if not shown:
+        return []
+    lines = []
+    for start in range(0, min(len(shown), _MAX_IVALS_SHOWN), 3):
+        lines.append(" ".join(shown[start:start + 3]))
+    if len(shown) > _MAX_IVALS_SHOWN:
+        lines.append(f"(+{len(shown) - _MAX_IVALS_SHOWN} more)")
+    return lines
+
+
+def cfg_dot(analysis):
+    """DOT digraph of an :class:`~repro.verify.absint.solver.Analysis`."""
+    cfg = analysis.cfg
+    program = analysis.program
+    lines = [
+        f'digraph "{_esc(program.name)}" {{',
+        "  rankdir=TB;",
+        '  node [shape=box, style=filled, fillcolor=white, '
+        'fontname="monospace", fontsize=10];',
+    ]
+    for block in cfg.blocks:
+        label_parts = [f"block #{block.index} [{block.start}:{block.end})"]
+        name = program.label_of(block.start)
+        if name is not None:
+            label_parts[0] += f"  {name}:"
+        for instr in block.instructions[:_MAX_INSTRS_SHOWN]:
+            label_parts.append(instr.text())
+        if len(block) > _MAX_INSTRS_SHOWN:
+            label_parts.append(f"... ({len(block) - _MAX_INSTRS_SHOWN} more)")
+        attrs = []
+        state = analysis.block_in.get(block.index)
+        if state is not None:
+            ivals = _state_lines(state, analysis.num_regs)
+            if ivals:
+                label_parts.append("-- entry state --")
+                label_parts.extend(ivals)
+        else:
+            attrs.append('style="filled,dashed"')
+            attrs.append('fillcolor="#eeeeee"')
+            attrs.append('fontcolor="#888888"')
+            label_parts.append("(unreachable)")
+        if block.index in cfg.loop_headers:
+            attrs.append("peripheries=2")
+        label = "\\l".join(_esc(part) for part in label_parts) + "\\l"
+        lines.append(
+            f'  b{block.index} [label="{label}"'
+            + ("".join(", " + a for a in attrs)) + "];"
+        )
+    for block in cfg.blocks:
+        for edge in cfg.out_edges[block.index]:
+            attrs = []
+            if edge.kind == EDGE_TAKEN:
+                attrs.append('label="T"')
+            elif edge.kind == EDGE_FALL:
+                attrs.append('label="F"')
+            elif edge.kind == EDGE_INDIRECT:
+                attrs.append('style=dotted')
+            if (edge.src, edge.dst) not in analysis.feasible_edges:
+                attrs.append('color="#cc0000"')
+                attrs.append('style=dashed')
+            suffix = f" [{', '.join(attrs)}]" if attrs else ""
+            lines.append(f"  b{edge.src} -> b{edge.dst}{suffix};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,165 @@
+"""Worklist fixed-point solver for the forward abstract interpreter.
+
+Standard design: block in-states join the out-states of feasible
+incoming edges; loop headers apply threshold widening after a short
+delay so counted loops settle at their exact bounds before the
+widening jumps anything to TOP.  Conditional branch edges refine the
+propagated state (and an edge whose refinement is empty is *infeasible*
+— its destination may become semantically unreachable even though the
+graph reaches it, the V804 evidence).
+
+The result object keeps the per-block in-states; checks and the CLI's
+CFG dump re-walk a block's instructions with the same transfer to get
+the state at any program point.
+"""
+
+from repro.verify.absint.cfg import (
+    CFG,
+    EDGE_FALL,
+    EDGE_TAKEN,
+    targets_valid,
+)
+from repro.verify.absint.domains import (
+    AbsState,
+    refine_branch,
+    thresholds_for_program,
+    transfer,
+)
+
+# Joins a loop header absorbs before widening kicks in.
+WIDEN_DELAY = 3
+
+# Widen any block that keeps re-converging past this visit count, even
+# outside detected natural loops (irreducible cycles through jr).
+_SOFT_WIDEN_CAP = 16
+
+# Hard iteration backstop; threshold widening terminates far earlier.
+_MAX_VISITS_PER_BLOCK = 1000
+
+
+class AnalysisError(RuntimeError):
+    """The fixed point did not converge (indicates a framework bug)."""
+
+
+class Analysis:
+    """Fixed-point result: per-block in-states + feasibility facts."""
+
+    def __init__(self, program, cfg, block_in, feasible_edges, num_regs):
+        self.program = program
+        self.cfg = cfg
+        self.block_in = block_in              # block index -> AbsState
+        self.feasible_edges = feasible_edges  # set of (src, dst)
+        self.num_regs = num_regs
+
+    @property
+    def reachable(self):
+        """Blocks the abstract execution actually reaches."""
+        return frozenset(self.block_in)
+
+    def semantically_unreachable(self):
+        """Graph-reachable blocks no feasible path reaches."""
+        return sorted(self.cfg.graph_reachable() - self.reachable)
+
+    def instruction_states(self, block_index):
+        """Yield ``(pc, instr, state_before)`` through one block.
+
+        ``state_before`` is live (mutated by the walk) — copy it to
+        keep a snapshot.
+        """
+        state = self.block_in[block_index].copy()
+        block = self.cfg.blocks[block_index]
+        for offset, instr in enumerate(block.instructions):
+            pc = block.start + offset
+            yield pc, instr, state
+            transfer(state, instr, pc)
+
+    def post_write_intervals(self):
+        """``{pc: {reg: interval}}`` for every reachable write.
+
+        The soundness harness checks concrete execution against this:
+        after the instruction at ``pc`` retires, each written register's
+        value must lie inside its static interval.
+        """
+        result = {}
+        for block_index in self.block_in:
+            state = self.block_in[block_index].copy()
+            block = self.cfg.blocks[block_index]
+            for offset, instr in enumerate(block.instructions):
+                pc = block.start + offset
+                transfer(state, instr, pc)
+                written = {
+                    reg: state.get(reg)
+                    for reg in instr.writes() if reg != 0
+                }
+                if written:
+                    result[pc] = written
+        return result
+
+    def trace_to(self, block_index):
+        """A feasible entry-to-block witness path (block indices)."""
+        return self.cfg.block_trace(
+            block_index, allowed_edges=self.feasible_edges
+        )
+
+
+def analyze_program(program, allowed_live_in=(), num_regs=16,
+                    widen_delay=WIDEN_DELAY):
+    """Run the abstract interpreter to fixpoint; returns :class:`Analysis`.
+
+    Returns ``None`` for programs whose CFG cannot be built (empty, or
+    branch targets out of range — the program lint's V104 territory).
+    """
+    if not len(program):
+        return None
+    if not targets_valid(program):
+        return None
+    cfg = CFG(program)
+    thresholds = thresholds_for_program(program)
+
+    block_in = {cfg.entry: AbsState.entry(num_regs, allowed_live_in)}
+    visits = {cfg.entry: 0}
+    feasible_edges = set()
+    worklist = [cfg.entry]
+    queued = {cfg.entry}
+
+    while worklist:
+        # Process in reverse post-order for fast convergence.
+        worklist.sort(key=lambda b: cfg._rpo_index.get(b, len(cfg.rpo)))
+        index = worklist.pop(0)
+        queued.discard(index)
+        visits[index] = visits.get(index, 0) + 1
+        if visits[index] > _MAX_VISITS_PER_BLOCK:
+            raise AnalysisError(
+                f"{program.name}: block #{index} visited "
+                f"{visits[index]} times without stabilizing"
+            )
+        state = block_in[index].copy()
+        block = cfg.blocks[index]
+        for offset, instr in enumerate(block.instructions):
+            transfer(state, instr, block.start + offset)
+
+        for edge in cfg.out_edges[index]:
+            out = state.copy()
+            if edge.kind in (EDGE_TAKEN, EDGE_FALL) and edge.branch is not None:
+                out = refine_branch(out, edge.branch, edge.kind == EDGE_TAKEN)
+                if out is None:
+                    continue  # provably infeasible edge
+            feasible_edges.add((index, edge.dst))
+            dst = edge.dst
+            existing = block_in.get(dst)
+            if existing is None:
+                block_in[dst] = out
+                changed = True
+            elif (dst in cfg.loop_headers and visits.get(dst, 0) >= widen_delay) \
+                    or visits.get(dst, 0) >= _SOFT_WIDEN_CAP:
+                # The second arm catches cycles natural-loop detection
+                # misses (irreducible regions via jr): widen anywhere
+                # that keeps re-converging so the fixpoint terminates.
+                changed = existing.widen_from(out, thresholds)
+            else:
+                changed = existing.join_from(out)
+            if changed and dst not in queued:
+                worklist.append(dst)
+                queued.add(dst)
+
+    return Analysis(program, cfg, block_in, feasible_edges, num_regs)

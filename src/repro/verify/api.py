@@ -6,6 +6,7 @@ what compilation itself measures — every rule is a static check over
 the produced artifacts.
 """
 
+from repro.verify.dataflow_checks import check_dataflow
 from repro.verify.diagnostics import (
     Report,
     Severity,
@@ -21,8 +22,12 @@ register_rule("V100", Severity.ERROR, "program does not assemble", "program-lint
 register_rule("V200", Severity.ERROR, "kernel does not compile", "ise-checks")
 
 
-def verify_source(source, name="program", allowed_live_in=(), report=None):
-    """Assemble ``source`` text and lint the resulting program."""
+def verify_source(source, name="program", allowed_live_in=(), deep=False,
+                  report=None):
+    """Assemble ``source`` text and lint the resulting program.
+
+    With ``deep`` the abstract interpreter runs too (the V800 family).
+    """
     from repro.isa.assembler import AssemblerError, assemble
 
     report = report if report is not None else Report(name)
@@ -35,19 +40,25 @@ def verify_source(source, name="program", allowed_live_in=(), report=None):
             message += f" (`{exc.line.strip()}`)"
         report.emit("V100", loc, message)
         return report
-    return lint_program(
-        program, allowed_live_in=allowed_live_in, report=report
-    )
+    lint_program(program, allowed_live_in=allowed_live_in, report=report)
+    if deep:
+        check_dataflow(
+            program, allowed_live_in=allowed_live_in, report=report
+        )
+    return report
 
 
-def verify_kernel(kernel, options=None, compile_options=True, report=None):
+def verify_kernel(kernel, options=None, compile_options=True, deep=False,
+                  report=None):
     """Lint a kernel body and statically check its compiled versions.
 
     ``kernel`` is a :class:`repro.workloads.base.Kernel` (resolve names
     with :func:`repro.workloads.make_kernel` first).  With
     ``compile_options`` every patch option's artifact is compiled
     (through the shared measurement cache) and run through the ISE
-    checks; otherwise only the program lint runs.
+    checks; otherwise only the program lint runs.  With ``deep`` the
+    abstract interpreter additionally proves the V800 family over the
+    body and every compiled artifact.
     """
     report = report if report is not None else Report(kernel.name)
     lint_program(
@@ -56,6 +67,10 @@ def verify_kernel(kernel, options=None, compile_options=True, report=None):
         exit_live=kernel.live_out_regs,
         report=report,
     )
+    if deep:
+        check_dataflow(
+            kernel.program, exit_live=kernel.live_out_regs, report=report
+        )
     if not compile_options:
         return report
 
@@ -75,21 +90,36 @@ def verify_kernel(kernel, options=None, compile_options=True, report=None):
             original_program=kernel.program,
             report=report,
         )
+        if deep:
+            check_dataflow(
+                artifact.program,
+                cfg_table=artifact.cfg_table,
+                exit_live=kernel.live_out_regs,
+                report=report,
+            )
     return report
 
 
-def verify_compiled(compiled, report=None):
+def verify_compiled(compiled, deep=False, report=None):
     """ISE checks for one already-compiled :class:`CompiledKernel`."""
     report = report if report is not None else Report(
         f"{compiled.kernel.name}@{compiled.option.name}"
     )
-    return check_ises(
+    check_ises(
         compiled.program,
         cfg_table=compiled.cfg_table,
         mappings=compiled.mappings,
         original_program=compiled.kernel.program,
         report=report,
     )
+    if deep:
+        check_dataflow(
+            compiled.program,
+            cfg_table=compiled.cfg_table,
+            exit_live=compiled.kernel.live_out_regs,
+            report=report,
+        )
+    return report
 
 
 def verify_plan(plan, placement, stage_kernels=None, stage_compiled=None,
@@ -103,12 +133,15 @@ def verify_plan(plan, placement, stage_kernels=None, stage_compiled=None,
     )
 
 
-def verify_app(app, architecture=None, placement=None, report=None):
+def verify_app(app, architecture=None, placement=None, deep=False,
+               report=None):
     """Verify a pipeline application end to end.
 
     Lints every stage kernel, checks the channel graph for deadlock,
     compiles the per-stage cycle tables (cached) and proves the chosen
-    architecture's stitch plan against the network/memory rules.
+    architecture's stitch plan against the network/memory rules.  With
+    ``deep`` the abstract interpreter also covers every distinct stage
+    body and the per-stage compiled artifacts.
     """
     from repro.core.stitching import BASELINE
     from repro.sim.baselines import ARCH_STITCH, AppEvaluator
@@ -128,6 +161,12 @@ def verify_app(app, architecture=None, placement=None, report=None):
             exit_live=stage.kernel.live_out_regs,
             report=report,
         )
+        if deep:
+            check_dataflow(
+                stage.kernel.program,
+                exit_live=stage.kernel.live_out_regs,
+                report=report,
+            )
 
     check_app_channels(app, report=report)
 
@@ -147,12 +186,20 @@ def verify_app(app, architecture=None, placement=None, report=None):
         report=report,
     )
     for sid, artifact in sorted(stage_compiled.items()):
-        if artifact is not None:
-            check_ises(
+        if artifact is None:
+            continue
+        check_ises(
+            artifact.program,
+            cfg_table=artifact.cfg_table,
+            mappings=artifact.mappings,
+            original_program=artifact.kernel.program,
+            report=report,
+        )
+        if deep:
+            check_dataflow(
                 artifact.program,
                 cfg_table=artifact.cfg_table,
-                mappings=artifact.mappings,
-                original_program=artifact.kernel.program,
+                exit_live=artifact.kernel.live_out_regs,
                 report=report,
             )
     return report

@@ -1,0 +1,338 @@
+"""Dataflow checks (``V8xx``): the abstract-interpretation rule family.
+
+Built on :mod:`repro.verify.absint` — a forward fixed point computing,
+for every program point, each register's value interval and whether it
+was written on every path from the entry.  Unlike the structural
+``V1xx`` lint these rules are *per-path*: a register initialized on one
+side of a branch but read after the join is invisible to the
+read-never-written rule (V101) yet caught here, and every diagnostic
+carries a feasible entry-to-fault block trace as its witness.
+
+Rules:
+
+* ``V800`` — a register is read although some feasible path from the
+  entry reaches the read without writing it first (error).
+* ``V801`` — a load/store address provably falls inside the tile's
+  scratchpad segment but outside the backed ``spm_bytes`` window
+  (error).  Only *provable* violations fire: the address interval must
+  lie entirely in the segment and miss the window entirely, so loop
+  widening can never produce a false positive on in-bounds code.
+* ``V802`` — a ``cix`` control word provably exceeds the 19-bit patch
+  control encoding (38 bits for a fused pair): the encoded
+  ``cfg_table`` entry when one is attached, else the raw inline config
+  immediate (error).
+* ``V803`` — dead store: the value written is on every path
+  overwritten before any read (warning).
+* ``V804`` — a block the CFG reaches but no *feasible* path does: a
+  branch is provably one-sided (warning; graph-unreachable blocks are
+  the lint's V102).
+* ``V805`` — a natural loop with no varying exit: either no exit edge
+  at all or every exit branch tests only registers the loop body never
+  changes, so no bound on its trip count is provable (warning).
+"""
+
+from repro.compiler.liveness import liveness
+from repro.isa.instructions import Op
+from repro.verify.absint.cfg import render_trace
+from repro.verify.absint.domains import interval, meet
+from repro.verify.absint.solver import analyze_program
+from repro.verify.diagnostics import Report, Severity, register_rule
+
+register_rule("V800", Severity.ERROR,
+              "register read before any write on some feasible path",
+              "dataflow-checks")
+register_rule("V801", Severity.ERROR,
+              "SPM access provably outside the backed scratchpad window",
+              "dataflow-checks")
+register_rule("V802", Severity.ERROR,
+              "cix control word provably exceeds the 19-bit encoding",
+              "dataflow-checks")
+register_rule("V803", Severity.WARNING,
+              "dead store: value overwritten before any read",
+              "dataflow-checks")
+register_rule("V804", Severity.WARNING,
+              "block unreachable under abstract interpretation",
+              "dataflow-checks")
+register_rule("V805", Severity.WARNING,
+              "loop with no provable bound (no varying exit condition)",
+              "dataflow-checks")
+
+# The tile's address decoder routes a full naturally-aligned segment at
+# ``spm_base`` toward the scratchpad port; only ``spm_bytes`` of it are
+# backed.  An address provably inside the segment but outside the
+# backed window can never be a legal cache/DRAM access.
+SPM_SEGMENT_BYTES = 1 << 24
+
+CONTROL_BITS = 19
+FUSED_CONTROL_BITS = 38
+
+
+def _loc(program, index):
+    return f"{program.name}@{index}"
+
+
+def check_dataflow(program, mem=None, cfg_table=None, allowed_live_in=(),
+                   exit_live=frozenset(), report=None):
+    """Run the V800 family over one assembled program.
+
+    ``mem`` is a :class:`repro.platform.MemParams` (defaults to the
+    stitch preset) supplying the scratchpad geometry for V801.
+    ``cfg_table`` resolves ``cix`` control words for V802 (defaults to
+    the program's attached table, as compiled artifacts carry one).
+    ``allowed_live_in`` registers are treated as defined at entry;
+    ``exit_live`` names registers the harness reads after ``halt``
+    (keeps final result writes out of the dead-store rule).
+    """
+    report = report if report is not None else Report(program.name)
+    if mem is None:
+        from repro.platform import DEFAULT_PLATFORM
+
+        mem = DEFAULT_PLATFORM.mem
+    if cfg_table is None:
+        cfg_table = getattr(program, "cfg_table", None)
+
+    analysis = analyze_program(program, allowed_live_in=allowed_live_in)
+    if analysis is None:
+        # Empty program or broken branch targets: V104 territory, the
+        # CFG rules would only pile noise on top.
+        return report
+
+    _check_init_before_use(analysis, report)
+    if mem.has_spm:
+        _check_spm_bounds(analysis, mem, report)
+    _check_control_words(analysis, cfg_table, report)
+    _check_dead_stores(analysis, exit_live, report)
+    _check_semantic_reachability(analysis, report)
+    _check_loop_bounds(analysis, report)
+    return report
+
+
+# -- V800 ------------------------------------------------------------------
+
+def _check_init_before_use(analysis, report):
+    program = analysis.program
+    flagged = set()  # (pc, reg): one diagnostic per faulting read site
+    for block_index in sorted(analysis.block_in):
+        for pc, instr, state in analysis.instruction_states(block_index):
+            for reg in instr.reads():
+                if reg == 0 or reg in state.defined or (pc, reg) in flagged:
+                    continue
+                flagged.add((pc, reg))
+                trace = _undefined_witness(analysis, block_index, reg)
+                report.emit(
+                    "V800", _loc(program, pc),
+                    f"`{instr.text()}` reads r{reg}, which is not written "
+                    f"on every path from the entry; witness path "
+                    f"{render_trace(trace)}",
+                )
+
+
+def _undefined_witness(analysis, block_index, reg):
+    """A feasible entry-to-read path along which ``reg`` stays unwritten."""
+    cfg = analysis.cfg
+
+    def avoids_definition(index):
+        if index == block_index:
+            return True
+        return all(
+            reg not in instr.writes()
+            for instr in cfg.blocks[index].instructions
+        )
+
+    trace = cfg.block_trace(
+        block_index,
+        allowed_edges=analysis.feasible_edges,
+        block_filter=avoids_definition,
+    )
+    # The dataflow guarantees such a path exists; fall back to any
+    # feasible path should the block-granularity filter be too strict.
+    return trace if trace is not None else analysis.trace_to(block_index)
+
+
+# -- V801 ------------------------------------------------------------------
+
+def _check_spm_bounds(analysis, mem, report):
+    program = analysis.program
+    segment = interval(mem.spm_base, mem.spm_base + SPM_SEGMENT_BYTES - 1)
+    window = interval(mem.spm_base, mem.spm_end - 1)
+    for block_index in sorted(analysis.block_in):
+        for pc, instr, state in analysis.instruction_states(block_index):
+            if instr.op not in (Op.LW, Op.SW):
+                continue
+            base = state.get(instr.ra)
+            if base is None:
+                continue
+            addr = interval(base[0] + instr.imm, base[1] + instr.imm)
+            if addr is None or meet(addr, segment) != addr:
+                continue  # not provably an SPM-segment access
+            if meet(addr, window) is None:
+                trace = analysis.trace_to(block_index)
+                report.emit(
+                    "V801", _loc(program, pc),
+                    f"`{instr.text()}` address in "
+                    f"[{addr[0]:#x}, {addr[1]:#x}] is inside the scratchpad "
+                    f"segment but provably outside the backed "
+                    f"{mem.spm_bytes}-byte window "
+                    f"[{mem.spm_base:#x}, {mem.spm_end:#x}); witness path "
+                    f"{render_trace(trace)}",
+                )
+
+
+# -- V802 ------------------------------------------------------------------
+
+def _control_word_bits(config):
+    """(bits, limit) of one cfg-table entry, or None when it does not
+    encode at all (V203's territory)."""
+    from repro.core.fusion import FusedConfig
+
+    if isinstance(config, FusedConfig):
+        try:
+            return config.control_bits(), FUSED_CONTROL_BITS
+        except (TypeError, ValueError):
+            return None
+    if not getattr(getattr(config, "ptype", None), "has_lmau", False):
+        return None  # conventional SFU configs live outside the encoding
+    try:
+        return config.encode(), CONTROL_BITS
+    except (TypeError, ValueError):
+        return None
+
+
+def _check_control_words(analysis, cfg_table, report):
+    program = analysis.program
+    for block_index in sorted(analysis.block_in):
+        block = analysis.cfg.blocks[block_index]
+        for offset, instr in enumerate(block.instructions):
+            if instr.op is not Op.CIX:
+                continue
+            pc = block.start + offset
+            if cfg_table:
+                if not 0 <= (instr.cfg or 0) < len(cfg_table):
+                    continue  # V205 flags the dangling index
+                resolved = _control_word_bits(cfg_table[instr.cfg])
+                if resolved is None:
+                    continue
+                word, limit = resolved
+                source = f"cfg_table[{instr.cfg}] encodes to"
+            else:
+                word, limit = instr.cfg or 0, CONTROL_BITS
+                source = "inline config immediate is"
+            if word >= (1 << limit):
+                trace = analysis.trace_to(block_index)
+                report.emit(
+                    "V802", _loc(program, pc),
+                    f"`{instr.text()}`: {source} {word:#x}, which exceeds "
+                    f"the {limit}-bit patch control encoding; witness path "
+                    f"{render_trace(trace)}",
+                )
+
+
+# -- V803 ------------------------------------------------------------------
+
+def _check_dead_stores(analysis, exit_live, report):
+    program = analysis.program
+    _, live_out = liveness(program, exit_live=exit_live)
+    for block_index in sorted(analysis.block_in):
+        block = analysis.cfg.blocks[block_index]
+        live = set(live_out.get(block_index, ()))
+        dead_writes = []
+        for offset in range(len(block) - 1, -1, -1):
+            instr = block.instructions[offset]
+            writes = [r for r in instr.writes() if r != 0]
+            for reg in writes:
+                if reg not in live:
+                    dead_writes.append((offset, instr, reg))
+            live.difference_update(writes)
+            live.update(r for r in instr.reads() if r != 0)
+        for offset, instr, reg in sorted(dead_writes):
+            pc = block.start + offset
+            if not _rewritten_later(analysis, block_index, offset, reg):
+                continue  # never touched again: unused, not a dead store
+            report.emit(
+                "V803", _loc(program, pc),
+                f"`{instr.text()}` stores to r{reg}, but every path "
+                f"overwrites it before any read",
+            )
+
+
+def _rewritten_later(analysis, block_index, offset, reg):
+    """Does any feasible path from this write reach another write of
+    ``reg``?  (Distinguishes a *dead* store from a merely unused one.)"""
+    cfg = analysis.cfg
+    block = cfg.blocks[block_index]
+    for instr in block.instructions[offset + 1:]:
+        if reg in instr.writes():
+            return True
+    seen = set()
+    frontier = [
+        e.dst for e in cfg.out_edges[block_index]
+        if (block_index, e.dst) in analysis.feasible_edges
+    ]
+    while frontier:
+        index = frontier.pop()
+        if index in seen:
+            continue
+        seen.add(index)
+        if any(reg in i.writes() for i in cfg.blocks[index].instructions):
+            return True
+        frontier.extend(
+            e.dst for e in cfg.out_edges[index]
+            if (index, e.dst) in analysis.feasible_edges
+        )
+    return False
+
+
+# -- V804 ------------------------------------------------------------------
+
+def _check_semantic_reachability(analysis, report):
+    program = analysis.program
+    for block_index in analysis.semantically_unreachable():
+        block = analysis.cfg.blocks[block_index]
+        report.emit(
+            "V804", _loc(program, block.start),
+            f"basic block #{block_index} [{block.start}:{block.end}) is "
+            f"reachable in the CFG but no feasible path reaches it "
+            f"(a branch is provably one-sided)",
+        )
+
+
+# -- V805 ------------------------------------------------------------------
+
+def _check_loop_bounds(analysis, report):
+    program = analysis.program
+    cfg = analysis.cfg
+    for loop in cfg.loops:
+        if loop.header not in analysis.block_in:
+            continue  # the whole loop is unreachable (V804 covers it)
+        loop_writes = {
+            reg
+            for index in loop.blocks
+            for instr in cfg.blocks[index].instructions
+            for reg in instr.writes()
+        }
+        exits = loop.exits(cfg)
+        varying_exit = False
+        for edge in exits:
+            if edge.branch is None:
+                # jr or plain jmp out of the loop: the loop body can
+                # leave unconditionally, so a bound is not in question.
+                varying_exit = True
+                break
+            reads = set(edge.branch.reads())
+            if reads & loop_writes:
+                varying_exit = True
+                break
+        if varying_exit:
+            continue
+        header = cfg.blocks[loop.header]
+        detail = (
+            "it has no exit edge"
+            if not exits else
+            "every exit branch tests only loop-invariant registers"
+        )
+        report.emit(
+            "V805", _loc(program, header.start),
+            f"loop at block #{loop.header} "
+            f"({len(loop.blocks)} block(s)) has no provable bound: "
+            f"{detail}",
+        )

@@ -110,6 +110,20 @@ class TestErrors:
             assemble(source)
         assert fragment in str(excinfo.value)
 
+    def test_undefined_label_suggests_near_match(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("loop:\naddi r1, r1, -1\nbne r1, r0, lopo\nhalt")
+        message = str(excinfo.value)
+        assert "undefined label 'lopo'" in message
+        assert "did you mean 'loop'?" in message
+
+    def test_undefined_label_no_suggestion_when_nothing_close(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("start:\njmp zzzzzz\nhalt")
+        message = str(excinfo.value)
+        assert "undefined label 'zzzzzz'" in message
+        assert "did you mean" not in message
+
     def test_error_carries_line_number(self):
         with pytest.raises(AssemblerError) as excinfo:
             assemble("nop\nnop\nbogus r1")

@@ -1,0 +1,153 @@
+"""Unit tests for the abstract-interpretation framework itself."""
+
+from repro.isa.assembler import assemble
+from repro.verify.absint import (
+    CFG,
+    TOP,
+    analyze_program,
+    cfg_dot,
+    contains,
+    interval,
+    join,
+    meet,
+    render_trace,
+    widen,
+)
+
+
+class TestIntervalLattice:
+    def test_join_and_meet(self):
+        a, b = interval(0, 10), interval(5, 20)
+        assert join(a, b) == (0, 20)
+        assert meet(a, b) == (5, 10)
+        assert meet(interval(0, 1), interval(5, 6)) is None
+
+    def test_bottom_propagates(self):
+        assert join(None, interval(1, 2)) == (1, 2)
+        assert meet(None, interval(1, 2)) is None
+
+    def test_widen_hits_thresholds(self):
+        old, new = interval(0, 10), interval(0, 11)
+        widened = widen(old, new, thresholds=(-1, 0, 16, 100))
+        assert widened == (0, 16)
+
+    def test_widen_stable_when_contained(self):
+        old = interval(0, 16)
+        assert widen(old, interval(2, 10), thresholds=(0, 16)) == old
+
+    def test_contains(self):
+        assert contains(TOP, -(1 << 31))
+        assert contains(interval(3, 3), 3)
+        assert not contains(interval(3, 3), 4)
+
+
+class TestCFG:
+    def test_diamond(self):
+        program = assemble(
+            """
+            movi r1, 64
+            lw r2, 0(r1)
+            beq r2, r0, right
+            addi r3, r2, 1
+            jmp join
+            right:
+            addi r3, r2, 2
+            join:
+            halt
+            """
+        )
+        cfg = CFG(program)
+        assert len(cfg.blocks) == 4
+        assert sorted(e.dst for e in cfg.out_edges[0]) == [1, 2]
+        assert cfg.loops == ()
+        # Both arms flow into the join block.
+        assert sorted(e.src for e in cfg.in_edges[3]) == [1, 2]
+
+    def test_loop_detection(self):
+        program = assemble(
+            """
+            movi r1, 8
+            loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+            """
+        )
+        cfg = CFG(program)
+        assert len(cfg.loops) == 1
+        loop = cfg.loops[0]
+        assert loop.header == 1
+        assert loop.blocks == frozenset({1})
+        exits = loop.exits(cfg)
+        assert [e.dst for e in exits] == [2]
+
+    def test_branch_to_fallthrough_keeps_both_edges(self):
+        program = assemble(
+            """
+            movi r1, 1
+            beq r1, r0, next
+            next:
+            halt
+            """
+        )
+        cfg = CFG(program)
+        kinds = sorted(e.kind for e in cfg.out_edges[0])
+        assert kinds == ["fall", "taken"]
+
+
+class TestAnalysis:
+    def test_counted_loop_interval_is_exact(self):
+        program = assemble(
+            """
+            movi r1, 8
+            loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+            """
+        )
+        analysis = analyze_program(program)
+        # At loop entry the counter is confined by the movi/threshold
+        # widening, not blown out to TOP.
+        header_state = analysis.block_in[1]
+        lo, hi = header_state.get(1)
+        assert 1 <= lo and hi <= 8
+
+    def test_infeasible_edge_pruned(self):
+        program = assemble(
+            """
+            movi r1, 3
+            beq r1, r0, dead
+            halt
+            dead:
+            movi r2, 1
+            halt
+            """
+        )
+        analysis = analyze_program(program)
+        unreachable = analysis.semantically_unreachable()
+        assert unreachable, "the r1==0 arm should be infeasible"
+        assert all(
+            (0, b) not in analysis.feasible_edges for b in unreachable
+        )
+
+    def test_trace_renders(self):
+        program = assemble("movi r1, 1\nhalt\n")
+        analysis = analyze_program(program)
+        assert render_trace(analysis.trace_to(0)) == "#0"
+
+    def test_dot_output_shape(self):
+        program = assemble(
+            """
+            movi r1, 8
+            loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+            """
+        )
+        dot = cfg_dot(analyze_program(program))
+        assert dot.startswith("digraph")
+        assert "peripheries=2" in dot      # the loop header
+        assert 'label="T"' in dot and 'label="F"' in dot
+        assert "entry state" in dot

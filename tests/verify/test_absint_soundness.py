@@ -1,0 +1,119 @@
+"""Dynamic cross-check of the abstract interpreter.
+
+The soundness contract: every value a register actually takes during
+concrete execution lies inside the static interval the analysis
+computed for the instruction that wrote it.  The harness single-steps
+:class:`repro.cpu.Core` over real kernels and checks each retired
+write against :meth:`Analysis.post_write_intervals`.
+"""
+
+import time
+
+import pytest
+
+from repro.cpu import Core
+from repro.mem import MemorySystem
+from repro.sim.baselines import compile_kernel_options
+from repro.verify.absint import analyze_program, contains
+from repro.verify.dataflow_checks import check_dataflow
+from repro.workloads import KERNEL_FACTORIES, make_kernel
+from repro.workloads.apps import APP_FACTORIES
+
+# Small kernels whose compiled variants are cheap to single-step too.
+SMALL_KERNELS = ("pool", "specfilter", "update")
+
+
+def signed32(value):
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def assert_execution_within_bounds(program, kernel=None,
+                                   max_steps=400_000):
+    analysis = analyze_program(program)
+    assert analysis is not None, program.name
+    bounds = analysis.post_write_intervals()
+    core = Core(program, MemorySystem.stitch())
+    if kernel is not None:
+        kernel.setup(core)
+    steps = 0
+    checked = 0
+    while not core.halted and steps < max_steps:
+        pc = core.pc
+        core.run(max_instructions=1)
+        steps += 1
+        for reg, ival in bounds.get(pc, {}).items():
+            value = signed32(core.regs[reg])
+            assert ival is not None and contains(ival, value), (
+                f"{program.name}@{pc}: r{reg}={value} escapes the "
+                f"static interval {ival}"
+            )
+            checked += 1
+    assert core.halted, f"{program.name} did not halt in {max_steps} steps"
+    assert checked, f"{program.name}: no writes were cross-checked"
+    return checked
+
+
+@pytest.mark.parametrize("name", sorted(KERNEL_FACTORIES))
+def test_kernel_execution_stays_in_static_intervals(name):
+    kernel = make_kernel(name, seed=3)
+    assert_execution_within_bounds(kernel.program, kernel)
+
+
+@pytest.mark.parametrize("name", SMALL_KERNELS)
+def test_compiled_variants_stay_in_static_intervals(name):
+    from repro.core.executor import PatchExecutor
+
+    kernel = make_kernel(name, seed=3)
+    _, compiled = compile_kernel_options(kernel, allow_replication=True)
+    for option_name, artifact in sorted(compiled.items()):
+        analysis = analyze_program(artifact.program)
+        assert analysis is not None, option_name
+        bounds = analysis.post_write_intervals()
+        memory = MemorySystem.stitch()
+        replica = MemorySystem.stitch()
+        for region, words in getattr(kernel, "consts", []):
+            replica.load(region.addr, words)
+        patch = PatchExecutor(
+            artifact.cfg_table, memory, replica_memory=replica
+        )
+        core = Core(artifact.program, memory, patch=patch)
+        kernel.setup(core)
+        steps = 0
+        while not core.halted and steps < 400_000:
+            pc = core.pc
+            core.run(max_instructions=1)
+            steps += 1
+            for reg, ival in bounds.get(pc, {}).items():
+                value = signed32(core.regs[reg])
+                assert ival is not None and contains(ival, value), (
+                    f"{name}@{option_name}@{pc}: r{reg}={value} "
+                    f"escapes {ival}"
+                )
+        assert core.halted, f"{name}@{option_name}"
+
+
+def test_full_suite_analysis_under_ten_seconds():
+    # The acceptance budget covers pure analysis: every kernel body,
+    # every compiled variant, every app stage body (compilation itself
+    # is cached suite-wide and excluded).
+    subjects = []
+    for name in sorted(KERNEL_FACTORIES):
+        kernel = make_kernel(name, seed=1)
+        subjects.append((kernel.program, None, kernel.live_out_regs))
+        _, compiled = compile_kernel_options(kernel, allow_replication=True)
+        for artifact in compiled.values():
+            subjects.append(
+                (artifact.program, artifact.cfg_table,
+                 kernel.live_out_regs)
+            )
+    for name in sorted(APP_FACTORIES):
+        for stage in APP_FACTORIES[name](seed=1).stages:
+            subjects.append(
+                (stage.kernel.program, None, stage.kernel.live_out_regs)
+            )
+    start = time.monotonic()
+    for program, cfg_table, exit_live in subjects:
+        check_dataflow(program, cfg_table=cfg_table, exit_live=exit_live)
+    elapsed = time.monotonic() - start
+    assert len(subjects) > 200
+    assert elapsed < 10.0, f"{len(subjects)} programs took {elapsed:.1f}s"

@@ -24,3 +24,17 @@ def test_app_verifies_with_zero_errors(name):
     report = verify_app(APP_FACTORIES[name](seed=1))
     assert report.errors() == [], report.render()
     assert report.ok(), report.render()
+
+
+@pytest.mark.parametrize("name", sorted(KERNEL_FACTORIES))
+def test_kernel_deep_verifies_clean_across_all_options(name):
+    # The abstract interpreter (V800 family) over the body and every
+    # compiled artifact: not a single diagnostic, warnings included.
+    report = verify_kernel(make_kernel(name), deep=True)
+    assert report.ok(strict=True), report.render()
+
+
+@pytest.mark.parametrize("name", sorted(APP_FACTORIES))
+def test_app_deep_verifies_clean(name):
+    report = verify_app(APP_FACTORIES[name](seed=1), deep=True)
+    assert report.ok(strict=True), report.render()

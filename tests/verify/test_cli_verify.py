@@ -32,7 +32,10 @@ class TestTargets:
         assert "clean" in capsys.readouterr().out
 
     def test_source_file_findings_printed(self, dirty_file, capsys):
-        main(["verify", dirty_file])  # no --strict: reports, exits 0
+        # Error-severity findings exit 1 even without --strict.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", dirty_file])
+        assert excinfo.value.code == 1
         out = capsys.readouterr().out
         assert "V101" in out and "error" in out
 
@@ -62,12 +65,14 @@ class TestStrictExitCodes:
             main(["verify", dirty_file, "--strict"])
         assert excinfo.value.code == 1
 
-    def test_strict_warnings_exit_one(self, tmp_path):
+    def test_strict_warnings_exit_two(self, tmp_path):
+        # Warnings-only in strict mode exits 2, distinguishing it from
+        # hard errors (exit 1).
         path = tmp_path / "warn.s"
         path.write_text(WARN_SOURCE)
         with pytest.raises(SystemExit) as excinfo:
             main(["verify", str(path), "--strict"])
-        assert excinfo.value.code == 1
+        assert excinfo.value.code == 2
 
     def test_without_strict_warnings_pass(self, tmp_path, capsys):
         path = tmp_path / "warn.s"
@@ -76,9 +81,59 @@ class TestStrictExitCodes:
         assert "V102" in capsys.readouterr().out
 
 
+DEEP_SOURCE = (                 # clean to the lint; V800 to the interpreter
+    "movi r1, 64\n"
+    "lw r4, 0(r1)\n"
+    "beq r4, r0, skip\n"
+    "movi r2, 5\n"
+    "skip:\n"
+    "add r3, r2, r1\n"
+    "halt\n"
+)
+
+
+class TestDeep:
+    def test_deep_finds_path_sensitive_error(self, tmp_path, capsys):
+        path = tmp_path / "deep.s"
+        path.write_text(DEEP_SOURCE)
+        main(["verify", str(path)])  # shallow lint: clean, exit 0
+        assert "clean" in capsys.readouterr().out
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", str(path), "--deep"])
+        assert excinfo.value.code == 1
+        out = capsys.readouterr().out
+        assert "V800" in out and "witness path" in out
+
+    def test_strict_implies_deep(self, tmp_path):
+        path = tmp_path / "deep.s"
+        path.write_text(DEEP_SOURCE)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", str(path), "--strict"])
+        assert excinfo.value.code == 1
+
+    def test_dump_cfg_writes_dot(self, tmp_path, capsys):
+        path = tmp_path / "deep.s"
+        path.write_text(DEEP_SOURCE)
+        prefix = str(tmp_path / "deep")
+        with pytest.raises(SystemExit):
+            main(["verify", str(path), "--deep", "--dump-cfg", prefix])
+        dot = (tmp_path / "deep.cfg.dot").read_text()
+        assert dot.startswith("digraph")
+        assert "entry state" in dot     # interval annotations present
+        assert "->" in dot
+
+    def test_dump_cfg_kernel_target(self, tmp_path, capsys):
+        prefix = str(tmp_path / "fir")
+        main(["verify", "fir", "--no-compile", "--deep",
+              "--dump-cfg", prefix])
+        assert (tmp_path / "fir.cfg.dot").exists()
+
+
 class TestOutputModes:
     def test_json_output(self, dirty_file, capsys):
-        main(["verify", dirty_file, "--json"])
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", dirty_file, "--json"])
+        assert excinfo.value.code == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is False
         assert any(d["code"] == "V101" for d in payload["diagnostics"])
@@ -98,6 +153,8 @@ class TestOutputModes:
     def test_assembler_error_reported_not_raised(self, tmp_path, capsys):
         path = tmp_path / "syntax.s"
         path.write_text("nop\nfrob r1, r2\n")
-        main(["verify", str(path)])
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", str(path)])
+        assert excinfo.value.code == 1
         out = capsys.readouterr().out
         assert "V100" in out and "unknown mnemonic" in out

@@ -1,0 +1,292 @@
+"""The V800 rule family: deliberately broken fixtures for each rule."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Instruction, Op
+from repro.isa.program import Program
+from repro.platform import DEFAULT_PLATFORM
+from repro.verify import check_dataflow
+
+SPM_BASE = DEFAULT_PLATFORM.mem.spm_base
+SPM_BYTES = DEFAULT_PLATFORM.mem.spm_bytes
+
+
+def run(source, name="t", **kwargs):
+    return check_dataflow(assemble(source, name=name), **kwargs)
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+class TestV800InitBeforeUse:
+    def test_write_on_one_path_only(self):
+        # r2 is written only when the loaded value is non-zero; the
+        # fall-through path reaches the read with r2 undefined.
+        report = run(
+            """
+            movi r1, 64
+            lw r4, 0(r1)
+            beq r4, r0, skip
+            movi r2, 5
+            skip:
+            add r3, r2, r1
+            halt
+            """
+        )
+        assert codes(report) == ["V800"]
+        diag = report.diagnostics[0]
+        assert "r2" in diag.message
+        assert "witness path" in diag.message
+        # The witness must name the path that skips the write (block
+        # #1 holds the `movi r2, 5`).
+        assert "#0 -> #2" in diag.message
+
+    def test_fully_initialized_is_clean(self):
+        report = run(
+            """
+            movi r1, 10
+            movi r2, 0
+            loop:
+            add r2, r2, r1
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+            """
+        )
+        assert codes(report) == []
+
+    def test_refinement_prunes_false_positive(self):
+        # The branch condition is statically decided (r1 == 1 never
+        # equals zero), so the only feasible path writes r2 first: no
+        # V800 even though a graph path skips the write.
+        report = run(
+            """
+            movi r1, 1
+            beq r1, r0, skip
+            movi r2, 5
+            skip:
+            add r3, r2, r1
+            halt
+            """
+        )
+        assert "V800" not in codes(report)
+
+    def test_allowed_live_in_suppresses(self):
+        report = run(
+            "add r3, r2, r1\nhalt\n", allowed_live_in=(1, 2)
+        )
+        assert codes(report) == []
+
+
+class TestV801SpmBounds:
+    def test_store_past_window(self):
+        report = run(
+            f"""
+            movi r1, {SPM_BASE + SPM_BYTES}
+            sw r1, 0(r1)
+            halt
+            """
+        )
+        assert codes(report) == ["V801"]
+        message = report.diagnostics[0].message
+        assert "witness path" in message
+        assert f"{SPM_BASE:#x}" in message
+
+    def test_load_offset_pushes_out(self):
+        report = run(
+            f"""
+            movi r1, {SPM_BASE}
+            lw r2, {SPM_BYTES}(r1)
+            halt
+            """
+        )
+        assert codes(report) == ["V801"]
+
+    def test_last_word_in_window_is_clean(self):
+        report = run(
+            f"""
+            movi r1, {SPM_BASE + SPM_BYTES - 4}
+            lw r2, 0(r1)
+            halt
+            """
+        )
+        assert codes(report) == []
+
+    def test_widened_loop_index_does_not_fire(self):
+        # The address interval covers the whole window after widening —
+        # it intersects valid addresses, so the provable-violation rule
+        # must stay silent.
+        report = run(
+            f"""
+            movi r1, {SPM_BASE}
+            movi r2, 1024
+            loop:
+            lw r3, 0(r1)
+            addi r1, r1, 4
+            addi r2, r2, -1
+            bne r2, r0, loop
+            halt
+            """,
+            exit_live=frozenset({3}),
+        )
+        assert codes(report) == []
+
+    def test_non_spm_address_is_clean(self):
+        report = run("movi r1, 64\nlw r2, 0(r1)\nhalt\n")
+        assert codes(report) == []
+
+
+class TestV802ControlWords:
+    def test_inline_immediate_overflow(self):
+        # The assembler caps inline cfg immediates at 16 bits, so an
+        # overflowing word must be built programmatically.
+        program = Program(
+            [
+                Instruction(Op.MOVI, rd=1, imm=3),
+                Instruction(Op.CIX, cfg=1 << 19, outs=(2,), ins=(1,)),
+                Instruction(Op.HALT),
+            ],
+            name="v802",
+        )
+        report = check_dataflow(program)
+        assert codes(report) == ["V802"]
+        message = report.diagnostics[0].message
+        assert "19-bit" in message and "witness path" in message
+
+    def test_inline_immediate_in_range(self):
+        program = Program(
+            [
+                Instruction(Op.MOVI, rd=1, imm=3),
+                Instruction(Op.CIX, cfg=(1 << 19) - 1, outs=(2,), ins=(1,)),
+                Instruction(Op.HALT),
+            ],
+            name="v802ok",
+        )
+        assert codes(check_dataflow(program)) == []
+
+    def test_unreachable_cix_not_flagged(self):
+        program = Program(
+            [
+                Instruction(Op.HALT),
+                Instruction(Op.CIX, cfg=1 << 19, outs=(2,), ins=(1,)),
+            ],
+            name="v802dead",
+        )
+        assert codes(check_dataflow(program)) == []
+
+
+class TestV803DeadStores:
+    def test_back_to_back_writes(self):
+        report = run(
+            """
+            movi r1, 7
+            movi r1, 9
+            add r2, r1, r1
+            halt
+            """,
+            exit_live=frozenset({2}),
+        )
+        assert codes(report) == ["V803"]
+        assert "movi r1, 7" in report.diagnostics[0].message
+
+    def test_exit_live_result_not_flagged(self):
+        report = run(
+            "movi r1, 7\nhalt\n", exit_live=frozenset({1})
+        )
+        assert codes(report) == []
+
+
+class TestV804SemanticReachability:
+    def test_one_sided_branch(self):
+        report = run(
+            """
+            movi r1, 3
+            bne r1, r0, go
+            movi r2, 1
+            go:
+            halt
+            """
+        )
+        assert codes(report) == ["V804"]
+        assert "one-sided" in report.diagnostics[0].message
+
+    def test_graph_unreachable_is_not_v804(self):
+        # Blocks no edge reaches at all are the lint's V102; V804 is
+        # only for feasibility, so it stays quiet here.
+        report = run("jmp end\nnop\nend:\nhalt\n")
+        assert codes(report) == []
+
+
+class TestV805LoopBounds:
+    def test_loop_without_exit(self):
+        report = run("spin:\naddi r1, r1, 1\njmp spin\n",
+                     allowed_live_in=(1,))
+        assert codes(report) == ["V805"]
+        assert "no exit edge" in report.diagnostics[0].message
+
+    def test_loop_invariant_exit(self):
+        report = run(
+            """
+            movi r1, 1
+            movi r2, 2
+            loop:
+            addi r3, r3, 1
+            bne r1, r2, loop
+            halt
+            """,
+            allowed_live_in=(3,),
+            exit_live=frozenset({3}),
+        )
+        assert "V805" in codes(report)
+        assert "loop-invariant" in [
+            d for d in report.diagnostics if d.code == "V805"
+        ][0].message
+
+    def test_counted_loop_is_clean(self):
+        report = run(
+            """
+            movi r1, 16
+            loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+            """
+        )
+        assert codes(report) == []
+
+
+class TestEdgeCases:
+    def test_empty_program(self):
+        assert codes(check_dataflow(Program([], name="empty"))) == []
+
+    def test_broken_targets_bail_quietly(self):
+        # Out-of-range branch target is V104 (program lint); the
+        # dataflow pass must not crash or double-report.
+        program = Program(
+            [Instruction(Op.JMP, target=99), Instruction(Op.HALT)],
+            name="broken",
+        )
+        assert codes(check_dataflow(program)) == []
+
+    def test_report_is_returned_and_reused(self):
+        from repro.verify import Report
+
+        report = Report("shared")
+        out = run("movi r1, 1\nhalt\n", report=report)
+        assert out is report
+
+
+@pytest.mark.parametrize("code", ["V800", "V801", "V802"])
+def test_error_severity(code):
+    from repro.verify import RULES, Severity
+
+    assert RULES[code].severity is Severity.ERROR
+
+
+@pytest.mark.parametrize("code", ["V803", "V804", "V805"])
+def test_warning_severity(code):
+    from repro.verify import RULES, Severity
+
+    assert RULES[code].severity is Severity.WARNING
