@@ -10,7 +10,11 @@ exit code 1 — if either side of that promise breaks:
   measurement noise (>5% means dead instrumentation work leaked into
   the null path);
 * the *enabled* path must stay within a small constant factor of the
-  disabled path (counters and trace appends, not a profiler).
+  disabled path (counters and trace appends, not a profiler);
+* the same two bounds hold against the *profiled* path (interval
+  sampling + the PC-cycle histogram on every core), so neither the
+  sampler's boundary check nor the profiler's disabled guard can grow
+  work on the null path.
 
 Wall-clock ratios between two in-process runs are machine-independent,
 unlike absolute times, so this is safe to run in CI.
@@ -82,8 +86,8 @@ def pipeline_programs():
     return programs
 
 
-def run_once(telemetry):
-    system = StitchSystem(telemetry=telemetry)
+def run_once(telemetry, profile_cycles=False):
+    system = StitchSystem(telemetry=telemetry, profile_cycles=profile_cycles)
     for tile, program in pipeline_programs().items():
         system.load(tile, program)
     results = system.run()
@@ -94,12 +98,19 @@ def run_once(telemetry):
     return system
 
 
-def measure(repeats, telemetry_factory):
+def profiled_telemetry():
+    """The full observability stack: stats, tracing, interval sampling."""
+    from repro.telemetry import TimeSeries
+
+    return Telemetry(timeseries=TimeSeries(interval=256))
+
+
+def measure(repeats, telemetry_factory, profile_cycles=False):
     times = []
     for _ in range(repeats):
         telemetry = telemetry_factory()
         start = time.perf_counter()
-        run_once(telemetry)
+        run_once(telemetry, profile_cycles=profile_cycles)
         times.append(time.perf_counter() - start)
     return sorted(times)[len(times) // 2]  # median
 
@@ -114,11 +125,15 @@ def main(argv=None):
     run_once(None)  # warm caches / imports outside the timed region
     disabled = measure(args.repeats, lambda: None)
     enabled = measure(args.repeats, Telemetry)
+    profiled = measure(args.repeats, profiled_telemetry, profile_cycles=True)
     ratio = enabled / disabled
+    profiled_ratio = profiled / disabled
     print(f"telemetry disabled: {disabled * 1e3:8.2f} ms (median of "
           f"{args.repeats})")
     print(f"telemetry enabled:  {enabled * 1e3:8.2f} ms "
           f"(x{ratio:.2f} vs disabled)")
+    print(f"profiled (+timeseries+pc): {profiled * 1e3:8.2f} ms "
+          f"(x{profiled_ratio:.2f} vs disabled)")
 
     failed = False
     if disabled > enabled * DISABLED_REGRESSION_LIMIT:
@@ -126,8 +141,18 @@ def main(argv=None):
               "slower than enabled — null-sink work leaked into the "
               "hot path", file=sys.stderr)
         failed = True
+    if disabled > profiled * DISABLED_REGRESSION_LIMIT:
+        print(f"FAIL: disabled path is >{DISABLED_REGRESSION_LIMIT:.0%} "
+              "slower than the profiled path — sampler/profiler work "
+              "leaked into the null path", file=sys.stderr)
+        failed = True
     if enabled > disabled * ENABLED_OVERHEAD_LIMIT:
         print(f"FAIL: enabled telemetry costs more than "
+              f"{ENABLED_OVERHEAD_LIMIT}x the disabled path",
+              file=sys.stderr)
+        failed = True
+    if profiled > disabled * ENABLED_OVERHEAD_LIMIT:
+        print(f"FAIL: the profiled path costs more than "
               f"{ENABLED_OVERHEAD_LIMIT}x the disabled path",
               file=sys.stderr)
         failed = True

@@ -5,14 +5,23 @@ Commands:
 * ``kernels`` — list the workload suite with baseline cycle counts,
 * ``compile <kernel> [--option NAME]`` — compile + measure one kernel
   across patch options (default: all 12 + LOCUS),
-* ``run <file.s> [--stats] [--trace out.json]`` — assemble and run a
-  program on one simulated tile; ``--stats`` prints the cycle
-  attribution (and verifies it sums exactly), ``--trace`` writes a
-  Chrome trace-event file (``chrome://tracing`` / Perfetto),
-* ``app <APP1..APP4> [--stats] [--trace out.json]`` — evaluate one
-  application across the four architectures (Figure 12 row); with
-  ``--stats``/``--trace`` the Stitch plan is additionally co-simulated
-  on all 16 tiles with telemetry on,
+* ``run <file.s> [--stats] [--trace out.json] [--timeseries out.json]``
+  — assemble and run a program on one simulated tile; ``--stats``
+  prints the cycle attribution (and verifies it sums exactly),
+  ``--trace`` writes a Chrome trace-event file (``chrome://tracing`` /
+  Perfetto; a ``.gz`` suffix gzips it), ``--timeseries`` samples
+  interval counters (``--interval`` cycles each) into a JSON/CSV file,
+* ``app <APP1..APP4> [--stats] [--trace out.json] [--timeseries ...]``
+  — evaluate one application across the four architectures (Figure 12
+  row); with ``--stats``/``--trace``/``--timeseries`` the Stitch plan
+  is additionally co-simulated on all 16 tiles with telemetry on,
+* ``profile <kernel|APP1..APP4> [--json|--folded|--annotate]`` — the
+  cycle-attribution profiler: retired-cycle histograms per PC folded
+  onto basic blocks and natural loops; totals reconcile exactly with
+  the simulator's attribution (rules V900/V901 gate the output),
+* ``monitor <kernel|APP1..APP4|capture.json>`` — ASCII link-utilization
+  heatmap + per-tile stall timeline from a time-series capture (live
+  run or a saved ``--timeseries`` file),
 * ``verify <kernel|APP1..APP4|file.s>`` — static verification
   (stitch-lint) of a kernel, application or raw assembly file; with
   ``--strict`` the exit code reflects the findings,
@@ -85,17 +94,23 @@ def cmd_run(args):
     from repro.cpu import Core
     from repro.isa import AssemblerError, assemble
     from repro.mem import MemorySystem
-    from repro.telemetry import ATTRIBUTION_BUCKETS, Telemetry
+    from repro.telemetry import ATTRIBUTION_BUCKETS, Telemetry, TimeSeries
 
     with open(args.file) as handle:
         try:
             program = assemble(handle.read(), name=args.file)
         except AssemblerError as exc:
             sys.exit(str(exc))
-    telemetry = Telemetry() if (args.stats or args.trace) else None
+    timeseries = TimeSeries(interval=args.interval) if args.timeseries else None
+    telemetry = (
+        Telemetry(timeseries=timeseries)
+        if (args.stats or args.trace or timeseries is not None)
+        else None
+    )
     core = Core(
         program, MemorySystem.stitch(), profile=True,
         tracer=telemetry.tracer if telemetry is not None else None,
+        timeseries=timeseries,
     )
     outcome = core.run(max_instructions=args.max_instructions)
     print(f"stopped: {outcome.reason}")
@@ -122,6 +137,16 @@ def cmd_run(args):
             f"chrome trace written to {args.trace} "
             f"({len(telemetry.tracer)} events)"
         )
+    if timeseries is not None:
+        from repro.power.chip import EnergyModel
+
+        core.flush_timeseries()
+        timeseries.add_energy(EnergyModel())
+        timeseries.write(args.timeseries)
+        print(
+            f"time series written to {args.timeseries} "
+            f"({len(timeseries)} samples, interval {timeseries.interval})"
+        )
 
 
 def cmd_app(args):
@@ -138,15 +163,18 @@ def cmd_app(args):
         print(f"  {arch:18s} {throughputs[arch]:.2f}x")
     plan = evaluator.plan(ARCH_STITCH)
     print(plan.describe())
-    if args.stats or args.trace:
-        from repro.telemetry import Telemetry
+    if args.stats or args.trace or args.timeseries:
+        from repro.telemetry import Telemetry, TimeSeries
         from repro.verify import check_run
 
-        telemetry = Telemetry()
+        timeseries = (
+            TimeSeries(interval=args.interval) if args.timeseries else None
+        )
+        telemetry = Telemetry(timeseries=timeseries)
         system, _ = evaluator.build_system(
             ARCH_STITCH, items=args.items, telemetry=telemetry
         )
-        results = system.run()
+        results = system.run()  # flushes sampling + derives energy
         print(f"co-simulated {evaluator.app.name} on {ARCH_STITCH}: "
               f"makespan {system.makespan(results)} cycles")
         if args.stats:
@@ -158,6 +186,122 @@ def cmd_app(args):
                 f"chrome trace written to {args.trace} "
                 f"({len(telemetry.tracer)} events)"
             )
+        if timeseries is not None:
+            timeseries.write(args.timeseries)
+            print(
+                f"time series written to {args.timeseries} "
+                f"({len(timeseries)} samples, interval {timeseries.interval})"
+            )
+
+
+def cmd_profile(args):
+    import json
+
+    from repro.profile import (
+        profile_app_cycles,
+        profile_kernel_cycles,
+        render_annotated,
+        render_folded,
+        render_summary,
+    )
+    from repro.verify import check_profile, check_profile_run
+    from repro.workloads import KERNEL_FACTORIES
+    from repro.workloads.apps import APP_FACTORIES
+
+    target = args.target
+    if target in KERNEL_FACTORIES:
+        profile, core = profile_kernel_cycles(target, seed=args.seed)
+        profiles = {core.core_id: profile}
+        report = check_profile(profile, total_cycles=core.cycles)
+    elif target.upper() in APP_FACTORIES:
+        profiles, results = profile_app_cycles(
+            target, seed=args.seed, items=args.items
+        )
+        report = check_profile_run(profiles, results)
+    else:
+        sys.exit(
+            f"unknown profile target {target!r}: not a kernel "
+            f"({sorted(KERNEL_FACTORIES)}) or app ({sorted(APP_FACTORIES)})"
+        )
+
+    ordered = [profiles[tile] for tile in sorted(profiles)]
+    if args.json:
+        payload = {
+            "target": target,
+            "reconciled": all(p.reconciles() for p in ordered),
+            "tiles": {str(p.tile): p.to_dict() for p in ordered},
+            "diagnostics": report.to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+    elif args.folded:
+        for profile in ordered:
+            print(render_folded(profile))
+    elif args.annotate:
+        for profile in ordered:
+            print(render_annotated(profile))
+    else:
+        for profile in ordered:
+            print(render_summary(profile))
+        print(report.render())
+    if report.errors():
+        sys.exit(1)
+
+
+def cmd_monitor(args):
+    import json
+
+    from repro.telemetry.monitor import render_monitor
+    from repro.verify import check_timeseries
+
+    target = args.target
+    if os.path.isfile(target):
+        with open(target) as handle:
+            payload = json.load(handle)
+    else:
+        payload = _capture_timeseries(target, args)
+    report = check_timeseries(payload)
+    print(render_monitor(payload, width=args.width))
+    if not report.ok():
+        print(report.render())
+        sys.exit(1)
+
+
+def _capture_timeseries(target, args):
+    """Run a kernel or app with interval sampling on; returns the payload."""
+    from repro.power.chip import EnergyModel
+    from repro.telemetry import Telemetry, TimeSeries
+    from repro.workloads import KERNEL_FACTORIES, make_kernel
+    from repro.workloads.apps import APP_FACTORIES
+
+    timeseries = TimeSeries(interval=args.interval)
+    if target in KERNEL_FACTORIES:
+        from repro.cpu import Core
+        from repro.mem import MemorySystem
+
+        kernel = make_kernel(target, seed=args.seed)
+        core = Core(
+            kernel.program, MemorySystem.stitch(), timeseries=timeseries
+        )
+        kernel.setup(core)
+        core.run(max_instructions=5_000_000)
+        core.flush_timeseries()
+        timeseries.add_energy(EnergyModel())
+    elif target.upper() in APP_FACTORIES:
+        from repro.sim.baselines import ARCH_STITCH, AppEvaluator
+
+        evaluator = AppEvaluator(APP_FACTORIES[target.upper()](seed=args.seed))
+        system, _ = evaluator.build_system(
+            ARCH_STITCH, items=args.items,
+            telemetry=Telemetry(timeseries=timeseries),
+        )
+        system.run()  # flushes sampling + derives energy
+    else:
+        sys.exit(
+            f"unknown monitor target {target!r}: not a kernel "
+            f"({sorted(KERNEL_FACTORIES)}), app ({sorted(APP_FACTORIES)}) "
+            f"or existing capture file"
+        )
+    return timeseries.to_dict()
 
 
 def _verify_exit_code(report, strict):
@@ -467,6 +611,9 @@ def cmd_sweep(args):
             points = make_points(studies)
         except KeyError as exc:
             sys.exit(str(exc.args[0]))
+    if args.telemetry:
+        for point in points:
+            point["workload"]["telemetry"] = True
     workers = args.workers
     print(f"sweep: {len(points)} point(s), "
           f"{'serial' if not workers or workers <= 1 else f'{workers} workers'}")
@@ -521,7 +668,16 @@ def main(argv=None):
     )
     p_run.add_argument(
         "--trace", metavar="PATH",
-        help="write a Chrome trace-event JSON file of the run",
+        help="write a Chrome trace-event JSON file of the run "
+             "(gzipped when PATH ends in .gz)",
+    )
+    p_run.add_argument(
+        "--timeseries", metavar="PATH",
+        help="sample interval counters into PATH (.csv for CSV, else JSON)",
+    )
+    p_run.add_argument(
+        "--interval", type=int, default=1024,
+        help="sampling interval in cycles (default 1024)",
     )
 
     p_app = sub.add_parser("app", help="evaluate an application")
@@ -533,11 +689,65 @@ def main(argv=None):
     )
     p_app.add_argument(
         "--trace", metavar="PATH",
-        help="co-simulate and write a Chrome trace-event JSON file",
+        help="co-simulate and write a Chrome trace-event JSON file "
+             "(gzipped when PATH ends in .gz)",
+    )
+    p_app.add_argument(
+        "--timeseries", metavar="PATH",
+        help="co-simulate and sample interval counters into PATH "
+             "(.csv for CSV, else JSON)",
+    )
+    p_app.add_argument(
+        "--interval", type=int, default=1024,
+        help="sampling interval in cycles (default 1024)",
     )
     p_app.add_argument(
         "--items", type=int, default=2,
         help="items to stream through the telemetry co-simulation",
+    )
+
+    p_profile = sub.add_parser(
+        "profile", help="cycle-attribution profiler (PC/block/loop)"
+    )
+    p_profile.add_argument(
+        "target", help="kernel name | APP1..APP4",
+    )
+    p_profile.add_argument(
+        "--json", action="store_true",
+        help="machine-readable profile (per-PC, per-block, per-loop)",
+    )
+    p_profile.add_argument(
+        "--folded", action="store_true",
+        help="flamegraph folded stacks (prog;loop;block cycles)",
+    )
+    p_profile.add_argument(
+        "--annotate", action="store_true",
+        help="annotated disassembly with per-instruction cycles",
+    )
+    p_profile.add_argument("--seed", type=int, default=1)
+    p_profile.add_argument(
+        "--items", type=int, default=2,
+        help="app targets: items to stream through the co-simulation",
+    )
+
+    p_monitor = sub.add_parser(
+        "monitor", help="ASCII heatmap/timeline from a time-series capture"
+    )
+    p_monitor.add_argument(
+        "target", help="kernel name | APP1..APP4 | saved --timeseries JSON",
+    )
+    p_monitor.add_argument(
+        "--interval", type=int, default=1024,
+        help="sampling interval in cycles for live captures (default 1024)",
+    )
+    p_monitor.add_argument(
+        "--width", type=int, default=64,
+        help="maximum columns in the rendered timeline (default 64)",
+    )
+    p_monitor.add_argument("--seed", type=int, default=1)
+    p_monitor.add_argument(
+        "--items", type=int, default=2,
+        help="app targets: items to stream through the co-simulation",
     )
 
     p_verify = sub.add_parser(
@@ -658,6 +868,11 @@ def main(argv=None):
         "--check-serial", action="store_true",
         help="re-run serially and assert byte-identical results",
     )
+    p_sweep.add_argument(
+        "--telemetry", action="store_true",
+        help="capture per-point stats and merge them (submission order) "
+             "into the payload's stats_total",
+    )
     p_sweep.add_argument("--seed", type=int, default=1)
 
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
@@ -669,6 +884,8 @@ def main(argv=None):
         "compile": cmd_compile,
         "run": cmd_run,
         "app": cmd_app,
+        "profile": cmd_profile,
+        "monitor": cmd_monitor,
         "verify": cmd_verify,
         "explain": cmd_explain,
         "bench": cmd_bench,

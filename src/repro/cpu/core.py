@@ -14,6 +14,8 @@ Timing model (validated against the paper's counts in Figure 4):
   ``recv`` blocks (without retiring) until data is available.
 """
 
+import math
+
 from repro.isa.instructions import (
     Op,
     eval_alu,
@@ -23,6 +25,7 @@ from repro.isa.instructions import (
 )
 from repro.platform import DEFAULT_PLATFORM
 from repro.telemetry.rollup import ATTRIBUTION_BUCKETS  # noqa: F401 (re-export)
+from repro.telemetry.timeseries import NULL_TIMESERIES
 from repro.telemetry.trace import NULL_TRACER
 
 STOP_HALT = "halt"
@@ -99,7 +102,9 @@ class Core:
         core_id=0,
         taken_branch_penalty=None,
         profile=False,
+        profile_cycles=False,
         tracer=None,
+        timeseries=None,
         params=None,
     ):
         if params is None:
@@ -117,6 +122,14 @@ class Core:
         )
         self.profile = profile
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.timeseries = (
+            timeseries if timeseries is not None else NULL_TIMESERIES
+        )
+        self.profile_cycles = profile_cycles
+        # pc -> [cycles, retired]; every simulated cycle lands on exactly
+        # one pc, so sum(cycles) == self.cycles at instruction boundaries
+        # (the profiler-side twin of the attribution invariant).
+        self.pc_profile = {} if profile_cycles else None
 
         self.regs = [0] * params.num_regs
         self.pc = 0
@@ -146,6 +159,16 @@ class Core:
             self._is_leader = leaders
 
         self.cfg_table = getattr(program, "cfg_table", None)
+
+        # Interval sampling: the hot loop compares cycles against the
+        # next interval boundary; disabled collectors pin it at +inf so
+        # the disabled path costs exactly one comparison.
+        if self.timeseries.enabled:
+            self._ts_snap = self._timeseries_counters()
+            self._ts_next = self.timeseries.interval
+        else:
+            self._ts_snap = None
+            self._ts_next = math.inf
 
     # -- register helpers ----------------------------------------------------
 
@@ -186,6 +209,8 @@ class Core:
         block_counts = self.block_counts
         penalty = self.taken_branch_penalty
         tracer = self.tracer
+        pc_profile = self.pc_profile
+        ts_next = self._ts_next
         start_instret = self.instret
 
         while not self.halted:
@@ -193,6 +218,9 @@ class Core:
                 return RunResult(STOP_LIMIT, self.cycles, self.instret)
             if max_cycles is not None and self.cycles >= max_cycles:
                 return RunResult(STOP_LIMIT, self.cycles, self.instret)
+            if self.cycles >= ts_next:
+                self.flush_timeseries()
+                ts_next = self._ts_next
             pc = self.pc
             if pc >= len(program):
                 raise IndexError(
@@ -330,6 +358,12 @@ class Core:
                 self.stall_comm += finish - start - 1  # 1 = the issue slot
                 if tracer.enabled:
                     tracer.comm_send(self.core_id, peer, count, start, finish)
+                if pc_profile is not None:
+                    entry = pc_profile.get(pc)
+                    if entry is None:
+                        entry = pc_profile[pc] = [0, 0]
+                    entry[0] += finish - start
+                    entry[1] += 1
                 self.pc = next_pc
                 self.instret += 1
                 continue
@@ -350,6 +384,12 @@ class Core:
                 self.stall_comm += finish - start - 1  # 1 = the issue slot
                 if tracer.enabled:
                     tracer.comm_recv(self.core_id, peer, count, start, finish)
+                if pc_profile is not None:
+                    entry = pc_profile.get(pc)
+                    if entry is None:
+                        entry = pc_profile[pc] = [0, 0]
+                    entry[0] += finish - start
+                    entry[1] += 1
                 self.pc = next_pc
                 self.instret += 1
                 continue
@@ -360,6 +400,12 @@ class Core:
             self.cycles += cost
             self.instret += 1
             self.pc = next_pc
+            if pc_profile is not None:
+                entry = pc_profile.get(pc)
+                if entry is None:
+                    entry = pc_profile[pc] = [0, 0]
+                entry[0] += cost
+                entry[1] += 1
 
         return RunResult(STOP_HALT, self.cycles, self.instret)
 
@@ -382,6 +428,48 @@ class Core:
             "comm_blocked": self.stall_comm,
             "total": self.cycles,
         }
+
+    def _timeseries_counters(self):
+        """Current values of every counter the interval sampler tracks."""
+        ih, im, dh, dm = self.memory.counter_snapshot()
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instret,
+            "memory_stall": self.stall_memory,
+            "icache_stall": self.stall_icache,
+            "branch_bubble": self.stall_branch,
+            "comm_blocked": self.stall_comm,
+            "icache_hits": ih,
+            "icache_misses": im,
+            "dcache_hits": dh,
+            "dcache_misses": dm,
+        }
+
+    def flush_timeseries(self):
+        """Close the current sampling interval.
+
+        Folds every counter delta since the previous sample into the
+        interval containing the cycle at which the delta *began* (the
+        previous snapshot), so per-interval sums reconcile exactly with
+        the end-of-run totals no matter where the flush lands, and
+        successive samples carry strictly increasing interval indices.
+        Called by the interpreter at interval boundaries and by the
+        harness once a run finishes.
+        """
+        ts = self.timeseries
+        if not ts.enabled:
+            return
+        now = self._timeseries_counters()
+        snap = self._ts_snap
+        deltas = {
+            field: now[field] - snap[field]
+            for field in now
+            if now[field] != snap[field]
+        }
+        if deltas:
+            ts.tile_sample(self.core_id, snap["cycles"], deltas)
+        self._ts_snap = now
+        self._ts_next = (self.cycles // ts.interval + 1) * ts.interval
 
     def _execute_cix(self, instr):
         if self.patch is None:

@@ -69,6 +69,7 @@ class MessagePassing:
         self._occupancy_hist = telemetry.stats.histogram(
             "fabric.channel_occupancy"
         )
+        self._timeseries = telemetry.timeseries
         self._channels = {}
         self.messages = 0
         self.words = 0
@@ -109,6 +110,8 @@ class MessagePassing:
         if occupancy > self.channel_high_water.get(key, 0):
             self.channel_high_water[key] = occupancy
         self._occupancy_hist.observe(occupancy)
+        if self._timeseries.enabled:
+            self._timeseries.channel_occupancy(src, dst, now, occupancy)
         return injection_done
 
     def try_recv(self, src, dst, count, now):

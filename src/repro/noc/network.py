@@ -61,6 +61,7 @@ class Network:
         self.contention = contention
         telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.tracer = telemetry.tracer
+        self.timeseries = telemetry.timeseries
         self._wait_hist = telemetry.stats.histogram("noc.link_wait")
         self._links = {}
         self.packets_sent = 0
@@ -129,6 +130,8 @@ class Network:
                         self.tracer.link_reserved(
                             link, src, dst, crossed, flits, waited
                         )
+                    if self.timeseries.enabled:
+                        self.timeseries.link_flits(link, crossed, flits)
                     head_time = crossed + self.link_cycles
                     if link_index == 0:
                         injection_done = max(injection_done, crossed + flits)
@@ -139,12 +142,15 @@ class Network:
                 injection_done = max(injection_done, cursor + flits)
                 for link_index, link in enumerate(route):
                     self.link_busy[link] = self.link_busy.get(link, 0) + flits
-                    if self.tracer.enabled:
+                    if self.tracer.enabled or self.timeseries.enabled:
                         crossed = (cursor + self.router_stages
                                    + per_hop * link_index)
-                        self.tracer.link_reserved(
-                            link, src, dst, crossed, flits, 0
-                        )
+                        if self.tracer.enabled:
+                            self.tracer.link_reserved(
+                                link, src, dst, crossed, flits, 0
+                            )
+                        if self.timeseries.enabled:
+                            self.timeseries.link_flits(link, crossed, flits)
             arrival = max(arrival, packet_arrival)
             cursor += flits  # next packet streams behind this one
         return arrival, injection_done

@@ -79,3 +79,31 @@ class ChipModel:
 
     def accel_area_fraction(self):
         return self.area.stitch_area_um2() / (self.chip_area_mm2() * 1e6)
+
+
+class EnergyModel:
+    """Per-tile energy of a cycle interval, from the chip power model.
+
+    The published anchor is chip-level (Table I: ~140 mW at 200 MHz for
+    the whole 16-tile mesh), so the per-tile figure is the even split
+    ``stitch_power_mw / num_tiles`` — the granularity Figure 13's
+    energy story needs, without inventing per-component activity
+    factors the paper does not give.  With power in mW and the clock in
+    MHz, ``P * cycles / f`` lands directly in nanojoules.
+    """
+
+    __slots__ = ("params", "num_tiles")
+
+    def __init__(self, params=None, num_tiles=None):
+        self.params = params if params is not None else DEFAULT_PLATFORM.power
+        self.num_tiles = (
+            num_tiles if num_tiles is not None
+            else DEFAULT_PLATFORM.noc.mesh_width * DEFAULT_PLATFORM.noc.mesh_height
+        )
+
+    def tile_power_mw(self):
+        return self.params.stitch_power_mw / self.num_tiles
+
+    def interval_energy_nj(self, cycles):
+        """Energy one tile burns over ``cycles`` cycles, in nJ."""
+        return self.tile_power_mw() * cycles / self.params.clock_mhz

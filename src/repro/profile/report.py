@@ -1,0 +1,79 @@
+"""Text renderings of a :class:`~repro.profile.CycleProfile`.
+
+Three forms, matching ``repro profile``'s flags:
+
+* :func:`render_summary` — ranked hot blocks and loops with cycle
+  shares (the default view),
+* :func:`render_annotated` — the disassembly with per-instruction
+  cycles, retirements and cycle share in the margin,
+* :func:`render_folded` — flamegraph "folded stacks" lines
+  (``prog;loop;block cycles``) for ``flamegraph.pl`` / speedscope.
+"""
+
+
+def _share(cycles, total):
+    return cycles / total if total else 0.0
+
+
+def render_summary(profile, limit=10):
+    """Ranked hot loops + blocks, with the reconciliation line."""
+    total = profile.total_cycles
+    lines = [
+        f"{profile.program.name} (tile {profile.tile}): "
+        f"{total} cycles, {profile.retired_instructions()} instructions",
+        f"profiled cycles: {profile.profiled_cycles()} "
+        f"({'reconciled' if profile.reconciles() else 'MISSING CYCLES'})",
+    ]
+    if profile.loops:
+        lines.append("hot loops (total incl. nested / self):")
+        for loop in profile.loops[:limit]:
+            indent = "  " * loop.depth
+            lines.append(
+                f"  {indent}{loop.name:20s} "
+                f"{loop.total_cycles:10d} ({_share(loop.total_cycles, total):6.1%})"
+                f" / {loop.self_cycles:10d} ({_share(loop.self_cycles, total):6.1%})"
+                f"  x{loop.entries}"
+            )
+    elif profile.cfg is None:
+        lines.append("(no CFG: branch targets unresolved, block view only)")
+    lines.append("hot blocks (self):")
+    for block in profile.hottest_blocks(limit):
+        if not block.cycles:
+            continue
+        lines.append(
+            f"  {block.label:20s} [{block.start}:{block.end}) "
+            f"{block.cycles:10d} ({_share(block.cycles, total):6.1%})"
+            f"  {block.retired} retired"
+        )
+    return "\n".join(lines)
+
+
+def render_annotated(profile):
+    """Disassembly with cycles / retirements / share per instruction."""
+    program = profile.program
+    total = profile.total_cycles
+    index_labels = {}
+    for label, target in program.labels.items():
+        index_labels.setdefault(target, []).append(label)
+    lines = [
+        f"{program.name} (tile {profile.tile}): {total} cycles",
+        f"{'cycles':>10s} {'share':>7s} {'retired':>8s}  instruction",
+    ]
+    for index, instr in enumerate(program.instructions):
+        for label in index_labels.get(index, ()):
+            lines.append(f"{label}:")
+        cycles, retired = profile.pc_cycles.get(index, (0, 0))
+        share = f"{_share(cycles, total):6.1%}" if cycles else "      "
+        count = f"{cycles}" if cycles else "."
+        lines.append(
+            f"{count:>10s} {share:>7s} {retired if retired else '.':>8}  "
+            f"    {instr.text()}"
+        )
+    return "\n".join(lines)
+
+
+def render_folded(profile):
+    """Folded-stack lines (one per block with self cycles)."""
+    return "\n".join(
+        f"{frames} {cycles}" for frames, cycles in profile.folded_stacks()
+    )

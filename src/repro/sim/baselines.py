@@ -171,7 +171,7 @@ class AppEvaluator:
     # -- co-simulation ------------------------------------------------------------
 
     def build_system(self, architecture, items=2, contention=False,
-                     telemetry=None):
+                     telemetry=None, profile_cycles=False):
         """Materialize the 16-tile co-simulation for an architecture.
 
         All architectures run on the Stitch tile memory (4 KB D$ +
@@ -185,12 +185,15 @@ class AppEvaluator:
         scheduling order would leak into simulated time.
 
         ``telemetry`` (``True`` or a :class:`repro.telemetry.Telemetry`
-        bundle) enables stats/tracing across every tile and the NoC.
+        bundle) enables stats/tracing across every tile and the NoC;
+        ``profile_cycles`` turns on every core's retired-cycle PC
+        histogram (the ``repro profile`` substrate).
         """
         plan = self.plan(architecture)
         compiled = self.compiled_programs()
         system = StitchSystem(self.placement.mesh, contention=contention,
-                              telemetry=telemetry, platform=self.platform)
+                              telemetry=telemetry, platform=self.platform,
+                              profile_cycles=profile_cycles)
         for stage in self.app.stages:
             assignment = plan.assignments[stage.id]
             option = assignment.option

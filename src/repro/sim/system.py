@@ -107,10 +107,11 @@ class StitchSystem:
     """
 
     def __init__(self, mesh=None, contention=True, baseline_memory=False,
-                 telemetry=None, platform=None):
+                 telemetry=None, platform=None, profile_cycles=False):
         self.platform = platform if platform is not None else DEFAULT_PLATFORM
         self.mesh = mesh if mesh is not None else Mesh.from_params(self.platform.noc)
         self.telemetry = ensure_telemetry(telemetry)
+        self.profile_cycles = profile_cycles
         self.fabric = MessagePassing(
             Network(self.mesh, contention=contention,
                     telemetry=self.telemetry, params=self.platform.noc),
@@ -146,7 +147,10 @@ class StitchSystem:
         core = Core(
             program, memory, patch=patch,
             comm=self.fabric.port(tile), core_id=tile,
-            tracer=self.telemetry.tracer, params=self.platform.core,
+            tracer=self.telemetry.tracer,
+            timeseries=self.telemetry.timeseries,
+            profile_cycles=self.profile_cycles,
+            params=self.platform.core,
         )
         if setup is not None:
             setup(core)
@@ -192,6 +196,15 @@ class StitchSystem:
                 if blocked:
                     raise self._deadlock(blocked)
                 break
+        timeseries = self.telemetry.timeseries
+        if timeseries.enabled:
+            from repro.power.chip import EnergyModel
+
+            for core in live:
+                core.flush_timeseries()
+            timeseries.add_energy(
+                EnergyModel(self.platform.power, num_tiles=self.mesh.num_tiles)
+            )
         stats = self._roll_up(live, reasons, cache_baseline)
         attach = self.telemetry.enabled
         return RunResults(

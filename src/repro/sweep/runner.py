@@ -22,6 +22,13 @@ Points are pure functions of their dict (fresh processes, no shared
 caches), and the merge step reassembles results in the submitted
 order — parallel and serial runs are byte-identical by construction,
 which ``--check-serial`` (and the CI smoke job) assert.
+
+A workload with ``"telemetry": true`` additionally captures a per-point
+:class:`~repro.telemetry.Stats` registry (shipped across the process
+boundary in its flat picklable form) and the payload gains a
+``stats_total`` — every point's registry folded together with
+:meth:`Stats.merge` in submission order, so the aggregate is as
+deterministic as the per-point records.
 """
 
 import json
@@ -43,6 +50,23 @@ def _hit_rate(cache):
     return round(cache.hits / total, 6) if total else None
 
 
+def _kernel_stats(core, memory):
+    """Per-point Stats registry of one kernel run (telemetry mode)."""
+    from repro.telemetry import Stats
+
+    stats = Stats()
+    stats.add("kernel.cycles", core.cycles)
+    stats.add("kernel.instructions", core.instret)
+    for bucket, value in core.attribution().items():
+        if bucket != "total":
+            stats.add(f"kernel.attribution.{bucket}", value)
+    for level in ("icache", "dcache"):
+        cache = getattr(memory, level)
+        stats.add(f"kernel.{level}.hits", cache.hits)
+        stats.add(f"kernel.{level}.misses", cache.misses)
+    return stats
+
+
 def _run_kernel(config, workload):
     from repro.cpu.core import Core
     from repro.mem.hierarchy import MemorySystem
@@ -59,13 +83,15 @@ def _run_kernel(config, workload):
         raise RuntimeError(
             f"kernel {workload['name']!r} did not halt ({outcome.reason})"
         )
-    return {
+    metrics = {
         "cycles": core.cycles,
         "instructions": core.instret,
         "icache_hit_rate": _hit_rate(memory.icache),
         "dcache_hit_rate": _hit_rate(memory.dcache),
         "result_checksum": _checksum(kernel.result(core)),
     }
+    stats = _kernel_stats(core, memory) if workload.get("telemetry") else None
+    return metrics, stats
 
 
 def ring_programs(num_tiles, token=1, laps=1):
@@ -128,18 +154,25 @@ def _run_ring(config, workload):
 
     token = workload.get("token", 1)
     laps = workload.get("laps", 1)
-    system = StitchSystem(platform=config)
+    telemetry = None
+    if workload.get("telemetry"):
+        from repro.telemetry import NULL_TRACER, Stats, Telemetry
+
+        telemetry = Telemetry(stats=Stats(), tracer=NULL_TRACER)
+    system = StitchSystem(platform=config, telemetry=telemetry)
     num_tiles = system.mesh.num_tiles
     for tile, program in ring_programs(num_tiles, token, laps).items():
         system.load(tile, program)
     results = system.run()
-    return {
+    metrics = {
         "tiles": num_tiles,
         "makespan": system.makespan(results),
         "total_instructions": sum(r.instructions for r in results),
         "token": system.cores[0].regs[4],
         "token_expected": ring_expected(num_tiles, token, laps),
     }
+    stats = telemetry.stats if telemetry is not None else None
+    return metrics, stats
 
 
 _WORKLOADS = {"kernel": _run_kernel, "ring": _run_ring}
@@ -164,7 +197,10 @@ def run_point(point):
     try:
         if runner is None:
             raise ValueError(f"unknown workload kind {workload.get('kind')!r}")
-        record["metrics"] = runner(config, workload)
+        record["metrics"], stats = runner(config, workload)
+        if stats is not None:
+            # Flat form crosses the process boundary; merged by run_sweep.
+            record["stats"] = stats.to_flat()
     except Exception as exc:  # captured, not raised: keep the sweep going
         record["error"] = f"{type(exc).__name__}: {exc}"
     return record
@@ -190,12 +226,21 @@ def run_sweep(points, workers=None):
             results = list(pool.map(run_point, points))
     else:
         results = [run_point(point) for point in points]
-    return {
+    payload = {
         "schema": SCHEMA_VERSION,
         "points": len(results),
         "errors": sum(1 for r in results if "error" in r),
         "results": results,
     }
+    carried = [r["stats"] for r in results if "stats" in r]
+    if carried:
+        from repro.telemetry import Stats
+
+        total = Stats()
+        for flat in carried:  # submission order == results order
+            total.merge(flat)
+        payload["stats_total"] = total.to_flat()
+    return payload
 
 
 def sweep_to_json(payload):

@@ -9,6 +9,10 @@ Three layers, all with near-zero-cost disabled paths:
   events (instruction slices, send/recv/block/unblock, ``cix``
   invocations, cache misses, NoC link reservations) exporting Chrome
   trace-event JSON,
+* :mod:`repro.telemetry.timeseries` — a :class:`TimeSeries` collector
+  of fixed-interval ring-buffered samples (per-tile IPC/stall mix,
+  per-link flit utilization, channel occupancy, energy per interval),
+  rendered by :mod:`repro.telemetry.monitor` and ``repro monitor``,
 * :mod:`repro.telemetry.rollup` — the :class:`SystemStats` per-run
   aggregation attached to every :meth:`StitchSystem.run` result.
 
@@ -33,27 +37,42 @@ from repro.telemetry.trace import (
     TraceEvent,
     Tracer,
 )
+from repro.telemetry.timeseries import (
+    NULL_TIMESERIES,
+    NullTimeSeries,
+    TimeSeries,
+)
 from repro.telemetry.rollup import ATTRIBUTION_BUCKETS, SystemStats
 
 
 class Telemetry:
-    """One stats registry plus one tracer, threaded through a system."""
+    """One stats registry, one tracer and one time-series collector,
+    threaded through a system.
 
-    __slots__ = ("stats", "tracer")
+    ``timeseries`` stays the null collector unless one is passed
+    explicitly — interval sampling is opt-in (``--timeseries`` /
+    ``repro monitor``), unlike stats/tracing which a bare
+    ``Telemetry()`` enables."""
 
-    def __init__(self, stats=None, tracer=None):
+    __slots__ = ("stats", "tracer", "timeseries")
+
+    def __init__(self, stats=None, tracer=None, timeseries=None):
         self.stats = stats if stats is not None else Stats()
         self.tracer = tracer if tracer is not None else Tracer()
+        self.timeseries = (
+            timeseries if timeseries is not None else NULL_TIMESERIES
+        )
 
     @property
     def enabled(self):
-        return self.stats.enabled or self.tracer.enabled
+        return (self.stats.enabled or self.tracer.enabled
+                or self.timeseries.enabled)
 
     def __repr__(self):
         return f"Telemetry(enabled={self.enabled}, {len(self.tracer)} events)"
 
 
-NULL_TELEMETRY = Telemetry(NULL_STATS, NULL_TRACER)
+NULL_TELEMETRY = Telemetry(NULL_STATS, NULL_TRACER, NULL_TIMESERIES)
 
 
 def ensure_telemetry(value):
@@ -73,12 +92,15 @@ __all__ = [
     "NULL_HISTOGRAM",
     "NULL_STATS",
     "NULL_TELEMETRY",
+    "NULL_TIMESERIES",
     "NULL_TRACER",
     "NullStats",
+    "NullTimeSeries",
     "NullTracer",
     "Stats",
     "SystemStats",
     "Telemetry",
+    "TimeSeries",
     "TraceEvent",
     "Tracer",
     "ensure_telemetry",

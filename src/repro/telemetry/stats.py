@@ -48,6 +48,17 @@ class Histogram:
     def mean(self):
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other):
+        """Fold another histogram's summary into this one."""
+        if not other.count:
+            return
+        self.count += other.count
+        self.total += other.total
+        if self.min is None or other.min < self.min:
+            self.min = other.min
+        if self.max is None or other.max > self.max:
+            self.max = other.max
+
     def reset(self):
         self.count = 0
         self.total = 0
@@ -140,6 +151,53 @@ class Stats:
         for histogram in self._histograms.values():
             histogram.reset()
 
+    def merge(self, other):
+        """Fold another registry's instruments into this one.
+
+        Merging is commutative and associative over the summary fields
+        (sums, running min/max), so sweep workers can be aggregated in
+        submission order and parallel == serial holds bit-for-bit.
+        Accepts a :class:`Stats`, a :class:`NullStats` (no-op) or a
+        flat dict from :meth:`to_flat` (how sweep results cross the
+        process boundary).
+        """
+        if isinstance(other, dict):
+            other = Stats.from_flat(other)
+        if not other.enabled:
+            return
+        for name, counter in other._counters.items():
+            self.counter(name).add(counter.value)
+        for name, histogram in other._histograms.items():
+            self.histogram(name).merge(histogram)
+
+    def to_flat(self):
+        """Picklable flat form: ``{"counters": ..., "histograms": ...}``."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: {"count": h.count, "total": h.total,
+                       "min": h.min, "max": h.max}
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_flat(cls, flat):
+        """Rebuild a registry from :meth:`to_flat` output."""
+        stats = cls()
+        for name, value in flat.get("counters", {}).items():
+            stats.counter(name).add(value)
+        for name, fields in flat.get("histograms", {}).items():
+            histogram = stats.histogram(name)
+            histogram.count = fields["count"]
+            histogram.total = fields["total"]
+            histogram.min = fields["min"]
+            histogram.max = fields["max"]
+        return stats
+
     def snapshot(self):
         """Nested dict keyed by the dotted-path components."""
         tree = {}
@@ -183,6 +241,12 @@ class NullStats:
 
     def observe(self, name, value):
         pass
+
+    def merge(self, other):
+        pass
+
+    def to_flat(self):
+        return {"counters": {}, "histograms": {}}
 
     def reset(self):
         pass

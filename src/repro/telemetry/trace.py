@@ -18,6 +18,7 @@ module-level :data:`NULL_TRACER` (``enabled = False``) and guard warm
 per-event calls with a single ``if tracer.enabled`` check.
 """
 
+import gzip
 import json
 
 SPAN = "span"
@@ -30,6 +31,18 @@ NOC = "noc"
 COMPILER = "compiler"
 
 _PIDS = {TILES: 1, NOC: 2, COMPILER: 3}
+
+
+def _open_trace(path):
+    """Text handle for a trace file; a ``.gz`` suffix selects gzip.
+
+    Chrome traces compress ~10x and both ``chrome://tracing`` and
+    Perfetto load gzipped JSON directly, so long co-simulations should
+    just name the file ``trace.json.gz``.
+    """
+    if str(path).endswith(".gz"):
+        return gzip.open(path, "wt", encoding="utf-8")
+    return open(path, "w")
 
 
 class TraceEvent:
@@ -176,8 +189,9 @@ class Tracer:
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
     def write_chrome(self, path):
-        """Write the Chrome trace JSON file; returns the path."""
-        with open(path, "w") as handle:
+        """Write the Chrome trace JSON file (gzipped for ``*.gz``);
+        returns the path."""
+        with _open_trace(path) as handle:
             json.dump(self.to_chrome(), handle)
         return path
 
@@ -211,7 +225,7 @@ class NullTracer:
         return {"traceEvents": [], "displayTimeUnit": "ms"}
 
     def write_chrome(self, path):
-        with open(path, "w") as handle:
+        with _open_trace(path) as handle:
             json.dump(self.to_chrome(), handle)
         return path
 

@@ -23,7 +23,10 @@ Four passes, none of which simulates anything:
   definedness lattices over the CFG, :mod:`repro.verify.absint`)
   proving init-before-use, SPM bounds, 19-bit control-word limits,
   dead stores, semantic reachability and loop-bound existence; the
-  ``--deep`` layer of ``repro verify``.
+  ``--deep`` layer of ``repro verify``,
+* **profile checks** (``V9xx``) — the PC-attribution profiler and the
+  interval sampler reconciled against the simulator's own counters
+  (``repro profile`` gates on these).
 
 Entry points: :func:`verify_source`, :func:`verify_kernel`,
 :func:`verify_compiled`, :func:`verify_plan`, :func:`verify_app`;
@@ -52,6 +55,11 @@ from repro.verify.ise_checks import check_ises
 from repro.verify.mpi_checks import check_app_channels
 from repro.verify.plan_checks import check_plan
 from repro.verify.platform_checks import check_platform
+from repro.verify.profile_checks import (
+    check_profile,
+    check_profile_run,
+    check_timeseries,
+)
 from repro.verify.program_lint import lint_program
 from repro.verify.report_checks import (
     check_compile_report,
@@ -84,6 +92,9 @@ __all__ = [
     "check_platform",
     "check_compile_report",
     "check_core",
+    "check_profile",
+    "check_profile_run",
+    "check_timeseries",
     "check_cycle_attribution",
     "check_report_against_plan",
     "check_run",

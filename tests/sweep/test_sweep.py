@@ -81,6 +81,57 @@ class TestRunner:
         ]
 
 
+class TestTelemetryMerge:
+    def telemetry_points(self):
+        points = []
+        for kernel in ("fir", "specfilter"):
+            point = _point(PlatformConfig.stitch(), kernel=kernel)
+            point["workload"]["telemetry"] = True
+            points.append(point)
+        return points
+
+    def test_point_carries_flat_stats(self):
+        record = run_point(self.telemetry_points()[0])
+        flat = record["stats"]
+        assert flat["counters"]["kernel.cycles"] == (
+            record["metrics"]["cycles"]
+        )
+        assert flat["counters"]["kernel.attribution.compute"] > 0
+
+    def test_untagged_point_stays_lean(self):
+        record = run_point(_point(PlatformConfig.stitch()))
+        assert "stats" not in record
+
+    def test_sweep_merges_stats_total(self):
+        payload = run_sweep(self.telemetry_points())
+        total = payload["stats_total"]["counters"]
+        per_point = [r["stats"]["counters"] for r in payload["results"]]
+        assert total["kernel.cycles"] == sum(
+            c["kernel.cycles"] for c in per_point
+        )
+
+    def test_parallel_merge_equals_serial(self):
+        points = self.telemetry_points()
+        serial = run_sweep(points, workers=1)
+        parallel = run_sweep(points, workers=2)
+        assert sweep_to_json(serial) == sweep_to_json(parallel)
+        assert "stats_total" in serial
+
+    def test_payload_without_telemetry_has_no_total(self):
+        assert "stats_total" not in run_sweep(smoke_points())
+
+    def test_ring_point_telemetry(self):
+        config = PlatformConfig.stitch().derive(
+            "m2", noc={"mesh_width": 2, "mesh_height": 2}
+        )
+        record = run_point({
+            "id": "ring", "config": config.to_dict(),
+            "workload": {"kind": "ring", "telemetry": True},
+        })
+        assert "error" not in record, record.get("error")
+        assert record["stats"]["counters"]
+
+
 class TestRingWorkload:
     @pytest.mark.parametrize("width,height", [(2, 2), (8, 8)])
     def test_ring_bit_exact_across_mesh_sizes(self, width, height):

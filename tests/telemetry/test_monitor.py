@@ -1,0 +1,90 @@
+"""Unit tests for the ASCII monitor renderers."""
+
+from repro.telemetry import TimeSeries
+from repro.telemetry.monitor import (
+    render_link_heatmap,
+    render_monitor,
+    render_stall_timeline,
+)
+
+
+def capture():
+    ts = TimeSeries(interval=100)
+    ts.tile_sample(0, 0, {"cycles": 100, "instructions": 90,
+                          "memory_stall": 10})
+    ts.tile_sample(0, 100, {"cycles": 100, "comm_blocked": 95,
+                            "instructions": 5})
+    ts.tile_sample(1, 0, {"cycles": 100, "icache_stall": 60,
+                          "instructions": 40})
+    ts.link_flits((0, 1), 50, 50)   # 50% utilization in interval 0
+    ts.link_flits((0, 1), 150, 100)  # 100% in interval 1
+    return ts.to_dict()
+
+
+class TestStallTimeline:
+    def test_dominant_bucket_glyphs(self):
+        text = render_stall_timeline(capture())
+        lines = {line.split("|")[0].strip(): line.split("|")[1]
+                 for line in text.splitlines() if "|" in line}
+        assert lines["tile 0"] == "#c"  # compute then comm-blocked
+        assert lines["tile 1"] == "i."  # icache stall, then idle
+
+    def test_legend_and_timescale(self):
+        text = render_stall_timeline(capture())
+        assert "#=compute" in text
+        assert "c=comm_blocked" in text
+        assert "cycles 0..200" in text
+
+    def test_empty_payload(self):
+        assert "no tile samples" in render_stall_timeline(
+            {"interval": 100, "tiles": {}}
+        )
+
+    def test_rebinning_respects_width(self):
+        ts = TimeSeries(interval=10)
+        for i in range(100):
+            ts.tile_sample(0, i * 10, {"cycles": 10, "instructions": 10})
+        text = render_stall_timeline(ts.to_dict(), width=20)
+        row = next(line for line in text.splitlines() if "tile 0" in line)
+        assert len(row.split("|")[1]) <= 20
+
+
+class TestLinkHeatmap:
+    def test_brightness_tracks_utilization(self):
+        text = render_link_heatmap(capture())
+        row = next(line for line in text.splitlines() if "0->1" in line)
+        cells = row.split("|")[1]
+        # 50% -> mid-ramp, 100% -> brightest.
+        assert cells[0] == "+"
+        assert cells[1] == "@"
+
+    def test_any_traffic_is_visible(self):
+        ts = TimeSeries(interval=1000)
+        ts.link_flits((2, 3), 10, 1)  # 0.1% utilization
+        text = render_link_heatmap(ts.to_dict())
+        row = next(line for line in text.splitlines() if "2->3" in line)
+        assert "." in row.split("|")[1]
+
+    def test_links_sorted_numerically(self):
+        ts = TimeSeries(interval=100)
+        for link in ((10, 9), (2, 1), (2, 6)):
+            ts.link_flits(link, 0, 1)
+        text = render_link_heatmap(ts.to_dict())
+        assert text.index("2->1") < text.index("2->6") < text.index("10->9")
+
+    def test_no_links(self):
+        assert "no NoC link traffic" in render_link_heatmap(
+            {"interval": 100, "noc": {"links": {}}}
+        )
+
+
+class TestMonitor:
+    def test_combines_both_views(self):
+        text = render_monitor(capture())
+        assert "stall timeline" in text
+        assert "link utilization" in text
+
+    def test_reports_dropped_intervals(self):
+        payload = capture()
+        payload["dropped_intervals"] = 7
+        assert "7 interval(s) evicted" in render_monitor(payload)

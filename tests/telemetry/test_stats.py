@@ -72,6 +72,71 @@ class TestSnapshot:
         assert text.index("a = 1") < text.index("b = 2")
 
 
+class TestMerge:
+    def build(self, counter, observations):
+        stats = Stats()
+        stats.add("c", counter)
+        for value in observations:
+            stats.observe("h", value)
+        return stats
+
+    def test_counters_and_histograms_fold(self):
+        a = self.build(3, [1, 9])
+        b = self.build(4, [0, 5])
+        a.merge(b)
+        assert a.counter("c").value == 7
+        hist = a.histogram("h")
+        assert hist.count == 4
+        assert hist.total == 15
+        assert hist.min == 0
+        assert hist.max == 9
+
+    def test_merge_creates_missing_instruments(self):
+        a = Stats()
+        b = Stats()
+        b.add("only.in.b", 5)
+        b.observe("hist.only.b", 2)
+        a.merge(b)
+        assert a.counter("only.in.b").value == 5
+        assert a.histogram("hist.only.b").count == 1
+
+    def test_merge_empty_histogram_keeps_min_max(self):
+        a = self.build(0, [4])
+        a.merge(Stats())
+        assert a.histogram("h").min == 4
+        assert a.histogram("h").max == 4
+
+    def test_merge_is_order_independent_on_summaries(self):
+        parts = [self.build(i, [i, 10 - i]) for i in range(3)]
+        forward = Stats()
+        for part in parts:
+            forward.merge(part)
+        backward = Stats()
+        for part in reversed(parts):
+            backward.merge(part)
+        assert forward.to_flat() == backward.to_flat()
+
+    def test_flat_round_trip(self):
+        stats = self.build(42, [1, 2, 3])
+        clone = Stats.from_flat(stats.to_flat())
+        assert clone.to_flat() == stats.to_flat()
+        assert clone.histogram("h").mean() == stats.histogram("h").mean()
+
+    def test_merge_accepts_flat_dict(self):
+        a = Stats()
+        a.merge(self.build(5, [7]).to_flat())
+        assert a.counter("c").value == 5
+        assert a.histogram("h").max == 7
+
+    def test_null_stats_merge_is_noop(self):
+        a = Stats()
+        a.add("x", 1)
+        a.merge(NULL_STATS)
+        assert a.counter("x").value == 1
+        NULL_STATS.merge(a)  # and the null side stays inert
+        assert NULL_STATS.to_flat() == {"counters": {}, "histograms": {}}
+
+
 class TestNullPath:
     def test_null_stats_hands_out_shared_noop(self):
         assert NULL_STATS.counter("anything") is NULL_COUNTER

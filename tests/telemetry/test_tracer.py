@@ -1,5 +1,6 @@
 """Unit tests for the structured tracer and its Chrome trace export."""
 
+import gzip
 import json
 
 from repro.telemetry import NULL_TRACER, Tracer
@@ -93,6 +94,24 @@ class TestChromeExport:
         tracer.write_chrome(path)
         doc = json.loads(path.read_text())
         assert doc["traceEvents"]
+
+    def test_gz_suffix_gzips_and_round_trips(self, tmp_path):
+        tracer = Tracer()
+        tracer.tile_span(0, "a", 0, 5, "halt", 3)
+        tracer.comm_send(0, 1, 4, 5, 9)
+        path = tmp_path / "trace.json.gz"
+        tracer.write_chrome(path)
+        raw = path.read_bytes()
+        assert raw[:2] == b"\x1f\x8b"  # gzip magic: actually compressed
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert doc == tracer.to_chrome()
+
+    def test_gz_null_tracer(self, tmp_path):
+        path = tmp_path / "empty.json.gz"
+        NULL_TRACER.write_chrome(path)
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            assert json.load(handle)["traceEvents"] == []
 
 
 class TestNullTracer:

@@ -94,3 +94,96 @@ class TestTelemetryCli:
         assert "makespan" in out
         assert "attribution" in out
         assert "V500" not in out
+
+    def test_run_gz_trace(self, tmp_path, capsys):
+        import gzip
+        import json
+
+        source = tmp_path / "kernel.s"
+        source.write_text(KERNEL_SOURCE)
+        trace = tmp_path / "out.json.gz"
+        main(["run", str(source), "--trace", str(trace)])
+        assert trace.read_bytes()[:2] == b"\x1f\x8b"
+        with gzip.open(trace, "rt", encoding="utf-8") as handle:
+            assert json.load(handle)["traceEvents"]
+
+    def test_run_timeseries_is_monotonic(self, tmp_path, capsys):
+        import json
+
+        source = tmp_path / "kernel.s"
+        source.write_text(KERNEL_SOURCE)
+        out_path = tmp_path / "series.json"
+        main(["run", str(source), "--timeseries", str(out_path),
+              "--interval", "16"])
+        out = capsys.readouterr().out
+        assert "time series written" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["interval"] == 16
+        samples = payload["tiles"]["0"]
+        indices = [s["index"] for s in samples]
+        assert indices == sorted(indices)
+        assert all(s["end"] - s["start"] == 16 for s in samples)
+        assert all("energy_nj" in s for s in samples)
+
+
+class TestProfileCli:
+    def test_profile_kernel_summary(self, capsys):
+        main(["profile", "fft"])
+        out = capsys.readouterr().out
+        assert "reconciled" in out
+        assert "loop@fft_bf" in out
+        assert "V900" not in out
+
+    def test_profile_annotate(self, capsys):
+        main(["profile", "fir", "--annotate"])
+        out = capsys.readouterr().out
+        assert "cycles" in out and "share" in out and "retired" in out
+        assert "fir" in out and "halt" in out
+
+    def test_profile_json_reconciles(self, capsys):
+        import json
+
+        main(["profile", "fir", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["reconciled"] is True
+        assert doc["target"] == "fir"
+        tile = doc["tiles"]["0"]
+        assert tile["total_cycles"] == tile["profiled_cycles"]
+        assert not doc["diagnostics"]["diagnostics"]
+
+    def test_profile_folded(self, capsys):
+        main(["profile", "fir", "--folded"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+
+    def test_profile_unknown_target_exits(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "no-such-thing"])
+
+
+class TestMonitorCli:
+    def test_monitor_kernel(self, capsys):
+        main(["monitor", "fir", "--interval", "64"])
+        out = capsys.readouterr().out
+        assert "stall timeline" in out
+        assert "tile 0" in out
+        assert "V901" not in out
+
+    def test_monitor_saved_capture(self, tmp_path, capsys):
+        source = tmp_path / "kernel.s"
+        source.write_text(KERNEL_SOURCE)
+        series = tmp_path / "series.json"
+        main(["run", str(source), "--timeseries", str(series),
+              "--interval", "16"])
+        capsys.readouterr()
+        main(["monitor", str(series)])
+        out = capsys.readouterr().out
+        assert "stall timeline" in out
+
+    def test_monitor_rejects_bad_capture(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"interval": 0, "tiles": {}}')
+        with pytest.raises(SystemExit):
+            main(["monitor", str(bad)])
+        assert "V901" in capsys.readouterr().out
