@@ -14,7 +14,11 @@ exit code 1 — if either side of that promise breaks:
 * the same two bounds hold against the *profiled* path (interval
   sampling + the PC-cycle histogram on every core), so neither the
   sampler's boundary check nor the profiler's disabled guard can grow
-  work on the null path.
+  work on the null path;
+* and against the *recorded* path (the causal dependency recorder of
+  ``repro critpath``), whose hooks live only on comm events — never in
+  the instruction hot loop — so both its null path and its enabled
+  path must obey the same limits.
 
 Wall-clock ratios between two in-process runs are machine-independent,
 unlike absolute times, so this is safe to run in CI.
@@ -105,6 +109,19 @@ def profiled_telemetry():
     return Telemetry(timeseries=TimeSeries(interval=256))
 
 
+def recorded_telemetry():
+    """Only the causal dependency recorder (``repro critpath``)."""
+    from repro.telemetry import (
+        DependencyRecorder,
+        NULL_STATS,
+        NULL_TIMESERIES,
+        NULL_TRACER,
+    )
+
+    return Telemetry(NULL_STATS, NULL_TRACER, NULL_TIMESERIES,
+                     recorder=DependencyRecorder())
+
+
 def measure(repeats, telemetry_factory, profile_cycles=False):
     times = []
     for _ in range(repeats):
@@ -126,14 +143,18 @@ def main(argv=None):
     disabled = measure(args.repeats, lambda: None)
     enabled = measure(args.repeats, Telemetry)
     profiled = measure(args.repeats, profiled_telemetry, profile_cycles=True)
+    recorded = measure(args.repeats, recorded_telemetry)
     ratio = enabled / disabled
     profiled_ratio = profiled / disabled
+    recorded_ratio = recorded / disabled
     print(f"telemetry disabled: {disabled * 1e3:8.2f} ms (median of "
           f"{args.repeats})")
     print(f"telemetry enabled:  {enabled * 1e3:8.2f} ms "
           f"(x{ratio:.2f} vs disabled)")
     print(f"profiled (+timeseries+pc): {profiled * 1e3:8.2f} ms "
           f"(x{profiled_ratio:.2f} vs disabled)")
+    print(f"recorded (critpath): {recorded * 1e3:8.2f} ms "
+          f"(x{recorded_ratio:.2f} vs disabled)")
 
     failed = False
     if disabled > enabled * DISABLED_REGRESSION_LIMIT:
@@ -153,6 +174,16 @@ def main(argv=None):
         failed = True
     if profiled > disabled * ENABLED_OVERHEAD_LIMIT:
         print(f"FAIL: the profiled path costs more than "
+              f"{ENABLED_OVERHEAD_LIMIT}x the disabled path",
+              file=sys.stderr)
+        failed = True
+    if disabled > recorded * DISABLED_REGRESSION_LIMIT:
+        print(f"FAIL: disabled path is >{DISABLED_REGRESSION_LIMIT:.0%} "
+              "slower than the recorded path — recorder work leaked "
+              "into the null path", file=sys.stderr)
+        failed = True
+    if recorded > disabled * ENABLED_OVERHEAD_LIMIT:
+        print(f"FAIL: the dependency recorder costs more than "
               f"{ENABLED_OVERHEAD_LIMIT}x the disabled path",
               file=sys.stderr)
         failed = True

@@ -255,7 +255,9 @@ def cmd_monitor(args):
 
     target = args.target
     if os.path.isfile(target):
-        with open(target) as handle:
+        from repro.telemetry.trace import _open_trace
+
+        with _open_trace(target, "r") as handle:
             payload = json.load(handle)
     else:
         payload = _capture_timeseries(target, args)
@@ -263,6 +265,79 @@ def cmd_monitor(args):
     print(render_monitor(payload, width=args.width))
     if not report.ok():
         print(report.render())
+        sys.exit(1)
+
+
+def cmd_critpath(args):
+    import json
+
+    from repro.critpath import (
+        WhatIfError,
+        WhatIfInfeasible,
+        render_gantt,
+        render_summary,
+    )
+    from repro.critpath.runner import record_target, validate_whatif
+    from repro.verify import check_critpath
+
+    platform = _load_platform(args.platform) if args.platform else None
+    try:
+        run = record_target(args.target, seed=args.seed, items=args.items,
+                            platform=platform)
+    except KeyError as exc:
+        sys.exit(str(exc.args[0]) if exc.args else str(exc))
+    report = check_critpath(run.graph, run.analysis, measured=run.measured)
+
+    projections = []
+    validation = None
+    try:
+        if args.what_if:
+            projections.append(run.project(args.what_if))
+        if args.validate:
+            validation = validate_whatif(run, args.validate,
+                                         seed=args.seed, items=args.items)
+    except (WhatIfError, WhatIfInfeasible) as exc:
+        sys.exit(f"what-if failed: {exc}")
+
+    if args.out:
+        payload = run.to_dict()
+        payload["diagnostics"] = report.to_dict()
+        if projections:
+            payload["what_if"] = projections
+        if validation is not None:
+            payload["validation"] = validation
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.json:
+        payload = run.to_dict()
+        payload["diagnostics"] = report.to_dict()
+        if projections:
+            payload["what_if"] = projections
+        if validation is not None:
+            payload["validation"] = validation
+        print(json.dumps(payload, indent=2))
+    else:
+        if args.gantt:
+            print(render_gantt(run.graph, run.analysis, width=args.width))
+            print()
+        print(render_summary(run.graph, run.analysis))
+        if run.partial:
+            print(f"note: partial run ({run.error})")
+        for projection in projections:
+            print(f"what-if {projection['expressions']}: "
+                  f"{projection['baseline_cycles']} -> "
+                  f"{projection['projected_cycles']} cycles "
+                  f"(speedup {projection['speedup']})")
+        if validation is not None:
+            print(f"validated {validation['expressions']}: projected "
+                  f"{validation['projected_cycles']} vs actual re-run "
+                  f"{validation['actual_cycles']} "
+                  f"(drift {validation['drift']:+.4%})")
+        if not report.ok():
+            print(report.render())
+    if report.errors():
         sys.exit(1)
 
 
@@ -750,6 +825,50 @@ def main(argv=None):
         help="app targets: items to stream through the co-simulation",
     )
 
+    p_critpath = sub.add_parser(
+        "critpath",
+        help="causal critical-path analysis and what-if projections",
+    )
+    p_critpath.add_argument(
+        "target", help="kernel name | APP1..APP4",
+    )
+    p_critpath.add_argument(
+        "--json", action="store_true",
+        help="machine-readable capture (graph + analysis + diagnostics)",
+    )
+    p_critpath.add_argument(
+        "--gantt", action="store_true",
+        help="ASCII Gantt chart with the critical path highlighted",
+    )
+    p_critpath.add_argument(
+        "--what-if", action="append", default=[], metavar="EXPR",
+        help="replay with scaled weights, e.g. 'tile3.compute*0.5', "
+             "'dram_latency*2', 'link_latency*2', 'channel_capacity=64' "
+             "(repeatable; clauses compose)",
+    )
+    p_critpath.add_argument(
+        "--validate", action="append", default=[], metavar="EXPR",
+        help="project a dram_latency what-if AND re-run the simulator "
+             "with the equivalent platform change; reports the drift",
+    )
+    p_critpath.add_argument(
+        "--out", metavar="FILE",
+        help="also write the JSON capture here (for CI artifacts / sweep)",
+    )
+    p_critpath.add_argument(
+        "--platform", metavar="PRESET|FILE",
+        help="record on a platform preset or config JSON",
+    )
+    p_critpath.add_argument(
+        "--width", type=int, default=72,
+        help="columns in the --gantt chart (default 72)",
+    )
+    p_critpath.add_argument("--seed", type=int, default=1)
+    p_critpath.add_argument(
+        "--items", type=int, default=2,
+        help="app targets: items to stream through the co-simulation",
+    )
+
     p_verify = sub.add_parser(
         "verify", help="statically verify a kernel, app or assembly file"
     )
@@ -886,6 +1005,7 @@ def main(argv=None):
         "app": cmd_app,
         "profile": cmd_profile,
         "monitor": cmd_monitor,
+        "critpath": cmd_critpath,
         "verify": cmd_verify,
         "explain": cmd_explain,
         "bench": cmd_bench,

@@ -23,6 +23,7 @@ from repro.isa.instructions import (
     eval_shift,
     wrap32,
 )
+from repro.critpath.recorder import NULL_RECORDER
 from repro.platform import DEFAULT_PLATFORM
 from repro.telemetry.rollup import ATTRIBUTION_BUCKETS  # noqa: F401 (re-export)
 from repro.telemetry.timeseries import NULL_TIMESERIES
@@ -105,6 +106,7 @@ class Core:
         profile_cycles=False,
         tracer=None,
         timeseries=None,
+        recorder=None,
         params=None,
     ):
         if params is None:
@@ -125,6 +127,7 @@ class Core:
         self.timeseries = (
             timeseries if timeseries is not None else NULL_TIMESERIES
         )
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.profile_cycles = profile_cycles
         # pc -> [cycles, retired]; every simulated cycle lands on exactly
         # one pc, so sum(cycles) == self.cycles at instruction boundaries
@@ -146,6 +149,7 @@ class Core:
         self.stall_icache = 0
         self.stall_branch = 0
         self.stall_comm = 0
+        self.cix_retired = 0
 
         self.block_counts = {}
         self.spm_only_accesses = {}  # program index -> all addresses in SPM
@@ -305,6 +309,7 @@ class Core:
                 if instr.rd != 0:
                     regs[instr.rd] = instr.imm
             elif op is Op.CIX:
+                self.cix_retired += 1
                 if tracer.enabled:
                     tracer.cix(self.core_id, instr.cfg, self.cycles)
                 outs = self._execute_cix(instr)
@@ -356,6 +361,9 @@ class Core:
                 finish = self.comm.send(peer, values, start)
                 self.cycles = finish
                 self.stall_comm += finish - start - 1  # 1 = the issue slot
+                if self.recorder.enabled:
+                    self.recorder.send(self.core_id, peer, count, start,
+                                       finish, self._recorder_counters())
                 if tracer.enabled:
                     tracer.comm_send(self.core_id, peer, count, start, finish)
                 if pc_profile is not None:
@@ -373,6 +381,9 @@ class Core:
                 count = regs[instr.rd]
                 result = self.comm.try_recv(peer, count, self.cycles)
                 if result is None:
+                    if self.recorder.enabled:
+                        self.recorder.recv_blocked(self.core_id, peer, count,
+                                                   self.cycles)
                     if tracer.enabled:
                         tracer.comm_blocked(self.core_id, peer, count,
                                             self.cycles)
@@ -382,6 +393,9 @@ class Core:
                 start = self.cycles
                 self.cycles = finish
                 self.stall_comm += finish - start - 1  # 1 = the issue slot
+                if self.recorder.enabled:
+                    self.recorder.recv(self.core_id, peer, count, start,
+                                       finish, self._recorder_counters())
                 if tracer.enabled:
                     tracer.comm_recv(self.core_id, peer, count, start, finish)
                 if pc_profile is not None:
@@ -428,6 +442,22 @@ class Core:
             "comm_blocked": self.stall_comm,
             "total": self.cycles,
         }
+
+    def _recorder_counters(self):
+        """Counter snapshot in :data:`repro.critpath.COUNTER_FIELDS`
+        order — the compute-segment deltas the dependency recorder
+        attaches to each comm op."""
+        memory = self.memory
+        return (
+            self.instret,
+            self.stall_memory,
+            self.stall_icache,
+            self.stall_branch,
+            memory.icache.misses,
+            memory.dcache.misses,
+            memory.dcache.writebacks,
+            self.cix_retired,
+        )
 
     def _timeseries_counters(self):
         """Current values of every counter the interval sampler tracks."""

@@ -1,0 +1,58 @@
+"""Causal critical-path analysis for multi-tile stitched runs.
+
+The package splits into a recording side and an analysis side:
+
+* :mod:`repro.critpath.recorder` — the :class:`DependencyRecorder`
+  hooks that observe a run (cores, message fabric, NoC) and the
+  :data:`NULL_RECORDER` null object installed when recording is off;
+* :mod:`repro.critpath.graph` — the causal
+  :class:`DependencyGraph` built from a recording (JSON-round-trippable);
+* :mod:`repro.critpath.analyze` — critical path, slack/float,
+  attribution, blocked frontier;
+* :mod:`repro.critpath.whatif` — scaled-weight replay projections;
+* :mod:`repro.critpath.gantt` — ASCII rendering.
+
+None of these import the simulator.  The harness entries that *do*
+(record a kernel/app by name, validate a what-if against a re-run)
+live in :mod:`repro.critpath.runner`, imported lazily by the CLI.
+"""
+
+from repro.critpath.analyze import CritPathAnalysis, analyze
+from repro.critpath.gantt import render_gantt, render_summary
+from repro.critpath.graph import DependencyGraph
+from repro.critpath.matcher import ChannelMatcher
+from repro.critpath.recorder import (
+    COUNTER_FIELDS,
+    DependencyRecorder,
+    NULL_RECORDER,
+    NullDependencyRecorder,
+    OpRecord,
+    ensure_recorder,
+)
+from repro.critpath.whatif import (
+    WhatIfError,
+    WhatIfInfeasible,
+    WhatIfSpec,
+    project,
+    replay,
+)
+
+__all__ = [
+    "COUNTER_FIELDS",
+    "ChannelMatcher",
+    "CritPathAnalysis",
+    "DependencyGraph",
+    "DependencyRecorder",
+    "NULL_RECORDER",
+    "NullDependencyRecorder",
+    "OpRecord",
+    "WhatIfError",
+    "WhatIfInfeasible",
+    "WhatIfSpec",
+    "analyze",
+    "ensure_recorder",
+    "project",
+    "render_gantt",
+    "render_summary",
+    "replay",
+]

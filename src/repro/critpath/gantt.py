@@ -1,0 +1,136 @@
+"""ASCII Gantt rendering of a recorded run, critical path highlighted.
+
+One row per tile, time left to right, the whole makespan scaled into
+the requested width.  Lowercase glyphs are off-path activity, their
+uppercase/emphasized twins mark cycles the critical path runs through:
+
+    - / #   compute          s / S   send (NIC injection)
+    . / W   waiting on data  d / D   recv drain (NIC -> memory)
+
+A summary of the critical path's hops and each tile's critical-time
+share follows the chart.
+"""
+
+from repro.critpath.graph import (
+    COMPUTE,
+    DRAIN,
+    INJECT,
+    NOC,
+    SYNC,
+)
+from repro.critpath.recorder import KIND_RECV, KIND_SEND
+
+_GLYPHS = {
+    COMPUTE: ("-", "#"),
+    INJECT: ("s", "S"),
+    SYNC: (".", "W"),
+    DRAIN: ("d", "D"),
+}
+
+LEGEND = ("legend: -/# compute   s/S send   ./W wait-for-data   "
+          "d/D drain   (uppercase = critical path)")
+
+
+def _critical_windows(analysis):
+    """{tile: [(start, end, kind)]} intervals the critical path covers."""
+    windows = {}
+    for step in analysis.steps:
+        if step.kind == NOC or step.tile is None or step.weight == 0:
+            continue
+        windows.setdefault(step.tile, []).append(
+            (step.src.time, step.dst.time, step.kind)
+        )
+    return windows
+
+
+def _paint(row, span, width, start, end, glyph):
+    if end <= start:
+        return
+    lo = int(start * width // span)
+    hi = max(lo + 1, int(end * width // span))
+    for col in range(lo, min(hi, width)):
+        row[col] = glyph
+
+
+def render_gantt(graph, analysis, width=72):
+    """The chart + critical-path summary as one string."""
+    span = max(graph.makespan, 1)
+    width = max(16, width)
+    critical = _critical_windows(analysis)
+    lines = []
+    for tile in graph.tiles():
+        row = [" "] * width
+        prev_end = 0
+        for record in graph.tile_records(tile):
+            _paint(row, span, width, prev_end, record.issue,
+                   _GLYPHS[COMPUTE][0])
+            if record.kind == KIND_SEND:
+                _paint(row, span, width, record.issue, record.end,
+                       _GLYPHS[INJECT][0])
+            elif record.kind == KIND_RECV:
+                ready = max(record.issue, record.ready)
+                _paint(row, span, width, record.issue, ready,
+                       _GLYPHS[SYNC][0])
+                _paint(row, span, width, ready, record.end,
+                       _GLYPHS[DRAIN][0])
+            prev_end = record.end
+        for start, end, kind in critical.get(tile, ()):
+            _paint(row, span, width, start, end, _GLYPHS[kind][1])
+        lines.append(f"tile {tile:>3} |{''.join(row)}|")
+    lines.append(f"{'':9s}0{'cycles':^{width - 1}s}{graph.makespan}")
+    lines.append(LEGEND)
+    return "\n".join(lines)
+
+
+def render_summary(graph, analysis, top=8):
+    """Textual critical-path narrative + per-tile shares."""
+    lines = [
+        f"makespan: {graph.makespan} cycles ({graph.outcome})",
+        f"critical path: {analysis.total} cycles over "
+        f"{len(analysis.steps)} segment(s)"
+        + ("" if analysis.reconciled() else
+           "  ** DOES NOT RECONCILE (V1000) **"),
+    ]
+    attribution = analysis.attribution()
+    kinds = attribution["kinds"]
+    if kinds:
+        parts = ", ".join(
+            f"{kind} {cycles}" for kind, cycles in sorted(
+                kinds.items(), key=lambda kv: -kv[1]
+            ) if cycles
+        )
+        lines.append(f"by kind: {parts}")
+    shares = attribution["tile_critical_cycles"]
+    total = analysis.total or 1
+    for tile in sorted(shares, key=lambda t: -shares[t]):
+        lines.append(
+            f"  tile {tile}: {shares[tile]} critical cycles "
+            f"({shares[tile] / total:.1%})"
+        )
+    for channel, cycles in sorted(attribution["channels"].items(),
+                                  key=lambda kv: -kv[1]):
+        lines.append(f"  channel {channel}: {cycles} critical cycles "
+                     f"({cycles / total:.1%})")
+    hops = [step for step in analysis.steps if step.kind == NOC]
+    if hops:
+        lines.append(f"cross-tile hops on the path: {len(hops)}")
+    frontier = analysis.frontier()
+    if frontier:
+        lines.append("blocked frontier (partial run):")
+        for tile in sorted(frontier):
+            info = frontier[tile]
+            peer = info.get("peer")
+            words = info.get("words")
+            lines.append(
+                f"  tile {tile}: waiting on tile {peer} for {words} word(s)"
+            )
+    slack_top = analysis.slack_summary(top=top)
+    if slack_top:
+        lines.append("largest slack (cheapest places to lose time):")
+        for entry in slack_top[:top]:
+            lines.append(
+                f"  {entry['kind']:8s} tile {entry['tile']}  "
+                f"float {entry['float']} cycles  "
+                f"window {entry['window'][0]}..{entry['window'][1]}"
+            )
+    return "\n".join(lines)

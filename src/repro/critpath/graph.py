@@ -1,0 +1,278 @@
+"""The causal execution graph of one recorded run.
+
+Nodes are single-timestamped events; edges carry the cycles that
+separate cause from effect.  An edge is *tight* when its successor
+happened exactly ``weight`` cycles after its predecessor — the
+constraint was binding — and the whole design rides on one identity:
+walking tight edges backward from the virtual END node telescopes the
+node times, so the sum of critical-path edge weights equals the
+makespan *exactly* (rule V1000 re-checks it anyway).
+
+Per tile the recorder's op stream expands to:
+
+* a ``start`` node at cycle 0,
+* a send → ``send_issue`` (at issue) and ``send_done`` (at
+  injection-done), joined by an ``inject`` edge (NIC serialization),
+* a recv → ``recv_issue`` (at issue), ``recv_ready`` (at
+  ``max(issue, ready)``) and ``recv_done`` (after the NIC drain),
+  joined by a zero-weight ``sync`` edge (tight when the data was
+  already waiting) and a ``drain`` edge,
+* a terminal ``halt``/``blocked``/``cut`` node,
+
+with ``compute`` edges chaining consecutive events of the tile (their
+weight is the compute segment between them, carrying the counter
+deltas) and two cross-cutting families:
+
+* ``noc`` — from the *binding* send's ``send_done`` to the receive's
+  ``recv_ready``, weighted by the message's flight time beyond
+  injection; tight exactly when the receiver waited on the network,
+* ``finish`` — zero-weight edges from every terminal node to the
+  virtual END at the makespan; tight only for the last tile(s).
+
+Channel-capacity back-edges do not appear here — the recorded fabric's
+channels are unbounded, so sends never block; the what-if engine
+synthesizes them when replaying under a ``channel_capacity=N`` clause.
+
+Everything is reconstructible from the flat record list, so the JSON
+form (:meth:`DependencyGraph.to_dict`) stores records + run metadata
+and :meth:`from_dict` rebuilds nodes and edges deterministically.
+"""
+
+from repro.critpath.recorder import (
+    KIND_BLOCKED,
+    KIND_CUT,
+    KIND_HALT,
+    KIND_RECV,
+    KIND_SEND,
+    OpRecord,
+)
+
+SCHEMA_VERSION = 1
+
+# Node roles.
+START = "start"
+SEND_ISSUE = "send_issue"
+SEND_DONE = "send_done"
+RECV_ISSUE = "recv_issue"
+RECV_READY = "recv_ready"
+RECV_DONE = "recv_done"
+TERMINAL = "terminal"
+END = "END"
+
+# Edge kinds.
+COMPUTE = "compute"
+INJECT = "inject"
+SYNC = "sync"
+NOC = "noc"
+DRAIN = "drain"
+FINISH = "finish"
+
+
+class Node:
+    """One timestamped event of one tile (or the virtual END)."""
+
+    __slots__ = ("id", "role", "tile", "time", "record")
+
+    def __init__(self, id, role, tile, time, record=None):
+        self.id = id
+        self.role = role
+        self.tile = tile        # None for END
+        self.time = time
+        self.record = record    # owning OpRecord index, if any
+
+    def __repr__(self):
+        return f"Node({self.id}: {self.role} tile {self.tile} @{self.time})"
+
+
+class Edge:
+    """A causal constraint: ``dst`` happened >= ``weight`` after ``src``."""
+
+    __slots__ = ("src", "dst", "kind", "weight", "record")
+
+    def __init__(self, src, dst, kind, weight, record=None):
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.weight = weight
+        self.record = record    # OpRecord index the edge belongs to
+
+    def __repr__(self):
+        return f"Edge({self.src}->{self.dst} {self.kind} w={self.weight})"
+
+
+class DependencyGraph:
+    """Nodes + edges + the recorder context they came from."""
+
+    def __init__(self, records, outcome=None, blocked=None, snapshot=None,
+                 meta=None):
+        self.records = list(records)
+        self.outcome = outcome or "complete"
+        self.blocked = dict(blocked or {})
+        self.snapshot = dict(snapshot or {})
+        self.meta = dict(meta or {})
+        self.nodes = []
+        self.edges = []
+        self.end_node = None
+        self.makespan = 0
+        # record index -> {role: node id} for analysis/what-if cross-refs.
+        self.record_nodes = {}
+        self._build()
+
+    @classmethod
+    def from_recorder(cls, recorder):
+        return cls(recorder.records, outcome=recorder.outcome,
+                   blocked=recorder.blocked, snapshot=recorder.snapshot,
+                   meta=recorder.meta)
+
+    # -- construction --------------------------------------------------------
+
+    def _node(self, role, tile, time, record=None):
+        node = Node(len(self.nodes), role, tile, time, record)
+        self.nodes.append(node)
+        return node
+
+    def _edge(self, src, dst, kind, weight, record=None):
+        edge = Edge(src.id, dst.id, kind, weight, record)
+        self.edges.append(edge)
+        return edge
+
+    def _build(self):
+        by_tile = {}
+        for record in self.records:
+            by_tile.setdefault(record.tile, []).append(record)
+        terminals = []
+        for tile in sorted(by_tile):
+            prev = self._node(START, tile, 0)
+            for record in by_tile[tile]:
+                roles = self.record_nodes.setdefault(record.index, {})
+                if record.kind == KIND_SEND:
+                    issue = self._node(SEND_ISSUE, tile, record.issue,
+                                       record.index)
+                    done = self._node(SEND_DONE, tile, record.end,
+                                      record.index)
+                    self._edge(prev, issue, COMPUTE, record.issue - prev.time,
+                               record.index)
+                    self._edge(issue, done, INJECT, record.end - record.issue,
+                               record.index)
+                    roles[SEND_ISSUE] = issue.id
+                    roles[SEND_DONE] = done.id
+                    prev = done
+                elif record.kind == KIND_RECV:
+                    issue = self._node(RECV_ISSUE, tile, record.issue,
+                                       record.index)
+                    ready_t = max(record.issue, record.ready)
+                    ready = self._node(RECV_READY, tile, ready_t,
+                                       record.index)
+                    done = self._node(RECV_DONE, tile, record.end,
+                                      record.index)
+                    self._edge(prev, issue, COMPUTE, record.issue - prev.time,
+                               record.index)
+                    # Tight when the data beat the receiver to the NIC.
+                    sync_weight = 0 if record.sources else ready_t - record.issue
+                    self._edge(issue, ready, SYNC, sync_weight, record.index)
+                    self._edge(ready, done, DRAIN, record.end - ready_t,
+                               record.index)
+                    roles[RECV_ISSUE] = issue.id
+                    roles[RECV_READY] = ready.id
+                    roles[RECV_DONE] = done.id
+                    prev = done
+                else:  # halt / blocked / cut
+                    node = self._node(TERMINAL, tile, record.end, record.index)
+                    self._edge(prev, node, COMPUTE, record.end - prev.time,
+                               record.index)
+                    roles[TERMINAL] = node.id
+                    terminals.append(node)
+                    prev = node
+        # Message edges second: both endpoints now exist.
+        for record in self.records:
+            if record.kind != KIND_RECV or not record.sources:
+                continue
+            binding = self.records[record.binding]
+            src_id = self.record_nodes[binding.index].get(SEND_DONE)
+            dst_id = self.record_nodes[record.index][RECV_READY]
+            if src_id is None:
+                continue
+            self._edge(self.nodes[src_id], self.nodes[dst_id], NOC,
+                       record.ready - binding.end, record.index)
+        self.makespan = max((n.time for n in self.nodes), default=0)
+        self.end_node = self._node(END, None, self.makespan)
+        for node in terminals:
+            self._edge(node, self.end_node, FINISH, 0, node.record)
+
+    # -- queries -------------------------------------------------------------
+
+    def in_edges(self):
+        """{node id: [edges]} incoming adjacency."""
+        incoming = {node.id: [] for node in self.nodes}
+        for edge in self.edges:
+            incoming[edge.dst].append(edge)
+        return incoming
+
+    def out_edges(self):
+        """{node id: [edges]} outgoing adjacency."""
+        outgoing = {node.id: [] for node in self.nodes}
+        for edge in self.edges:
+            outgoing[edge.src].append(edge)
+        return outgoing
+
+    def slack(self, edge):
+        """Local slack: cycles the constraint had to spare (>= 0 in a
+        causally consistent recording; < 0 trips V1001)."""
+        return (self.nodes[edge.dst].time - self.nodes[edge.src].time
+                - edge.weight)
+
+    def is_tight(self, edge):
+        return self.slack(edge) == 0
+
+    def tiles(self):
+        seen = []
+        for node in self.nodes:
+            if node.tile is not None and node.tile not in seen:
+                seen.append(node.tile)
+        return sorted(seen)
+
+    def tile_records(self, tile):
+        return [r for r in self.records if r.tile == tile]
+
+    def partial(self):
+        """True when the run was cut short (deadlock / round budget)."""
+        return self.outcome != "complete"
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self):
+        return {
+            "schema": SCHEMA_VERSION,
+            "outcome": self.outcome,
+            "makespan": self.makespan,
+            "meta": dict(self.meta),
+            "blocked": {str(t): dict(info) for t, info in self.blocked.items()},
+            "snapshot": self.snapshot,
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        if payload.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported critpath graph schema {payload.get('schema')!r}"
+            )
+        records = [OpRecord.from_dict(r) for r in payload.get("records", ())]
+        blocked = {
+            int(tile): info
+            for tile, info in payload.get("blocked", {}).items()
+        }
+        graph = cls(records, outcome=payload.get("outcome"),
+                    blocked=blocked, snapshot=payload.get("snapshot"),
+                    meta=payload.get("meta"))
+        if graph.makespan != payload.get("makespan", graph.makespan):
+            raise ValueError(
+                f"critpath graph makespan mismatch: rebuilt "
+                f"{graph.makespan}, stored {payload.get('makespan')}"
+            )
+        return graph
+
+    def __repr__(self):
+        return (f"DependencyGraph({len(self.nodes)} nodes, "
+                f"{len(self.edges)} edges, makespan={self.makespan}, "
+                f"{self.outcome})")

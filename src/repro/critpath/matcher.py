@@ -1,0 +1,58 @@
+"""FIFO word-provenance matching of sends to receives.
+
+Channels are ordered word FIFOs keyed by the directed pair of tiles
+(:class:`repro.mpi.runtime.Channel`), so matching a receive of *N*
+words back to the send(s) that produced them is a pure replay of the
+FIFO discipline: pop words in push order and note which pushes they
+came from.  This logic is shared by the dependency recorder (message
+edges of the causal graph) and by the tracer's Chrome flow-event
+export (``ph: "s"/"f"`` arrows in Perfetto) so the two views can never
+disagree about which send fed which recv.
+
+No imports from :mod:`repro.telemetry` or the simulator here — both
+sides import this module.
+"""
+
+
+class ChannelMatcher:
+    """Replays per-channel word FIFOs to attribute pops to pushes.
+
+    ``push`` registers ``words`` words from ``ref`` (any caller-chosen
+    handle — a node id, a trace-event index) on the ``src -> dst``
+    channel; ``pop`` consumes ``words`` words in FIFO order and returns
+    ``[(ref, words_taken), ...]`` in push order.  The last entry is the
+    *binding* contributor: the one that delivered the final word and
+    therefore set the receive's ready time.
+    """
+
+    def __init__(self):
+        self._channels = {}
+
+    def push(self, src, dst, ref, words):
+        if words <= 0:
+            return
+        self._channels.setdefault((src, dst), []).append([ref, words])
+
+    def pop(self, src, dst, words):
+        """Consume ``words`` words; returns the contributing pushes.
+
+        Under-supplied channels (a malformed capture, or a partial run
+        cut mid-flight) return whatever provenance exists rather than
+        raising — callers surface the shortfall themselves.
+        """
+        queue = self._channels.get((src, dst), [])
+        taken = []
+        remaining = words
+        while remaining > 0 and queue:
+            entry = queue[0]
+            use = min(entry[1], remaining)
+            taken.append((entry[0], use))
+            entry[1] -= use
+            remaining -= use
+            if entry[1] == 0:
+                queue.pop(0)
+        return taken
+
+    def pending(self, src, dst):
+        """Words still queued on one channel (provenance view)."""
+        return sum(entry[1] for entry in self._channels.get((src, dst), []))

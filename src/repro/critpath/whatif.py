@@ -1,0 +1,290 @@
+"""What-if projections: replay the causal graph with scaled weights.
+
+The engine re-times every recorded op with a per-tile logical clock,
+resolving cross-tile dependencies (a receive cannot become ready
+before its binding send's re-timed arrival) with a work-list sweep.
+Because the recorded run is causally consistent the sweep always
+converges — unless a ``channel_capacity=N`` clause synthesizes
+back-pressure edges that deadlock the replayed schedule, which is
+reported as :class:`WhatIfInfeasible` (naming the stuck tiles) rather
+than a bogus number.
+
+Expression grammar (clauses compose; later clauses of the same kind
+override earlier ones)::
+
+    compute*F            scale every compute segment
+    tile<N>.compute*F    scale tile N's compute segments only
+    cix*F                scale the cix issue slots inside compute
+                         segments (per-segment cix counts; F<1 models a
+                         faster patch, F>1 a slower one)
+    dram_latency=N | *F  re-price every cache miss/writeback exactly
+                         (each costs one DRAM latency in the simulator)
+    link_latency*F       scale NoC time: injection serialization and
+                         post-injection flight
+    drain*F              scale the NIC drain of receives
+    channel_capacity=N   bound every channel to N words; sends block
+                         until the receiver frees space (back-edges)
+
+Known limits (documented in DESIGN.md §5i): scaled weights are rounded
+to whole cycles per segment; link scaling treats recorded contention
+waits as part of the flight being scaled (re-timed packets do not
+re-arbitrate links); ``dram_latency`` assumes miss *counts* are
+latency-independent, which holds in this simulator.
+"""
+
+import re
+
+from repro.critpath.recorder import (
+    KIND_RECV,
+    KIND_SEND,
+)
+
+_TILE_RE = re.compile(r"^tile(\d+)\.compute$")
+
+_SCALE_TARGETS = ("compute", "cix", "link_latency", "drain", "dram_latency")
+_SET_TARGETS = ("dram_latency", "channel_capacity")
+
+
+class WhatIfError(ValueError):
+    """Malformed what-if expression or missing metadata."""
+
+
+class WhatIfInfeasible(RuntimeError):
+    """The replayed schedule deadlocks under the requested constraints."""
+
+
+class WhatIfSpec:
+    """Parsed, composed what-if clauses."""
+
+    def __init__(self):
+        self.expressions = []
+        self.compute_scale = 1.0
+        self.tile_compute_scale = {}
+        self.cix_scale = 1.0
+        self.link_scale = 1.0
+        self.drain_scale = 1.0
+        self.dram = None              # ("*", factor) or ("=", latency)
+        self.channel_capacity = None
+
+    @classmethod
+    def parse(cls, expressions):
+        spec = cls()
+        for expression in expressions:
+            spec.add(expression)
+        return spec
+
+    def add(self, expression):
+        text = expression.strip().replace(" ", "")
+        match = re.match(r"^([A-Za-z_][A-Za-z_0-9.]*)([*=])(.+)$", text)
+        if not match:
+            raise WhatIfError(
+                f"cannot parse what-if {expression!r}: expected "
+                f"TARGET*FACTOR or TARGET=VALUE"
+            )
+        target, op, raw = match.groups()
+        try:
+            value = float(raw)
+        except ValueError:
+            raise WhatIfError(
+                f"cannot parse what-if value {raw!r} in {expression!r}"
+            ) from None
+        if value < 0:
+            raise WhatIfError(f"what-if value must be >= 0: {expression!r}")
+        tile_match = _TILE_RE.match(target)
+        if tile_match:
+            if op != "*":
+                raise WhatIfError(f"{target} only supports '*': {expression!r}")
+            self.tile_compute_scale[int(tile_match.group(1))] = value
+        elif target == "compute" and op == "*":
+            self.compute_scale = value
+        elif target == "cix" and op == "*":
+            self.cix_scale = value
+        elif target == "link_latency" and op == "*":
+            self.link_scale = value
+        elif target == "drain" and op == "*":
+            self.drain_scale = value
+        elif target == "dram_latency":
+            self.dram = (op, value)
+        elif target == "channel_capacity" and op == "=":
+            capacity = int(value)
+            if capacity < 1 or capacity != value:
+                raise WhatIfError(
+                    f"channel_capacity needs a positive integer: "
+                    f"{expression!r}"
+                )
+            self.channel_capacity = capacity
+        else:
+            known = sorted(
+                {f"{t}*F" for t in _SCALE_TARGETS}
+                | {f"{t}=N" for t in _SET_TARGETS}
+                | {"tile<N>.compute*F"}
+            )
+            raise WhatIfError(
+                f"unknown what-if target {target!r} (op {op!r}) in "
+                f"{expression!r}; supported: {', '.join(known)}"
+            )
+        self.expressions.append(expression)
+        return self
+
+    # -- weight transforms ---------------------------------------------------
+
+    def dram_delta_per_miss(self, meta):
+        """Cycles added per cache miss/writeback, from the meta's
+        recorded DRAM latency."""
+        if self.dram is None:
+            return 0
+        base = meta.get("dram_latency")
+        if base is None:
+            raise WhatIfError(
+                "this capture has no dram_latency metadata; "
+                "re-record with a platform attached"
+            )
+        op, value = self.dram
+        new = value * base if op == "*" else value
+        return new - base
+
+    def compute_weight(self, record, meta):
+        """Re-timed compute segment preceding ``record``."""
+        weight = record.compute
+        delta = self.dram_delta_per_miss(meta)
+        if delta:
+            misses = (record.counters.get("icache_misses", 0)
+                      + record.counters.get("dcache_misses", 0)
+                      + record.counters.get("dcache_writebacks", 0))
+            weight += delta * misses
+        if self.cix_scale != 1.0:
+            weight += (self.cix_scale - 1.0) * record.counters.get("cix", 0)
+        factor = self.tile_compute_scale.get(record.tile, self.compute_scale)
+        return max(0, int(round(weight * factor)))
+
+    def scale_link(self, cycles):
+        return max(0, int(round(cycles * self.link_scale)))
+
+    def scale_drain(self, cycles):
+        return max(0, int(round(cycles * self.drain_scale)))
+
+
+def _channel_pops(records):
+    """{channel: [recv record index per popped word, FIFO order]}.
+
+    Replays the word FIFOs over the record stream (global order ==
+    host order == channel order) so capacity replay knows which recv
+    frees which word.
+    """
+    pops = {}
+    queued = {}
+    for record in records:
+        if record.kind == KIND_SEND:
+            queued.setdefault((record.tile, record.peer), []).extend(
+                [None] * record.words
+            )
+        elif record.kind == KIND_RECV:
+            key = (record.peer, record.tile)
+            queue = queued.get(key, [])
+            del queue[:record.words]
+            pops.setdefault(key, []).extend([record.index] * record.words)
+    return pops
+
+
+def replay(graph, spec):
+    """Re-time the run under ``spec``; returns the projection dict."""
+    records = graph.records
+    by_tile = {}
+    for record in records:
+        by_tile.setdefault(record.tile, []).append(record)
+    pops = _channel_pops(records) if spec.channel_capacity else {}
+
+    clock = {tile: 0 for tile in by_tile}
+    cursor = {tile: 0 for tile in by_tile}
+    new_arrival = {}          # send record index -> re-timed arrival
+    new_end = {}              # record index -> re-timed end
+    pushed_before = {}        # channel -> words pushed so far (replay)
+    meta = graph.meta
+    capacity = spec.channel_capacity
+
+    def ready_to_replay(record):
+        if record.kind == KIND_RECV and record.sources:
+            if record.binding not in new_arrival:
+                return False
+        if capacity and record.kind == KIND_SEND:
+            key = (record.tile, record.peer)
+            before = pushed_before.get(key, 0)
+            overflow = before + record.words - capacity
+            if overflow > 0:
+                channel_pops = pops.get(key, ())
+                if overflow > len(channel_pops):
+                    raise WhatIfInfeasible(
+                        f"channel {key[0]}->{key[1]} never drains word "
+                        f"{overflow} in the recorded run; "
+                        f"channel_capacity={capacity} cannot be replayed"
+                    )
+                if channel_pops[overflow - 1] not in new_end:
+                    return False
+        return True
+
+    def replay_one(record):
+        tile = record.tile
+        issue = clock[tile] + spec.compute_weight(record, meta)
+        if record.kind == KIND_SEND:
+            if capacity:
+                key = (tile, record.peer)
+                before = pushed_before.get(key, 0)
+                overflow = before + record.words - capacity
+                if overflow > 0:
+                    issue = max(issue, new_end[pops[key][overflow - 1]])
+                pushed_before[key] = before + record.words
+            end = issue + spec.scale_link(record.end - record.issue)
+            new_arrival[record.index] = (
+                end + spec.scale_link(record.arrival - record.end)
+            )
+        elif record.kind == KIND_RECV:
+            if record.sources:
+                ready = new_arrival[record.binding]
+            else:
+                ready = issue + max(0, record.ready - record.issue)
+            end = max(issue, ready) + spec.scale_drain(record.drain)
+        else:  # terminal
+            end = issue
+        clock[tile] = end
+        new_end[record.index] = end
+
+    remaining = sum(len(seq) for seq in by_tile.values())
+    while remaining:
+        progressed = False
+        for tile, sequence in by_tile.items():
+            while cursor[tile] < len(sequence):
+                record = sequence[cursor[tile]]
+                if not ready_to_replay(record):
+                    break
+                replay_one(record)
+                cursor[tile] += 1
+                remaining -= 1
+                progressed = True
+        if not progressed:
+            stuck = sorted(
+                tile for tile, sequence in by_tile.items()
+                if cursor[tile] < len(sequence)
+            )
+            raise WhatIfInfeasible(
+                f"what-if replay deadlocked; tiles {stuck} cannot make "
+                f"progress under {spec.expressions}"
+            )
+
+    projected = max(clock.values(), default=0)
+    baseline = graph.makespan
+    return {
+        "expressions": list(spec.expressions),
+        "baseline_cycles": baseline,
+        "projected_cycles": projected,
+        "speedup": round(baseline / projected, 4) if projected else None,
+        "per_tile": {
+            str(tile): {"baseline": max(r.end for r in by_tile[tile]),
+                        "projected": clock[tile]}
+            for tile in sorted(by_tile)
+        },
+    }
+
+
+def project(graph, expressions):
+    """Parse ``expressions`` and replay ``graph`` under them."""
+    return replay(graph, WhatIfSpec.parse(expressions))

@@ -70,6 +70,7 @@ class MessagePassing:
             "fabric.channel_occupancy"
         )
         self._timeseries = telemetry.timeseries
+        self._recorder = telemetry.recorder
         self._channels = {}
         self.messages = 0
         self.words = 0
@@ -100,6 +101,9 @@ class MessagePassing:
         arrival, injection_done = self.network.send(src, dst, len(values), now)
         chan = self.channel(src, dst)
         chan.push(values, arrival)
+        if self._recorder.enabled:
+            self._recorder.fabric_send(src, dst, len(values), now, arrival,
+                                       injection_done)
         self.messages += 1
         self.words += len(values)
         self.words_in_flight += len(values)
@@ -123,7 +127,11 @@ class MessagePassing:
         values = chan.pop(count)
         self.words_in_flight -= count
         drain = (count + WORDS_PER_FLIT - 1) // WORDS_PER_FLIT
-        return values, max(now, ready) + drain
+        finish = max(now, ready) + drain
+        if self._recorder.enabled:
+            self._recorder.fabric_recv(src, dst, count, now, ready, finish,
+                                       drain)
+        return values, finish
 
     def earliest_ready(self, dst):
         """Earliest arrival among words queued for ``dst`` (None if empty).

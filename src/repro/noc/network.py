@@ -62,6 +62,7 @@ class Network:
         telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.tracer = telemetry.tracer
         self.timeseries = telemetry.timeseries
+        self.recorder = telemetry.recorder
         self._wait_hist = telemetry.stats.histogram("noc.link_wait")
         self._links = {}
         self.packets_sent = 0
@@ -126,6 +127,9 @@ class Network:
                         )
                         self.contention_delay += waited
                     self._wait_hist.observe(waited)
+                    if self.recorder.enabled:
+                        self.recorder.noc_crossing(link, crossed, flits,
+                                                   waited)
                     if self.tracer.enabled:
                         self.tracer.link_reserved(
                             link, src, dst, crossed, flits, waited
@@ -142,9 +146,12 @@ class Network:
                 injection_done = max(injection_done, cursor + flits)
                 for link_index, link in enumerate(route):
                     self.link_busy[link] = self.link_busy.get(link, 0) + flits
-                    if self.tracer.enabled or self.timeseries.enabled:
+                    if (self.tracer.enabled or self.timeseries.enabled
+                            or self.recorder.enabled):
                         crossed = (cursor + self.router_stages
                                    + per_hop * link_index)
+                        if self.recorder.enabled:
+                            self.recorder.noc_crossing(link, crossed, flits, 0)
                         if self.tracer.enabled:
                             self.tracer.link_reserved(
                                 link, src, dst, crossed, flits, 0

@@ -149,6 +149,7 @@ class StitchSystem:
             comm=self.fabric.port(tile), core_id=tile,
             tracer=self.telemetry.tracer,
             timeseries=self.telemetry.timeseries,
+            recorder=self.telemetry.recorder,
             profile_cycles=self.profile_cycles,
             params=self.platform.core,
         )
@@ -166,10 +167,14 @@ class StitchSystem:
         pending = list(live)
         rounds = 0
         tracer = self.telemetry.tracer
+        recorder = self.telemetry.recorder
         while pending or blocked:
             rounds += 1
             if rounds > max_rounds:
-                raise self._round_budget(max_rounds, pending, blocked)
+                error = self._round_budget(max_rounds, pending, blocked)
+                self._finalize_recorder(recorder, live, reasons, "budget",
+                                        error.snapshot)
+                raise error
             progressed = False
             next_pending = []
             for core in pending:
@@ -194,8 +199,12 @@ class StitchSystem:
                         tracer.comm_unblocked(core.core_id, core.cycles)
             if not progressed and not pending:
                 if blocked:
-                    raise self._deadlock(blocked)
+                    error = self._deadlock(blocked)
+                    self._finalize_recorder(recorder, live, reasons,
+                                            "deadlock", error.snapshot)
+                    raise error
                 break
+        self._finalize_recorder(recorder, live, reasons, "complete")
         timeseries = self.telemetry.timeseries
         if timeseries.enabled:
             from repro.power.chip import EnergyModel
@@ -217,6 +226,17 @@ class StitchSystem:
             ],
             stats,
         )
+
+    def _finalize_recorder(self, recorder, live, reasons, outcome,
+                           snapshot=None):
+        """Close every tile's causal timeline — also for partial runs,
+        whose blocked receives become the analyzable frontier."""
+        if not recorder.enabled:
+            return
+        for core in live:
+            recorder.tile_done(core.core_id, core.cycles, reasons[core],
+                               core._recorder_counters())
+        recorder.finish(outcome, snapshot=snapshot)
 
     def makespan(self, results=None):
         results = results if results is not None else self.run()

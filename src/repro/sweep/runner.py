@@ -67,14 +67,46 @@ def _kernel_stats(core, memory):
     return stats
 
 
+def _critpath_metrics(recorder, measured):
+    """Compact causal-analysis record for one sweep point.
+
+    The full graph stays out of the payload (sweeps run thousands of
+    points); what survives is the reconciliation verdict and the
+    critical-time decomposition — the numbers a study plots.
+    """
+    from repro.critpath import DependencyGraph, analyze
+
+    graph = DependencyGraph.from_recorder(recorder)
+    analysis = analyze(graph)
+    attribution = analysis.attribution()
+    return {
+        "reconciled": analysis.reconciled(),
+        "consistent": analysis.consistent(),
+        "critical_cycles": analysis.total,
+        "by_kind": attribution["kinds"],
+        "tile_critical_cycles": {
+            str(tile): cycles
+            for tile, cycles in sorted(
+                attribution["tile_critical_cycles"].items()
+            )
+        },
+    }
+
+
 def _run_kernel(config, workload):
     from repro.cpu.core import Core
     from repro.mem.hierarchy import MemorySystem
     from repro.workloads import make_kernel
 
+    recorder = None
+    if workload.get("critpath"):
+        from repro.critpath import DependencyRecorder
+
+        recorder = DependencyRecorder(config)
     kernel = make_kernel(workload["name"], seed=workload.get("seed", 1))
     memory = MemorySystem(config.mem)
-    core = Core(kernel.program, memory, params=config.core)
+    core = Core(kernel.program, memory, params=config.core,
+                recorder=recorder)
     kernel.setup(core)
     outcome = core.run(
         max_instructions=workload.get("max_instructions", 20_000_000)
@@ -90,6 +122,11 @@ def _run_kernel(config, workload):
         "dcache_hit_rate": _hit_rate(memory.dcache),
         "result_checksum": _checksum(kernel.result(core)),
     }
+    if recorder is not None:
+        recorder.tile_done(0, core.cycles, outcome.reason,
+                           core._recorder_counters())
+        recorder.finish("complete")
+        metrics["critpath"] = _critpath_metrics(recorder, core.cycles)
     stats = _kernel_stats(core, memory) if workload.get("telemetry") else None
     return metrics, stats
 
@@ -155,10 +192,17 @@ def _run_ring(config, workload):
     token = workload.get("token", 1)
     laps = workload.get("laps", 1)
     telemetry = None
-    if workload.get("telemetry"):
-        from repro.telemetry import NULL_TRACER, Stats, Telemetry
+    recorder = None
+    if workload.get("telemetry") or workload.get("critpath"):
+        from repro.telemetry import NULL_STATS, NULL_TRACER, Stats, Telemetry
 
-        telemetry = Telemetry(stats=Stats(), tracer=NULL_TRACER)
+        if workload.get("critpath"):
+            from repro.critpath import DependencyRecorder
+
+            recorder = DependencyRecorder(config)
+        stats = Stats() if workload.get("telemetry") else NULL_STATS
+        telemetry = Telemetry(stats=stats, tracer=NULL_TRACER,
+                              recorder=recorder)
     system = StitchSystem(platform=config, telemetry=telemetry)
     num_tiles = system.mesh.num_tiles
     for tile, program in ring_programs(num_tiles, token, laps).items():
@@ -171,7 +215,12 @@ def _run_ring(config, workload):
         "token": system.cores[0].regs[4],
         "token_expected": ring_expected(num_tiles, token, laps),
     }
-    stats = telemetry.stats if telemetry is not None else None
+    if recorder is not None:
+        metrics["critpath"] = _critpath_metrics(
+            recorder, metrics["makespan"]
+        )
+    stats = (telemetry.stats if telemetry is not None
+             and telemetry.stats.enabled else None)
     return metrics, stats
 
 

@@ -43,30 +43,37 @@ from repro.telemetry.timeseries import (
     TimeSeries,
 )
 from repro.telemetry.rollup import ATTRIBUTION_BUCKETS, SystemStats
+from repro.critpath.recorder import (
+    DependencyRecorder,
+    NULL_RECORDER,
+    ensure_recorder,
+)
 
 
 class Telemetry:
-    """One stats registry, one tracer and one time-series collector,
-    threaded through a system.
+    """One stats registry, one tracer, one time-series collector and
+    one dependency recorder, threaded through a system.
 
-    ``timeseries`` stays the null collector unless one is passed
-    explicitly — interval sampling is opt-in (``--timeseries`` /
-    ``repro monitor``), unlike stats/tracing which a bare
-    ``Telemetry()`` enables."""
+    ``timeseries`` and ``recorder`` stay their null singletons unless
+    passed explicitly — interval sampling and causal recording are
+    opt-in (``repro monitor`` / ``repro critpath``), unlike
+    stats/tracing which a bare ``Telemetry()`` enables."""
 
-    __slots__ = ("stats", "tracer", "timeseries")
+    __slots__ = ("stats", "tracer", "timeseries", "recorder")
 
-    def __init__(self, stats=None, tracer=None, timeseries=None):
+    def __init__(self, stats=None, tracer=None, timeseries=None,
+                 recorder=None):
         self.stats = stats if stats is not None else Stats()
         self.tracer = tracer if tracer is not None else Tracer()
         self.timeseries = (
             timeseries if timeseries is not None else NULL_TIMESERIES
         )
+        self.recorder = ensure_recorder(recorder)
 
     @property
     def enabled(self):
         return (self.stats.enabled or self.tracer.enabled
-                or self.timeseries.enabled)
+                or self.timeseries.enabled or self.recorder.enabled)
 
     def __repr__(self):
         return f"Telemetry(enabled={self.enabled}, {len(self.tracer)} events)"
@@ -87,9 +94,11 @@ def ensure_telemetry(value):
 __all__ = [
     "ATTRIBUTION_BUCKETS",
     "Counter",
+    "DependencyRecorder",
     "Histogram",
     "NULL_COUNTER",
     "NULL_HISTOGRAM",
+    "NULL_RECORDER",
     "NULL_STATS",
     "NULL_TELEMETRY",
     "NULL_TIMESERIES",
@@ -103,5 +112,6 @@ __all__ = [
     "TimeSeries",
     "TraceEvent",
     "Tracer",
+    "ensure_recorder",
     "ensure_telemetry",
 ]

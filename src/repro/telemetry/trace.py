@@ -33,16 +33,18 @@ COMPILER = "compiler"
 _PIDS = {TILES: 1, NOC: 2, COMPILER: 3}
 
 
-def _open_trace(path):
+def _open_trace(path, mode="w"):
     """Text handle for a trace file; a ``.gz`` suffix selects gzip.
 
     Chrome traces compress ~10x and both ``chrome://tracing`` and
     Perfetto load gzipped JSON directly, so long co-simulations should
-    just name the file ``trace.json.gz``.
+    just name the file ``trace.json.gz``.  ``mode`` is ``"w"`` or
+    ``"r"`` — readers (``repro monitor``) get the same transparent
+    gzip handling as writers.
     """
     if str(path).endswith(".gz"):
-        return gzip.open(path, "wt", encoding="utf-8")
-    return open(path, "w")
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode)
 
 
 class TraceEvent:
@@ -165,6 +167,17 @@ class Tracer:
                 "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
                 "args": {"name": name},
             })
+        # Flow events tie each send span to the recv span(s) that
+        # consume its words, so the viewer draws delivery arrows across
+        # tiles.  The pairing is the dependency recorder's word-FIFO
+        # provenance replay (ChannelMatcher), applied to the span
+        # stream — event order is channel order on the host-serial
+        # simulator, exactly as in the fabric.
+        from repro.critpath.matcher import ChannelMatcher
+
+        matcher = ChannelMatcher()
+        flows = []
+        flow_id = 0
         for event in self.events:
             pid = _PIDS[event.track[0]]
             tid = tids[event.track]
@@ -186,6 +199,28 @@ class Tracer:
             if event.args:
                 record["args"] = dict(event.args)
             trace_events.append(record)
+            if event.kind == SPAN and event.category == "comm":
+                tile = event.track[1]
+                peer = event.args.get("peer")
+                words = event.args.get("words", 0)
+                if event.name.startswith("send->"):
+                    matcher.push(tile, peer, record, words)
+                elif event.name.startswith("recv<-"):
+                    for source, taken in matcher.pop(peer, tile, words):
+                        flow_id += 1
+                        base = {
+                            "name": "msg", "cat": "comm", "id": flow_id,
+                            "args": {"words": taken},
+                        }
+                        flows.append(dict(
+                            base, ph="s", pid=source["pid"],
+                            tid=source["tid"], ts=source["ts"],
+                        ))
+                        flows.append(dict(
+                            base, ph="f", bp="e", pid=record["pid"],
+                            tid=record["tid"], ts=record["ts"],
+                        ))
+        trace_events.extend(flows)
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
     def write_chrome(self, path):

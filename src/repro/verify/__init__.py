@@ -26,7 +26,11 @@ Four passes, none of which simulates anything:
   ``--deep`` layer of ``repro verify``,
 * **profile checks** (``V9xx``) — the PC-attribution profiler and the
   interval sampler reconciled against the simulator's own counters
-  (``repro profile`` gates on these).
+  (``repro profile`` gates on these),
+* **critpath checks** (``V10xx``) — the causal execution graph's two
+  load-bearing invariants: the critical path reconciles exactly with
+  the measured end-to-end cycles, and causality holds on every edge
+  (``repro critpath`` gates on these).
 
 Entry points: :func:`verify_source`, :func:`verify_kernel`,
 :func:`verify_compiled`, :func:`verify_plan`, :func:`verify_app`;
@@ -49,6 +53,10 @@ from repro.verify.api import (
     verify_kernel,
     verify_plan,
     verify_source,
+)
+from repro.verify.critpath_checks import (
+    check_critpath,
+    check_critpath_capture,
 )
 from repro.verify.dataflow_checks import check_dataflow
 from repro.verify.ise_checks import check_ises
@@ -85,6 +93,8 @@ __all__ = [
     "verify_kernel",
     "verify_plan",
     "verify_source",
+    "check_critpath",
+    "check_critpath_capture",
     "check_dataflow",
     "check_ises",
     "check_app_channels",

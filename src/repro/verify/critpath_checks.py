@@ -1,0 +1,117 @@
+"""Critical-path consistency checks (``V10xx``).
+
+The causal execution graph (:mod:`repro.critpath`) claims two
+invariants that, when they hold, make its attribution trustworthy:
+
+* **V1000** — the critical path must *reconcile*: the sum of its edge
+  weights equals the run's measured end-to-end cycles exactly.  The
+  path is found by back-walking tight edges from the END node, and
+  tight edges telescope node times — so any mismatch means the graph
+  is missing a binding dependency (a hook was skipped, or a timing
+  model changed without updating the recorder).
+* **V1001** — causality must hold everywhere: no edge may have
+  negative local slack (its effect timestamped before cause+weight
+  allows), no edge may travel backward in simulated time, and the
+  graph must be acyclic.
+
+Like the V5xx/V9xx passes these inspect a *recorded* artifact; nothing
+is simulated here, so a saved ``repro critpath --json`` capture can be
+checked long after the run.
+"""
+
+from repro.verify.diagnostics import Report, Severity, register_rule
+
+register_rule(
+    "V1000", Severity.ERROR,
+    "critical-path length disagrees with measured end-to-end cycles",
+    "critpath-checks",
+)
+register_rule(
+    "V1001", Severity.ERROR,
+    "causal graph violates causality (negative slack / backward edge)",
+    "critpath-checks",
+)
+
+_MAX_LISTED = 5
+
+
+def check_critpath(graph, analysis=None, measured=None, report=None):
+    """Verify one recorded graph (V1000 + V1001).
+
+    ``measured`` is the simulator's independently reported end-to-end
+    cycle count; when given it is cross-checked against the graph's
+    makespan too, closing the loop recorder -> graph -> analyzer.
+    Partial runs (deadlock / round budget) are held to the same
+    standard — their makespan is the last recorded cycle.
+    """
+    if analysis is None:
+        from repro.critpath.analyze import analyze
+
+        analysis = analyze(graph)
+    loc = f"critpath ({graph.outcome or 'unknown'})"
+    report = report if report is not None else Report(loc)
+
+    if analysis.total != analysis.makespan:
+        report.emit(
+            "V1000", loc,
+            f"critical path sums to {analysis.total} cycles but the run's "
+            f"makespan is {analysis.makespan} (drift "
+            f"{analysis.total - analysis.makespan:+d}; a binding dependency "
+            f"is missing from the graph)",
+        )
+    if measured is not None and graph.makespan != measured:
+        report.emit(
+            "V1000", loc,
+            f"graph makespan {graph.makespan} disagrees with the "
+            f"simulator's measured {measured} cycles "
+            f"(drift {graph.makespan - measured:+d})",
+        )
+
+    for edge in analysis.negative_edges[:_MAX_LISTED]:
+        src = graph.nodes[edge.src]
+        dst = graph.nodes[edge.dst]
+        report.emit(
+            "V1001", loc,
+            f"negative slack {graph.slack(edge)} on {edge.kind} edge "
+            f"{src.role}@{src.time} -> {dst.role}@{dst.time} "
+            f"(tile {dst.tile}): effect precedes cause",
+        )
+    for edge in analysis.backward_edges[:_MAX_LISTED]:
+        src = graph.nodes[edge.src]
+        dst = graph.nodes[edge.dst]
+        report.emit(
+            "V1001", loc,
+            f"{edge.kind} edge travels backward in time: "
+            f"{src.role}@{src.time} -> {dst.role}@{dst.time}",
+        )
+    hidden = (max(0, len(analysis.negative_edges) - _MAX_LISTED)
+              + max(0, len(analysis.backward_edges) - _MAX_LISTED))
+    if hidden:
+        report.emit("V1001", loc, f"... and {hidden} more causality "
+                                  f"violation(s)")
+    if analysis.cycle_nodes:
+        report.emit(
+            "V1001", loc,
+            f"causal graph has a cycle through node(s) "
+            f"{analysis.cycle_nodes[:_MAX_LISTED]}: an event cannot "
+            f"transitively depend on itself",
+        )
+    return report
+
+
+def check_critpath_capture(payload, report=None):
+    """Verify a saved ``repro critpath --json`` artifact.
+
+    Rebuilds the graph from the capture's record stream and re-analyzes
+    it from scratch — the artifact's own ``analysis`` block is *not*
+    trusted.
+    """
+    from repro.critpath.analyze import analyze
+    from repro.critpath.graph import DependencyGraph
+
+    graph = DependencyGraph.from_dict(payload["graph"])
+    return check_critpath(
+        graph, analyze(graph),
+        measured=payload.get("measured_cycles"),
+        report=report,
+    )

@@ -1,0 +1,49 @@
+"""Unit tests for the FIFO word-provenance matcher."""
+
+from repro.critpath import ChannelMatcher
+
+
+class TestChannelMatcher:
+    def test_single_push_single_pop(self):
+        matcher = ChannelMatcher()
+        matcher.push(0, 1, "a", 4)
+        assert matcher.pop(0, 1, 4) == [("a", 4)]
+        assert matcher.pending(0, 1) == 0
+
+    def test_pop_spans_pushes_in_fifo_order(self):
+        matcher = ChannelMatcher()
+        matcher.push(0, 1, "a", 2)
+        matcher.push(0, 1, "b", 3)
+        assert matcher.pop(0, 1, 4) == [("a", 2), ("b", 2)]
+        assert matcher.pending(0, 1) == 1
+
+    def test_last_entry_is_binding_contributor(self):
+        matcher = ChannelMatcher()
+        matcher.push(0, 1, "first", 1)
+        matcher.push(0, 1, "second", 1)
+        sources = matcher.pop(0, 1, 2)
+        assert sources[-1][0] == "second"
+
+    def test_channels_are_independent(self):
+        matcher = ChannelMatcher()
+        matcher.push(0, 1, "a", 2)
+        matcher.push(1, 0, "b", 2)
+        assert matcher.pop(1, 0, 2) == [("b", 2)]
+        assert matcher.pending(0, 1) == 2
+
+    def test_partial_pop_keeps_remainder(self):
+        matcher = ChannelMatcher()
+        matcher.push(0, 1, "a", 5)
+        assert matcher.pop(0, 1, 2) == [("a", 2)]
+        assert matcher.pop(0, 1, 3) == [("a", 3)]
+
+    def test_undersupplied_pop_returns_partial_provenance(self):
+        matcher = ChannelMatcher()
+        matcher.push(0, 1, "a", 1)
+        assert matcher.pop(0, 1, 4) == [("a", 1)]
+        assert matcher.pending(0, 1) == 0
+
+    def test_zero_word_push_is_ignored(self):
+        matcher = ChannelMatcher()
+        matcher.push(0, 1, "a", 0)
+        assert matcher.pop(0, 1, 1) == []

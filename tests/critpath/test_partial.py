@@ -1,0 +1,126 @@
+"""Partial-graph finalization: deadlocks and exhausted round budgets."""
+
+from repro.critpath.recorder import KIND_BLOCKED, KIND_CUT
+from repro.critpath.runner import record_system, recording_telemetry
+from repro.isa import assemble
+from repro.sim import StitchSystem
+from repro.verify import Report, check_critpath
+
+
+def deadlocked_run():
+    """Two tiles, each receive-waiting on the other forever."""
+    wait = ("movi r1, {peer}\nmovi r2, 0x100\nmovi r3, 1\n"
+            "recv r1, r2, r3\nhalt")
+    telemetry, recorder = recording_telemetry()
+    system = StitchSystem(telemetry=telemetry)
+    system.load(0, assemble(wait.format(peer=1)))
+    system.load(1, assemble(wait.format(peer=0)))
+    return record_system("deadlock-pair", system, recorder)
+
+
+def budget_cut_run():
+    """A handshake cut off by a budget too small for one round trip."""
+    producer = assemble("""
+        movi r1, 1
+        movi r2, 0x100
+        movi r3, 2
+        movi r4, 42
+        sw   r4, 0(r2)
+        sw   r4, 4(r2)
+        send r1, r2, r3
+        halt
+    """)
+    consumer = assemble("""
+        movi r1, 0
+        movi r2, 0x200
+        movi r3, 2
+        recv r1, r2, r3
+        halt
+    """)
+    telemetry, recorder = recording_telemetry()
+    system = StitchSystem(telemetry=telemetry)
+    system.load(0, producer)
+    system.load(1, consumer)
+    return record_system("budget-cut", system, recorder,
+                         max_instructions_per_slice=1, max_rounds=2)
+
+
+class TestDeadlock:
+    def test_run_is_partial_with_deadlock_outcome(self):
+        run = deadlocked_run()
+        assert run.partial
+        assert run.graph.outcome == "deadlock"
+        assert run.graph.partial()
+        assert "Deadlock" in type(run.error).__name__
+
+    def test_partial_graph_still_reconciles(self):
+        run = deadlocked_run()
+        assert run.analysis.reconciled()
+        assert run.analysis.consistent()
+        assert run.measured == run.graph.makespan
+
+    def test_blocked_terminals_recorded(self):
+        run = deadlocked_run()
+        terminals = {r.tile: r for r in run.graph.records
+                     if r.kind == KIND_BLOCKED}
+        assert set(terminals) == {0, 1}
+        assert terminals[0].peer == 1
+        assert terminals[1].peer == 0
+
+    def test_frontier_names_peer_words_and_snapshot(self):
+        run = deadlocked_run()
+        frontier = run.analysis.frontier()
+        assert set(frontier) == {0, 1}
+        for tile, info in frontier.items():
+            assert info["peer"] == 1 - tile
+            assert info["words"] == 1
+            assert info["cycles"] >= 0
+            assert "snapshot" in info
+
+    def test_verifier_accepts_partial_graph(self):
+        run = deadlocked_run()
+        report = Report()
+        check_critpath(run.graph, run.analysis, measured=run.measured,
+                       report=report)
+        assert not report.errors()
+
+
+class TestBudgetCut:
+    def test_run_is_partial_with_budget_outcome(self):
+        run = budget_cut_run()
+        assert run.partial
+        assert run.graph.outcome == "budget"
+        assert "budget" in str(run.error)
+
+    def test_cut_tiles_get_terminals(self):
+        run = budget_cut_run()
+        # Every live tile gets a terminal record — blocked if it was in
+        # a receive wait, cut if it was still runnable when the budget
+        # expired.
+        terminals = [r for r in run.graph.records
+                     if r.kind in (KIND_BLOCKED, KIND_CUT)]
+        assert {r.tile for r in terminals} == {0, 1}
+
+    def test_partial_graph_reconciles_and_verifies(self):
+        run = budget_cut_run()
+        assert run.analysis.reconciled()
+        assert run.analysis.consistent()
+        report = Report()
+        check_critpath(run.graph, run.analysis, measured=run.measured,
+                       report=report)
+        assert not report.errors()
+
+    def test_frontier_carries_scheduler_snapshot(self):
+        run = budget_cut_run()
+        assert run.graph.snapshot.get("rounds") == 2
+        frontier = run.analysis.frontier()
+        for info in frontier.values():
+            if "snapshot" in info:
+                assert info["snapshot"]["cycles"] >= 0
+
+    def test_to_dict_reports_partial_and_error(self):
+        run = budget_cut_run()
+        payload = run.to_dict()
+        assert payload["partial"] is True
+        assert "RoundBudgetError" in payload["error"]
+        assert payload["analysis"]["outcome"] == "budget"

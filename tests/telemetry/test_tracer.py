@@ -114,6 +114,63 @@ class TestChromeExport:
             assert json.load(handle)["traceEvents"] == []
 
 
+class TestFlowEvents:
+    def chrome(self, tracer):
+        return json.loads(json.dumps(tracer.to_chrome()))
+
+    def flows(self, doc):
+        return [e for e in doc["traceEvents"] if e.get("name") == "msg"]
+
+    def test_send_recv_pair_emits_linked_flow(self):
+        tracer = Tracer()
+        tracer.comm_send(0, 1, 4, 100, 105)
+        tracer.comm_recv(1, 0, 4, 120, 130)
+        doc = self.chrome(tracer)
+        flows = self.flows(doc)
+        assert len(flows) == 2
+        start = next(e for e in flows if e["ph"] == "s")
+        finish = next(e for e in flows if e["ph"] == "f")
+        assert start["id"] == finish["id"]
+        assert finish["bp"] == "e"  # bind to the enclosing recv span
+        assert start["args"]["words"] == 4
+        # The start sits on the send span, the finish on the recv span.
+        send = next(e for e in doc["traceEvents"]
+                    if e.get("name") == "send->1")
+        recv = next(e for e in doc["traceEvents"]
+                    if e.get("name") == "recv<-0")
+        assert (start["pid"], start["tid"], start["ts"]) == (
+            send["pid"], send["tid"], send["ts"])
+        assert (finish["pid"], finish["tid"], finish["ts"]) == (
+            recv["pid"], recv["tid"], recv["ts"])
+
+    def test_recv_spanning_two_sends_gets_two_arrows(self):
+        tracer = Tracer()
+        tracer.comm_send(0, 1, 2, 10, 12)
+        tracer.comm_send(0, 1, 3, 20, 23)
+        tracer.comm_recv(1, 0, 5, 30, 40)
+        flows = self.flows(self.chrome(tracer))
+        starts = [e for e in flows if e["ph"] == "s"]
+        assert len(starts) == 2
+        assert sorted(e["args"]["words"] for e in starts) == [2, 3]
+        assert len({e["id"] for e in flows}) == 2
+
+    def test_channels_pair_independently(self):
+        tracer = Tracer()
+        tracer.comm_send(0, 2, 4, 10, 12)   # 0 -> 2
+        tracer.comm_send(1, 2, 4, 11, 13)   # 1 -> 2
+        tracer.comm_recv(2, 1, 4, 20, 25)   # consumes the 1 -> 2 words
+        flows = self.flows(self.chrome(tracer))
+        (start,) = [e for e in flows if e["ph"] == "s"]
+        send1 = next(e for e in self.chrome(tracer)["traceEvents"]
+                     if e.get("name") == "send->2" and e["ts"] == 11)
+        assert start["ts"] == send1["ts"]
+
+    def test_unconsumed_send_emits_no_flow(self):
+        tracer = Tracer()
+        tracer.comm_send(0, 1, 4, 10, 12)
+        assert self.flows(self.chrome(tracer)) == []
+
+
 class TestNullTracer:
     def test_records_nothing(self):
         NULL_TRACER.tile_span(0, "a", 0, 5, "halt", 3)

@@ -162,6 +162,61 @@ class TestProfileCli:
             main(["profile", "no-such-thing"])
 
 
+class TestCritpathCli:
+    def test_critpath_kernel_summary(self, capsys):
+        main(["critpath", "fir"])
+        out = capsys.readouterr().out
+        assert "makespan:" in out and "(complete)" in out
+        assert "critical path:" in out
+        assert "DOES NOT RECONCILE" not in out
+
+    def test_critpath_json_reconciles(self, capsys):
+        import json
+
+        main(["critpath", "fir", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["target"] == "fir"
+        assert doc["partial"] is False
+        analysis = doc["analysis"]
+        assert analysis["reconciled"] is True
+        assert analysis["consistent"] is True
+        assert analysis["critical_cycles"] == doc["measured_cycles"]
+        assert not doc["diagnostics"]["diagnostics"]
+
+    def test_critpath_gantt(self, capsys):
+        main(["critpath", "fir", "--gantt", "--width", "40"])
+        out = capsys.readouterr().out
+        assert "tile   0 |" in out
+        assert "uppercase = critical path" in out
+
+    def test_critpath_whatif_and_validation(self, capsys):
+        main(["critpath", "fir", "--what-if", "dram_latency*2",
+              "--validate", "dram_latency*2"])
+        out = capsys.readouterr().out
+        assert "what-if ['dram_latency*2']" in out
+        assert "drift +0.0000%" in out
+
+    def test_critpath_out_artifact(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "capture.json"
+        main(["critpath", "fir", "--out", str(out_path)])
+        capsys.readouterr()
+        doc = json.loads(out_path.read_text())
+        assert doc["analysis"]["reconciled"] is True
+        from repro.verify import check_critpath_capture
+
+        assert check_critpath_capture(doc).ok(strict=True)
+
+    def test_critpath_bad_whatif_exits(self):
+        with pytest.raises(SystemExit):
+            main(["critpath", "fir", "--what-if", "warp_drive*9"])
+
+    def test_critpath_unknown_target_exits(self):
+        with pytest.raises(SystemExit):
+            main(["critpath", "no-such-thing"])
+
+
 class TestMonitorCli:
     def test_monitor_kernel(self, capsys):
         main(["monitor", "fir", "--interval", "64"])
@@ -180,6 +235,23 @@ class TestMonitorCli:
         main(["monitor", str(series)])
         out = capsys.readouterr().out
         assert "stall timeline" in out
+
+    def test_monitor_reads_gzipped_capture(self, tmp_path, capsys):
+        import gzip
+        import json
+
+        from repro.telemetry import TimeSeries
+
+        ts = TimeSeries(interval=100)
+        ts.tile_sample(0, 0, {"cycles": 100, "instructions": 90,
+                              "memory_stall": 10})
+        path = tmp_path / "series.json.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            json.dump(ts.to_dict(), handle)
+        main(["monitor", str(path)])
+        out = capsys.readouterr().out
+        assert "stall timeline" in out
+        assert "tile 0" in out
 
     def test_monitor_rejects_bad_capture(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
