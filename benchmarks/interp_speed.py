@@ -1,0 +1,90 @@
+"""Host-side simulated-instruction throughput bench (run directly).
+
+Measures simulated-instructions-per-second of the interpreter stack —
+the retained reference interpreter vs the pre-decoded fast loop — over
+three Figure-11 kernels (fir, fft, 2dconv) and the APP4 16-tile
+co-simulation, and writes the results as ``BENCH_host.json``.
+
+Two gates ride on the output (both exercised by ``--check``):
+
+* **ratio floor** — the fast loop must simulate at least 2x as many
+  instructions per host second as the reference interpreter (the
+  machine-independent witness of the engine refactor's speedup, safe
+  to assert anywhere);
+* **direction-aware drift** — instr/s may not drop more than the
+  tolerance (default 10%) below the committed baseline; improvements
+  never fail.  Simulated instruction *counts* must match the baseline
+  exactly, so a workload change cannot masquerade as a perf change.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/interp_speed.py \
+        [--out BENCH_host.json] [--check benchmarks/baselines/BENCH_host.json] \
+        [--repeats 3] [--tolerance 0.10] [--min-speedup 2.0]
+
+``repro bench --host`` produces the same payload through the main CLI.
+"""
+
+import argparse
+import sys
+
+from repro.analysis.bench import load_bench, write_bench
+from repro.analysis.hostbench import (
+    DEFAULT_TOLERANCE,
+    MIN_FAST_SPEEDUP,
+    bench_host,
+    compare_host,
+    render_host,
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_host.json",
+                        help="output JSON path (default BENCH_host.json)")
+    parser.add_argument("--check", metavar="PATH",
+                        help="baseline BENCH_host.json to gate against; "
+                             "exit 1 on regression")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="median-of-N timing repeats (default 3)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="relative instr/s drop allowed vs baseline "
+                             "(default 10%%)")
+    parser.add_argument("--min-speedup", type=float, default=MIN_FAST_SPEEDUP,
+                        help="fast-vs-reference ratio floor (default 2.0)")
+    parser.add_argument("--items", type=int, default=4,
+                        help="items streamed through the APP4 co-sim "
+                             "(default 4)")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    payload = bench_host(repeats=args.repeats, seed=args.seed,
+                         items=args.items)
+    print(render_host(payload))
+    write_bench(payload, args.out)
+    print(f"wrote {args.out}")
+
+    failed = False
+    speedup = payload["aggregate"].get("fast_speedup")
+    if speedup is not None and speedup < args.min_speedup:
+        print(f"FAIL: aggregate fast_speedup {speedup} is below the "
+              f"{args.min_speedup}x floor", file=sys.stderr)
+        failed = True
+    if args.check:
+        regressions, notes = compare_host(
+            payload, load_bench(args.check),
+            tolerance=args.tolerance, min_speedup=args.min_speedup,
+        )
+        for note in notes:
+            print(f"note: {note}")
+        for regression in regressions:
+            print(f"REGRESSION: {regression}", file=sys.stderr)
+        if regressions:
+            failed = True
+        else:
+            print(f"within {args.tolerance:.0%} of {args.check}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

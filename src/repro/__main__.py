@@ -634,6 +634,12 @@ def cmd_bench(args):
         payloads["BENCH_fig12.json"] = bench_fig12(
             apps, seed=args.seed, workers=args.workers
         )
+    if args.host:
+        from repro.analysis.hostbench import bench_host, render_host
+
+        print("bench host (simulated-instr/s, reference vs fast engine)...")
+        payloads["BENCH_host.json"] = bench_host(seed=args.seed)
+        print(render_host(payloads["BENCH_host.json"]))
     for filename, payload in payloads.items():
         path = os.path.join(args.out, filename)
         write_bench(payload, path)
@@ -646,9 +652,16 @@ def cmd_bench(args):
         if not os.path.isfile(baseline_path):
             print(f"{filename}: no baseline at {baseline_path}, skipping")
             continue
-        regressions, notes = compare_bench(
-            payload, load_bench(baseline_path), tolerance=args.tolerance
-        )
+        if filename == "BENCH_host.json":
+            from repro.analysis.hostbench import compare_host
+
+            regressions, notes = compare_host(
+                payload, load_bench(baseline_path)
+            )
+        else:
+            regressions, notes = compare_bench(
+                payload, load_bench(baseline_path), tolerance=args.tolerance
+            )
         for note in notes:
             print(f"{filename}: note: {note}")
         for regression in regressions:
@@ -953,6 +966,11 @@ def main(argv=None):
     )
     p_bench.add_argument("--skip-fig11", action="store_true")
     p_bench.add_argument("--skip-fig12", action="store_true")
+    p_bench.add_argument(
+        "--host", action="store_true",
+        help="also measure host-side simulated-instr/s (reference vs "
+             "fast engine) into BENCH_host.json",
+    )
     p_bench.add_argument("--seed", type=int, default=1)
     p_bench.add_argument(
         "--workers", type=int,

@@ -13,6 +13,8 @@ from repro.cpu.core import (
     BlockedError,
     CommPort,
     Core,
+    ENGINES,
+    ExecutionError,
     NullComm,
     PatchPort,
     RunResult,
@@ -26,6 +28,8 @@ __all__ = [
     "BlockedError",
     "CommPort",
     "Core",
+    "ENGINES",
+    "ExecutionError",
     "NullComm",
     "PatchPort",
     "RunResult",

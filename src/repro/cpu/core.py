@@ -12,6 +12,14 @@ Timing model (validated against the paper's counts in Figure 4):
   instruction are part of that cycle (Section III-C);
 * ``send``/``recv`` timing is delegated to the attached comm port, and
   ``recv`` blocks (without retiring) until data is available.
+
+Execution is pluggable (``engine=`` on :class:`Core`): ``auto`` selects
+the pre-decoded fast loop of :mod:`repro.cpu.engine` when every
+observability channel is disabled and the instrumented dispatch loop
+otherwise; ``reference`` forces the retained original interpreter below
+(:meth:`Core._run_reference`), the oracle the differential tests hold
+both engines to.  All three produce identical architectural state,
+cycles, stall attribution and cache/SPM counters.
 """
 
 import math
@@ -33,9 +41,42 @@ STOP_HALT = "halt"
 STOP_LIMIT = "limit"
 STOP_RECV = "recv"
 
+#: Engine names accepted by :class:`Core`.  ``auto`` picks the fast
+#: loop when every observability channel is off and the instrumented
+#: loop otherwise; ``reference`` forces the retained original
+#: interpreter (the differential-testing oracle).
+ENGINES = ("auto", "fast", "instrumented", "reference")
+
+# Immediate-form -> base-op folds, hoisted out of the hot loop (the
+# interpreter used to allocate these dicts afresh per retired imm-ALU /
+# imm-shift instruction).
+_IMM_ALU_BASE = {
+    Op.ANDI: Op.AND, Op.ORI: Op.OR, Op.XORI: Op.XOR, Op.SLTI: Op.SLT,
+}
+_IMM_SHIFT_BASE = {Op.SLLI: Op.SLL, Op.SRLI: Op.SRL, Op.SRAI: Op.SRA}
+
 
 class BlockedError(RuntimeError):
     """Raised when a comm operation is attempted with no port attached."""
+
+
+class ExecutionError(IndexError):
+    """The pc left the program's instruction range (missing halt?).
+
+    Subclasses :class:`IndexError` so existing callers that caught the
+    interpreter's old bare ``IndexError`` keep working; carries the
+    core id, program name and offending pc as attributes for
+    diagnostics.
+    """
+
+    def __init__(self, core_id, program_name, pc):
+        super().__init__(
+            f"core {core_id}: pc {pc} ran off the end of "
+            f"{program_name!r} (missing halt?)"
+        )
+        self.core_id = core_id
+        self.program_name = program_name
+        self.pc = pc
 
 
 class RunResult:
@@ -108,9 +149,19 @@ class Core:
         timeseries=None,
         recorder=None,
         params=None,
+        engine="auto",
     ):
         if params is None:
             params = DEFAULT_PLATFORM.core
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        self.engine = engine
+        # Pre-decoded execution form + resident-line memo, built lazily
+        # on first run (the reference engine never needs either).
+        self._decoded = None
+        self._resident = None
         self.program = program
         self.memory = memory
         self.patch = patch
@@ -191,10 +242,10 @@ class Core:
         """Run until halt, a blocking receive, or a limit; resumable."""
         tracer = self.tracer
         if not tracer.enabled:
-            return self._run(max_instructions, max_cycles)
+            return self._dispatch(max_instructions, max_cycles)
         slice_cycles = self.cycles
         slice_instret = self.instret
-        result = self._run(max_instructions, max_cycles)
+        result = self._dispatch(max_instructions, max_cycles)
         retired = self.instret - slice_instret
         if retired or self.cycles > slice_cycles:
             tracer.tile_span(
@@ -203,7 +254,49 @@ class Core:
             )
         return result
 
-    def _run(self, max_instructions=None, max_cycles=None):
+    def selected_engine(self):
+        """The loop ``run`` will enter: resolves ``auto`` to a mode."""
+        if self.engine != "auto":
+            return self.engine
+        if (self.profile or self.profile_cycles or self.tracer.enabled
+                or self.timeseries.enabled or self.recorder.enabled):
+            return "instrumented"
+        return "fast"
+
+    def _dispatch(self, max_instructions, max_cycles):
+        from repro.cpu import engine as engine_mod
+
+        mode = self.selected_engine()
+        if mode == "fast":
+            return engine_mod.run_fast(self, max_instructions, max_cycles)
+        if mode == "instrumented":
+            return engine_mod.run_instrumented(
+                self, max_instructions, max_cycles
+            )
+        return self._run_reference(max_instructions, max_cycles)
+
+    def _ensure_decoded(self):
+        """Decode (memoized on the Program) + allocate the resident memo."""
+        decoded = self._decoded
+        if decoded is None:
+            from repro.isa.decoded import decode_program
+
+            decoded = decode_program(
+                self.program, self.params, getattr(self.memory, "params", None)
+            )
+            self._decoded = decoded
+            self._resident = bytearray(decoded.n)
+        return decoded
+
+    def _run_reference(self, max_instructions=None, max_cycles=None):
+        """The retained original interpreter (re-decodes per retire).
+
+        Kept as the executable specification of the timing model: the
+        dispatch engines in :mod:`repro.cpu.engine` are held
+        bit-identical to this loop by the differential suite
+        (``tests/cpu/test_engine_differential.py``).  Select it with
+        ``Core(..., engine="reference")``.
+        """
         program = self.program.instructions
         regs = self.regs
         memory = self.memory
@@ -226,11 +319,8 @@ class Core:
                 self.flush_timeseries()
                 ts_next = self._ts_next
             pc = self.pc
-            if pc >= len(program):
-                raise IndexError(
-                    f"core {self.core_id}: pc {pc} ran off the end of "
-                    f"{self.program.name!r} (missing halt?)"
-                )
+            if not 0 <= pc < len(program):
+                raise ExecutionError(self.core_id, self.program.name, pc)
             instr = program[pc]
             op = instr.op
             if profile and leaders[pc]:
@@ -289,19 +379,18 @@ class Core:
                 if instr.rd != 0:
                     regs[instr.rd] = eval_alu(op, regs[instr.ra], regs[instr.rb])
             elif op in (Op.ANDI, Op.ORI, Op.XORI, Op.SLTI):
-                base = {
-                    Op.ANDI: Op.AND, Op.ORI: Op.OR,
-                    Op.XORI: Op.XOR, Op.SLTI: Op.SLT,
-                }[op]
                 if instr.rd != 0:
-                    regs[instr.rd] = eval_alu(base, regs[instr.ra], instr.imm)
+                    regs[instr.rd] = eval_alu(
+                        _IMM_ALU_BASE[op], regs[instr.ra], instr.imm
+                    )
             elif op in (Op.SLL, Op.SRL, Op.SRA):
                 if instr.rd != 0:
                     regs[instr.rd] = eval_shift(op, regs[instr.ra], regs[instr.rb])
             elif op in (Op.SLLI, Op.SRLI, Op.SRAI):
-                base = {Op.SLLI: Op.SLL, Op.SRLI: Op.SRL, Op.SRAI: Op.SRA}[op]
                 if instr.rd != 0:
-                    regs[instr.rd] = eval_shift(base, regs[instr.ra], instr.imm)
+                    regs[instr.rd] = eval_shift(
+                        _IMM_SHIFT_BASE[op], regs[instr.ra], instr.imm
+                    )
             elif op is Op.MOV:
                 if instr.rd != 0:
                     regs[instr.rd] = regs[instr.ra]

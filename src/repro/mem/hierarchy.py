@@ -128,6 +128,21 @@ class MemorySystem:
 
     # -- instruction fetch ----------------------------------------------------
 
+    def code_fully_cacheable(self, num_words):
+        """True when a ``num_words``-word code image can never be
+        evicted from the I-cache.
+
+        The licence for the execution engine's memoized resident-line
+        fetch path: once this holds, any line :meth:`fetch` has filled
+        stays resident for the rest of the simulation, so later fetches
+        of the same slot may charge the all-hit cost (crediting the hit
+        counters) without touching the cache model.  Geometry argument
+        in :func:`repro.isa.decoded.code_fully_cacheable`.
+        """
+        from repro.isa.decoded import code_fully_cacheable
+
+        return code_fully_cacheable(num_words, self.params)
+
     def fetch(self, instruction_index, words=1):
         """Fetch timing for the instruction at ``instruction_index``.
 

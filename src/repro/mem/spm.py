@@ -33,6 +33,20 @@ class Scratchpad:
     def contains(self, addr):
         return self.base <= addr < self.base + self.size_bytes
 
+    def window(self):
+        """``(words, base, end, latency)`` — the direct-access surface.
+
+        ``words`` is the backing word list itself (not a copy): an
+        execution engine holding the tuple may serve aligned accesses
+        inside ``[base, end)`` with one list index instead of the
+        checked :meth:`read_word`/:meth:`write_word` path, provided it
+        mirrors the ``reads``/``writes`` counters and stores wrapped
+        32-bit values (what :func:`~repro.isa.instructions.wrap32`
+        produces).  Anything unaligned or out of window must fall back
+        to the checked path so error behaviour is unchanged.
+        """
+        return self._words, self.base, self.base + self.size_bytes, self.latency
+
     def _index(self, addr):
         if addr % 4 != 0:
             raise ValueError(f"unaligned SPM access at {addr:#x}")

@@ -171,7 +171,7 @@ class AppEvaluator:
     # -- co-simulation ------------------------------------------------------------
 
     def build_system(self, architecture, items=2, contention=False,
-                     telemetry=None, profile_cycles=False):
+                     telemetry=None, profile_cycles=False, engine="auto"):
         """Materialize the 16-tile co-simulation for an architecture.
 
         All architectures run on the Stitch tile memory (4 KB D$ +
@@ -193,7 +193,7 @@ class AppEvaluator:
         compiled = self.compiled_programs()
         system = StitchSystem(self.placement.mesh, contention=contention,
                               telemetry=telemetry, platform=self.platform,
-                              profile_cycles=profile_cycles)
+                              profile_cycles=profile_cycles, engine=engine)
         for stage in self.app.stages:
             assignment = plan.assignments[stage.id]
             option = assignment.option

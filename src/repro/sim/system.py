@@ -104,11 +104,16 @@ class StitchSystem:
     the core parameters.  ``mesh`` overrides the platform's mesh when
     given.  ``baseline_memory=True`` re-purposes each tile's SPM budget
     as extra D$ (the paper's baseline many-core memory system).
+    ``engine`` selects every core's execution loop (see
+    :class:`repro.cpu.Core`): the default ``auto`` runs the pre-decoded
+    fast loop unless telemetry/profiling is enabled.
     """
 
     def __init__(self, mesh=None, contention=True, baseline_memory=False,
-                 telemetry=None, platform=None, profile_cycles=False):
+                 telemetry=None, platform=None, profile_cycles=False,
+                 engine="auto"):
         self.platform = platform if platform is not None else DEFAULT_PLATFORM
+        self.engine = engine
         self.mesh = mesh if mesh is not None else Mesh.from_params(self.platform.noc)
         self.telemetry = ensure_telemetry(telemetry)
         self.profile_cycles = profile_cycles
@@ -152,6 +157,7 @@ class StitchSystem:
             recorder=self.telemetry.recorder,
             profile_cycles=self.profile_cycles,
             params=self.platform.core,
+            engine=self.engine,
         )
         if setup is not None:
             setup(core)

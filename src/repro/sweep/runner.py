@@ -23,6 +23,12 @@ caches), and the merge step reassembles results in the submitted
 order — parallel and serial runs are byte-identical by construction,
 which ``--check-serial`` (and the CI smoke job) assert.
 
+A workload may pin ``"engine"`` (``auto``/``fast``/``instrumented``/
+``reference``, see :class:`repro.cpu.Core`) to force a particular
+execution loop — the differential harness uses this to diff sweep
+points between engines; the default ``auto`` picks the fast loop
+whenever the point records no telemetry.
+
 A workload with ``"telemetry": true`` additionally captures a per-point
 :class:`~repro.telemetry.Stats` registry (shipped across the process
 boundary in its flat picklable form) and the payload gains a
@@ -106,7 +112,8 @@ def _run_kernel(config, workload):
     kernel = make_kernel(workload["name"], seed=workload.get("seed", 1))
     memory = MemorySystem(config.mem)
     core = Core(kernel.program, memory, params=config.core,
-                recorder=recorder)
+                recorder=recorder,
+                engine=workload.get("engine", "auto"))
     kernel.setup(core)
     outcome = core.run(
         max_instructions=workload.get("max_instructions", 20_000_000)
@@ -203,7 +210,8 @@ def _run_ring(config, workload):
         stats = Stats() if workload.get("telemetry") else NULL_STATS
         telemetry = Telemetry(stats=stats, tracer=NULL_TRACER,
                               recorder=recorder)
-    system = StitchSystem(platform=config, telemetry=telemetry)
+    system = StitchSystem(platform=config, telemetry=telemetry,
+                          engine=workload.get("engine", "auto"))
     num_tiles = system.mesh.num_tiles
     for tile, program in ring_programs(num_tiles, token, laps).items():
         system.load(tile, program)
