@@ -18,7 +18,13 @@ exit code 1 — if either side of that promise breaks:
 * and against the *recorded* path (the causal dependency recorder of
   ``repro critpath``), whose hooks live only on comm events — never in
   the instruction hot loop — so both its null path and its enabled
-  path must obey the same limits.
+  path must obey the same limits;
+* and against the *injected* path (an unarmed ``repro chaos``
+  :class:`~repro.chaos.Injector` carrying a zero-fault plan): an
+  unarmed injector keeps the fast engine and costs at most one
+  attribute check per hook site, so it must satisfy the same two
+  bounds — no leak into the null path, and within the same constant
+  factor of the disabled run.
 
 Wall-clock ratios between two in-process runs are machine-independent,
 unlike absolute times, so this is safe to run in CI.
@@ -90,8 +96,9 @@ def pipeline_programs():
     return programs
 
 
-def run_once(telemetry, profile_cycles=False):
-    system = StitchSystem(telemetry=telemetry, profile_cycles=profile_cycles)
+def run_once(telemetry, profile_cycles=False, injector=None):
+    system = StitchSystem(telemetry=telemetry, profile_cycles=profile_cycles,
+                          injector=injector)
     for tile, program in pipeline_programs().items():
         system.load(tile, program)
     results = system.run()
@@ -122,12 +129,21 @@ def recorded_telemetry():
                      recorder=DependencyRecorder())
 
 
-def measure(repeats, telemetry_factory, profile_cycles=False):
+def unarmed_injector():
+    """A real chaos injector holding a zero-fault plan (never fires)."""
+    from repro.chaos import InjectionPlan, Injector
+
+    return Injector(InjectionPlan(name="guard-unarmed"))
+
+
+def measure(repeats, telemetry_factory, profile_cycles=False,
+            injector_factory=None):
     times = []
     for _ in range(repeats):
         telemetry = telemetry_factory()
+        injector = injector_factory() if injector_factory else None
         start = time.perf_counter()
-        run_once(telemetry, profile_cycles=profile_cycles)
+        run_once(telemetry, profile_cycles=profile_cycles, injector=injector)
         times.append(time.perf_counter() - start)
     return sorted(times)[len(times) // 2]  # median
 
@@ -144,9 +160,12 @@ def main(argv=None):
     enabled = measure(args.repeats, Telemetry)
     profiled = measure(args.repeats, profiled_telemetry, profile_cycles=True)
     recorded = measure(args.repeats, recorded_telemetry)
+    injected = measure(args.repeats, lambda: None,
+                       injector_factory=unarmed_injector)
     ratio = enabled / disabled
     profiled_ratio = profiled / disabled
     recorded_ratio = recorded / disabled
+    injected_ratio = injected / disabled
     print(f"telemetry disabled: {disabled * 1e3:8.2f} ms (median of "
           f"{args.repeats})")
     print(f"telemetry enabled:  {enabled * 1e3:8.2f} ms "
@@ -155,6 +174,8 @@ def main(argv=None):
           f"(x{profiled_ratio:.2f} vs disabled)")
     print(f"recorded (critpath): {recorded * 1e3:8.2f} ms "
           f"(x{recorded_ratio:.2f} vs disabled)")
+    print(f"injected (unarmed chaos): {injected * 1e3:8.2f} ms "
+          f"(x{injected_ratio:.2f} vs disabled)")
 
     failed = False
     if disabled > enabled * DISABLED_REGRESSION_LIMIT:
@@ -184,6 +205,16 @@ def main(argv=None):
         failed = True
     if recorded > disabled * ENABLED_OVERHEAD_LIMIT:
         print(f"FAIL: the dependency recorder costs more than "
+              f"{ENABLED_OVERHEAD_LIMIT}x the disabled path",
+              file=sys.stderr)
+        failed = True
+    if disabled > injected * DISABLED_REGRESSION_LIMIT:
+        print(f"FAIL: disabled path is >{DISABLED_REGRESSION_LIMIT:.0%} "
+              "slower than the unarmed-injector path — chaos hook work "
+              "leaked into the null path", file=sys.stderr)
+        failed = True
+    if injected > disabled * ENABLED_OVERHEAD_LIMIT:
+        print(f"FAIL: an unarmed chaos injector costs more than "
               f"{ENABLED_OVERHEAD_LIMIT}x the disabled path",
               file=sys.stderr)
         failed = True

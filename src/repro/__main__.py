@@ -38,6 +38,13 @@ Commands:
   design-space study (mesh size / DRAM latency / D$ capacity, or a
   custom platform JSON via ``--config``) over a process pool;
   ``--check-serial`` re-runs serially and asserts identical JSON,
+* ``chaos [targets ...] [--seed N] [--campaign N] [--plan FILE]`` —
+  seeded fault-injection campaigns over kernels and APP1-4: every
+  perturbed run is classified against its clean golden run as masked /
+  detected_recovered / detected_failed / sdc, the report is gated by
+  rules V1100-V1103, ``--workers`` fans points over processes
+  (byte-identical to serial), ``--json FILE`` saves the report, and
+  ``--strict`` additionally fails on any silent data corruption,
 * ``report [path]`` — regenerate the full EXPERIMENTS.md (slow).
 """
 
@@ -727,6 +734,82 @@ def cmd_sweep(args):
         sys.exit(f"sweep: {payload['errors']} point(s) failed")
 
 
+def cmd_chaos(args):
+    import json
+
+    from repro.chaos.campaign import (
+        campaign_points,
+        campaign_report,
+        campaign_to_json,
+    )
+    from repro.platform import DEFAULT_PLATFORM
+    from repro.sweep.runner import run_sweep
+    from repro.verify import check_campaign
+
+    targets = args.targets or ["fir", "fft", "2dconv", "APP1"]
+    recovery = "none" if args.no_recovery else "full"
+    sites = args.sites.split(",") if args.sites else None
+    if args.plan:
+        with open(args.plan) as handle:
+            plan_dict = json.load(handle)
+        config_dict = DEFAULT_PLATFORM.to_dict()
+        points = [
+            {
+                "id": f"{target}/plan",
+                "config": config_dict,
+                "workload": {"kind": "chaos", "target": target,
+                             "plan": plan_dict},
+            }
+            for target in targets
+        ]
+    else:
+        points = campaign_points(targets, args.campaign, args.seed,
+                                 recovery=recovery, sites=sites)
+    workers = args.workers
+    print(f"chaos: {len(points)} point(s) over {', '.join(targets)}, "
+          f"recovery {recovery}, "
+          f"{'serial' if not workers or workers <= 1 else f'{workers} workers'}")
+
+    def build_report(fanout):
+        return campaign_report(run_sweep(points, workers=fanout),
+                               targets=targets, seed=args.seed,
+                               recovery=recovery)
+
+    report = build_report(workers)
+    if args.check_serial and workers and workers > 1:
+        if campaign_to_json(build_report(1)) != campaign_to_json(report):
+            sys.exit("chaos: parallel and serial campaigns disagree")
+        print("chaos: parallel == serial (checked)")
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(campaign_to_json(report))
+        print(f"wrote {args.json}")
+    for record in report["results"]:
+        if "error" in record:
+            print(f"  {record['id']}: ERROR {record['error']}")
+            continue
+        metrics = record["metrics"]
+        extra = ""
+        if metrics.get("loud"):
+            extra = f" [{metrics['loud'].split(':')[0]}]"
+        if metrics.get("remapped"):
+            extra += f" [remapped around {metrics['remapped']['excluded']}]"
+        print(f"  {record['id']}: {metrics['outcome']}"
+              f" (triggered {metrics['faults_triggered']},"
+              f" recovery {metrics['recovery_cycles']} cy){extra}")
+    tally = report["campaign"]["outcomes"]
+    print("chaos: " + ", ".join(f"{name}={tally[name]}" for name in tally))
+    verdict = check_campaign(report)
+    print(verdict.render())
+    if report["errors"]:
+        sys.exit(f"chaos: {report['errors']} point(s) failed")
+    if not verdict.ok():
+        sys.exit(1)
+    if args.strict and report["campaign"]["sdc"]:
+        sys.exit(f"chaos: {report['campaign']['sdc']} silent data "
+                 f"corruption(s)")
+
+
 def cmd_report(args):
     from repro.analysis.report import generate
 
@@ -1012,6 +1095,48 @@ def main(argv=None):
     )
     p_sweep.add_argument("--seed", type=int, default=1)
 
+    p_chaos = sub.add_parser(
+        "chaos", help="run a seeded fault-injection campaign"
+    )
+    p_chaos.add_argument(
+        "targets", nargs="*",
+        help="kernels and/or APP1..APP4 (default: fir fft 2dconv APP1)",
+    )
+    p_chaos.add_argument("--seed", type=int, default=1)
+    p_chaos.add_argument(
+        "--campaign", type=int, default=16, metavar="N",
+        help="number of single-fault points (default: 16)",
+    )
+    p_chaos.add_argument(
+        "--plan", metavar="FILE",
+        help="run one explicit InjectionPlan JSON per target instead of "
+             "a seeded campaign",
+    )
+    p_chaos.add_argument(
+        "--sites", metavar="A,B,...",
+        help="restrict drawn faults to these sites "
+             "(reg,spm,dram,freeze,cix,link,channel)",
+    )
+    p_chaos.add_argument(
+        "--no-recovery", action="store_true",
+        help="disarm every detection/recovery policy (faults land raw)",
+    )
+    p_chaos.add_argument(
+        "--workers", type=int,
+        help="worker processes (default: serial)",
+    )
+    p_chaos.add_argument(
+        "--json", metavar="FILE", help="write the campaign report here"
+    )
+    p_chaos.add_argument(
+        "--check-serial", action="store_true",
+        help="re-run serially and assert byte-identical reports",
+    )
+    p_chaos.add_argument(
+        "--strict", action="store_true",
+        help="also fail on any silent data corruption",
+    )
+
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_report.add_argument("path", nargs="?", default="EXPERIMENTS.md")
 
@@ -1028,6 +1153,7 @@ def main(argv=None):
         "explain": cmd_explain,
         "bench": cmd_bench,
         "sweep": cmd_sweep,
+        "chaos": cmd_chaos,
         "report": cmd_report,
     }[args.command]
     handler(args)

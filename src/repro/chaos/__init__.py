@@ -1,0 +1,60 @@
+"""Deterministic fault injection and resilience policies.
+
+The chaos layer perturbs a run the way the telemetry layer observes
+one: every component holds a null-object :data:`NULL_INJECTOR` when
+injection is off, the core hot loops pay a single pinned-at-infinity
+cycle comparison, and an armed injector transparently forces the fast
+execution engine back to the instrumented loop.
+
+* :mod:`repro.chaos.plan` — :class:`InjectionPlan`: the frozen,
+  JSON-round-trippable description of what to break (site, trigger,
+  payload) and how to recover (:class:`RecoveryParams`).
+* :mod:`repro.chaos.injector` — :class:`Injector`: applies one plan to
+  one run; logs every fault/detect/recover event into telemetry.
+* :mod:`repro.chaos.recovery` — graceful degradation (plan remap) and
+  campaign target introspection.  Imported explicitly, not from here:
+  it pulls in the simulator stack, which imports this package.
+* :mod:`repro.chaos.campaign` — seeded campaigns over kernels and apps
+  with differential masked / detected_recovered / detected_failed /
+  sdc classification (``repro chaos``).  Also imported explicitly.
+"""
+
+from repro.chaos.injector import (
+    NULL_INJECTOR,
+    ChannelCorruptionError,
+    ChaosError,
+    CixStallError,
+    Injector,
+    NullInjector,
+    ensure_injector,
+)
+from repro.chaos.plan import (
+    CORE_SITES,
+    FABRIC_SITES,
+    SITES,
+    Fault,
+    InjectionPlan,
+    InjectionPlanError,
+    RecoveryParams,
+    random_fault,
+    random_plan,
+)
+
+__all__ = [
+    "CORE_SITES",
+    "FABRIC_SITES",
+    "SITES",
+    "ChannelCorruptionError",
+    "ChaosError",
+    "CixStallError",
+    "Fault",
+    "InjectionPlan",
+    "InjectionPlanError",
+    "Injector",
+    "NULL_INJECTOR",
+    "NullInjector",
+    "RecoveryParams",
+    "ensure_injector",
+    "random_fault",
+    "random_plan",
+]

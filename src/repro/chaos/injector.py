@@ -1,0 +1,393 @@
+"""The fault injector: the null-object hook surface of the chaos layer.
+
+Components hold the shared :data:`NULL_INJECTOR` when injection is off,
+exactly like :data:`~repro.telemetry.NULL_TRACER`: the disabled path
+costs at most one attribute check per call site, and the core hot loops
+pay a single ``cycles >= _inj_next`` comparison pinned at ``+inf``
+(the interval-sampling trick of :class:`repro.telemetry.TimeSeries`).
+Arming the injector forces a core's fast engine to fall back to the
+instrumented loop transparently — the fast loop carries no hooks and
+stays untouched, so the clean path keeps its speed.
+
+Every consequence of an armed injector is logged as one event dict::
+
+    {"kind": "fault"|"detect"|"recover", "site": ..., "tile": ...,
+     "cycle": ..., ...detail..., ["cycles_cost": N]}
+
+and mirrored into telemetry (Stats counters under ``chaos.*``, typed
+Tracer instants, a ``chaos_event`` on the critpath recorder) so a
+campaign is attributable end to end.  Rules V1100-V1103 reconcile the
+event log against the plan and the run outcome.
+"""
+
+import math
+
+from repro.chaos.plan import InjectionPlan
+from repro.telemetry import NULL_TELEMETRY
+
+
+def _checksum_words(values):
+    """The side-band word checksum (a tiny xor/rotate accumulator)."""
+    acc = 0
+    for value in values:
+        acc = ((acc << 5 | acc >> 27) ^ (value & 0xFFFFFFFF)) & 0xFFFFFFFF
+    return acc
+
+
+class ChaosError(RuntimeError):
+    """Base class of loud fault detections raised by recovery policies."""
+
+
+class ChannelCorruptionError(ChaosError):
+    """Corrupted channel words outlived the bounded retry budget.
+
+    ``snapshot`` mirrors the deadlock vocabulary: the receiving tile,
+    the peer, and the words that failed verification.
+    """
+
+    def __init__(self, message, snapshot=None):
+        super().__init__(message)
+        self.snapshot = snapshot if snapshot is not None else {}
+
+
+class CixStallError(ChaosError):
+    """A (possibly fused) patch configuration is stalled/failed.
+
+    Carries the tile and config id so graceful degradation can re-stitch
+    the plan around the failed unit.
+    """
+
+    def __init__(self, tile, cfg, cycle):
+        super().__init__(
+            f"tile {tile}: cix cfg {cfg} stalled at cycle {cycle} "
+            f"(failed fused unit)"
+        )
+        self.tile = tile
+        self.cfg = cfg
+        self.cycle = cycle
+
+
+class Injector:
+    """Applies one :class:`InjectionPlan` to one run, deterministically.
+
+    One injector instance belongs to one run: it keeps per-channel
+    message counters and the checksum side-band, so reusing an instance
+    across runs would misalign triggers.
+    """
+
+    enabled = True
+
+    def __init__(self, plan, telemetry=None):
+        if isinstance(plan, dict):
+            plan = InjectionPlan.from_dict(plan)
+        self.plan = plan.validate()
+        self.recovery = plan.recovery
+        telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._stats = telemetry.stats
+        self._tracer = telemetry.tracer
+        self._recorder = telemetry.recorder
+        self.events = []
+        self.recovery_cycles = 0
+        # site "cix": {tile: frozenset(cfg ids)}
+        self._cix = {}
+        for fault in plan.by_site("cix"):
+            self._cix.setdefault(fault.tile, set()).add(fault.cfg)
+        self._cix = {t: frozenset(c) for t, c in self._cix.items()}
+        # core-boundary faults: {tile: [faults sorted by trigger cycle]}
+        self._core_faults = {}
+        for fault in plan.by_site("reg", "spm", "dram", "freeze"):
+            self._core_faults.setdefault(fault.tile, []).append(fault)
+        for faults in self._core_faults.values():
+            faults.sort(key=lambda f: f.cycle)
+        # fabric faults: {(src, dst): {index: [faults]}}
+        self._link = {}
+        self._channel = {}
+        for fault in plan.by_site("link"):
+            pair = self._link.setdefault((fault.src, fault.dst), {})
+            pair.setdefault(fault.index, []).append(fault)
+        for fault in plan.by_site("channel"):
+            pair = self._channel.setdefault((fault.src, fault.dst), {})
+            pair.setdefault(fault.index, []).append(fault)
+        self._msg_count = {}       # (src, dst) -> messages injected so far
+        self._pkt_count = {}       # (src, dst) -> network sends so far
+        # The checksum side-band is a word FIFO parallel to the MPI
+        # channel's own (receives pop words, not messages, so the truth
+        # stream must align word-for-word with the corrupted stream).
+        self._sideband = {}        # (src, dst) -> [true words]
+        self._fired = 0
+
+    @property
+    def armed(self):
+        return self.plan.armed
+
+    # -- event log -----------------------------------------------------------
+
+    def _log(self, kind, site, tile, cycle, **detail):
+        event = {"kind": kind, "site": site, "tile": tile, "cycle": cycle}
+        event.update(detail)
+        self.events.append(event)
+        if self._stats.enabled:
+            self._stats.add(f"chaos.{kind}")
+            self._stats.add(f"chaos.{kind}.{site}")
+        if self._tracer.enabled:
+            if kind == "fault":
+                self._tracer.fault(tile, site, cycle, **detail)
+            elif kind == "detect":
+                self._tracer.fault_detected(tile, site, cycle, **detail)
+            else:
+                self._tracer.fault_recovered(tile, site, cycle, **detail)
+        if self._recorder.enabled:
+            self._recorder.chaos_event(tile, kind, site, cycle)
+        return event
+
+    def log_detect(self, site, tile, cycle, **detail):
+        """Detection reported by an outside policy (watchdog, deadlock)."""
+        return self._log("detect", site, tile, cycle, **detail)
+
+    def log_recover(self, site, tile, cycle, **detail):
+        """Recovery performed by an outside policy (plan remap)."""
+        return self._log("recover", site, tile, cycle, **detail)
+
+    def triggered(self):
+        """How many of the plan's faults actually fired."""
+        return self._fired
+
+    def untriggered(self):
+        """Faults whose trigger never occurred in the run (⇒ masked)."""
+        return len(self.plan.faults) - self._fired
+
+    def report(self):
+        """The JSON-shaped account of this run's injection activity."""
+        return {
+            "plan": self.plan.to_dict(),
+            "events": [dict(e) for e in self.events],
+            "faults_triggered": self.triggered(),
+            "faults_untriggered": self.untriggered(),
+            "recovery_cycles": self.recovery_cycles,
+        }
+
+    # -- core-side hooks -----------------------------------------------------
+
+    def attach_core(self, core):
+        """Wire a core: set its first boundary and stalled-cfg set."""
+        core._inj_cix = self._cix.get(core.core_id)
+        faults = self._core_faults.get(core.core_id)
+        if faults:
+            core._inj_next = faults[0].cycle
+        else:
+            core._inj_next = math.inf
+
+    def fire_core(self, core):
+        """Apply every due core-site fault; returns the next boundary.
+
+        Called by the execution engines when ``cycles >= _inj_next``;
+        fault application is architectural (no cycle charged) except
+        for ECC scrubs, which charge ``recovery.ecc_penalty`` core
+        cycles per corrected flip.
+        """
+        faults = self._core_faults.get(core.core_id, ())
+        while faults and faults[0].cycle <= core.cycles:
+            fault = faults.pop(0)
+            self._fired += 1
+            now = core.cycles
+            if fault.site == "freeze":
+                core.frozen = True
+                self._log("fault", "freeze", core.core_id, now)
+                continue
+            if fault.site == "reg":
+                index = fault.reg % len(core.regs)
+                old = core.regs[index]
+                restore = old
+                core.regs[index] = _flip(old, fault.bit)
+                detail = {"reg": index, "bit": fault.bit}
+            elif fault.site == "spm":
+                spm = core.memory.spm
+                if spm is None or not spm.contains(fault.addr):
+                    self._log("fault", "spm", core.core_id, now,
+                              addr=fault.addr, bit=fault.bit, applied=False)
+                    continue
+                restore = spm.dump_words(fault.addr, 1)[0]
+                spm.load_words(fault.addr, [_flip(restore, fault.bit)])
+                detail = {"addr": fault.addr, "bit": fault.bit}
+            else:  # dram
+                dram = core.memory.dram
+                if not 0 <= fault.addr < dram.size_bytes:
+                    self._log("fault", "dram", core.core_id, now,
+                              addr=fault.addr, bit=fault.bit, applied=False)
+                    continue
+                restore = dram.dump_words(fault.addr, 1)[0]
+                dram.load_words(fault.addr, [_flip(restore, fault.bit)])
+                detail = {"addr": fault.addr, "bit": fault.bit}
+            self._log("fault", fault.site, core.core_id, now, **detail)
+            if self.recovery.ecc:
+                # Scrub-on-trigger ECC: detect and correct in place,
+                # charging the scrub penalty to the core's clock.
+                self._log("detect", fault.site, core.core_id, now, **detail)
+                if fault.site == "reg":
+                    core.regs[detail["reg"]] = restore
+                elif fault.site == "spm":
+                    core.memory.spm.load_words(fault.addr, [restore])
+                else:
+                    core.memory.dram.load_words(fault.addr, [restore])
+                penalty = self.recovery.ecc_penalty
+                core.cycles += penalty
+                self.recovery_cycles += penalty
+                self._log("recover", fault.site, core.core_id, core.cycles,
+                          cycles_cost=penalty, **detail)
+        return faults[0].cycle if faults else math.inf
+
+    def cix_stall(self, tile, cfg, cycle):
+        """A stalled config was executed: log the detection and fail loud."""
+        self._fired += 1
+        self._log("fault", "cix", tile, cycle, cfg=cfg)
+        self._log("detect", "cix", tile, cycle, cfg=cfg)
+        raise CixStallError(tile, cfg, cycle)
+
+    # -- NoC-side hook -------------------------------------------------------
+
+    def link_delay(self, src, dst, now):
+        """Extra arrival cycles for this ``src -> dst`` network send."""
+        pair = self._link.get((src, dst))
+        if pair is None:
+            return 0
+        index = self._pkt_count.get((src, dst), 0)
+        self._pkt_count[(src, dst)] = index + 1
+        extra = 0
+        for fault in pair.pop(index, ()):
+            if fault.delay > 0:
+                self._fired += 1
+                extra += fault.delay
+                self._log("fault", "link", dst, now, src=src,
+                          index=index, delay=fault.delay)
+        return extra
+
+    # -- fabric-side hooks ---------------------------------------------------
+
+    def outbound(self, src, dst, values, now):
+        """Perturb one injected message; returns ``(values, dropped)``.
+
+        Maintains the checksum side-band for watched channels (those
+        with channel faults, when retries are enabled) so the receive
+        side can verify and re-fetch the true words.
+        """
+        key = (src, dst)
+        index = self._msg_count.get(key, 0)
+        self._msg_count[key] = index + 1
+        for fault in self._link.get(key, {}).get(index, ()):
+            if fault.delay == 0:
+                self._fired += 1
+                self._log("fault", "link", dst, now, src=src, index=index,
+                          dropped=len(values))
+                return values, True
+        channel_faults = self._channel.get(key)
+        if channel_faults is None:
+            return values, False
+        if self.recovery.max_retries > 0:
+            self._sideband.setdefault(key, []).extend(values)
+        for fault in channel_faults.pop(index, ()):
+            self._fired += 1
+            if not values:
+                self._log("fault", "channel", dst, now, src=src,
+                          index=index, applied=False)
+                continue
+            word = fault.word % len(values)
+            values = list(values)
+            values[word] = _flip(values[word], fault.bit)
+            self._log("fault", "channel", dst, now, src=src, index=index,
+                      word=word, bit=fault.bit)
+        return values, False
+
+    def inbound(self, src, dst, values, finish):
+        """Verify one received message against the checksum side-band.
+
+        Corrupted words are re-fetched with bounded exponential backoff
+        (attempt *i* costs ``retry_backoff * 2**(i-1)`` receiver
+        cycles); more corrupted words than ``max_retries`` raises
+        :class:`ChannelCorruptionError`.
+        """
+        queue = self._sideband.get((src, dst))
+        if not queue:
+            return values, finish
+        truth = queue[:len(values)]
+        del queue[:len(values)]
+        if _checksum_words(values) == _checksum_words(truth):
+            return values, finish
+        corrupted = [i for i, (got, want) in enumerate(zip(values, truth))
+                     if got != want]
+        self._log("detect", "channel", dst, finish, src=src,
+                  words=list(corrupted))
+        if len(corrupted) > self.recovery.max_retries:
+            raise ChannelCorruptionError(
+                f"tile {dst}: {len(corrupted)} corrupted word(s) from tile "
+                f"{src} exceed the {self.recovery.max_retries}-retry budget",
+                snapshot={
+                    "tile": dst, "waiting_on": src,
+                    "words_corrupted": len(corrupted),
+                    "cycles": finish,
+                },
+            )
+        cost = sum(
+            self.recovery.retry_backoff * (1 << attempt)
+            for attempt in range(len(corrupted))
+        )
+        self.recovery_cycles += cost
+        self._log("recover", "channel", dst, finish + cost, src=src,
+                  words=list(corrupted), cycles_cost=cost)
+        return list(truth), finish + cost
+
+
+def _flip(value, bit):
+    flipped = (value & 0xFFFFFFFF) ^ (1 << bit)
+    return flipped - 0x100000000 if flipped & 0x80000000 else flipped
+
+
+class NullInjector:
+    """Disabled injector: every hook is a no-op."""
+
+    enabled = False
+    armed = False
+    events = ()
+    recovery_cycles = 0
+
+    def attach_core(self, core):
+        core._inj_cix = None
+        core._inj_next = math.inf
+
+    def fire_core(self, core):
+        return math.inf
+
+    def link_delay(self, src, dst, now):
+        return 0
+
+    def outbound(self, src, dst, values, now):
+        return values, False
+
+    def inbound(self, src, dst, values, finish):
+        return values, finish
+
+    def log_detect(self, site, tile, cycle, **detail):
+        pass
+
+    log_recover = log_detect
+
+    def triggered(self):
+        return 0
+
+    def untriggered(self):
+        return 0
+
+
+NULL_INJECTOR = NullInjector()
+
+
+def ensure_injector(value, telemetry=None):
+    """Normalize an ``injector=`` argument (None/False -> disabled).
+
+    A plan (or its dict form) is wrapped in a fresh :class:`Injector`
+    bound to ``telemetry``; an existing injector passes through as-is.
+    """
+    if value is None or value is False:
+        return NULL_INJECTOR
+    if isinstance(value, (InjectionPlan, dict)):
+        return Injector(value, telemetry=telemetry)
+    return value

@@ -1,0 +1,90 @@
+"""Graceful degradation: re-stitching a plan around a failed fused unit.
+
+When a ``cix`` fault marks a (possibly fused) patch configuration as
+dead, the application does not have to fail: the stitcher explored
+alternative version selections when it built the plan (the
+:class:`repro.provenance.StitchTrace` records them), so the campaign
+re-runs :func:`repro.core.stitching.stitch_best` with the failed
+option excluded and materializes the surviving plan.  Throughput
+degrades to the next-best stitch instead of the run dying.
+
+This module also hosts the target-introspection helpers a seeded
+campaign needs to draw *reachable* faults: the real ``(tile, cfg)``
+pairs a stitched application executes (:func:`fused_sites`) and the
+communicating tile pairs (:func:`app_channels`).
+
+Imported lazily (not from ``repro.chaos``'s package namespace): it
+pulls in the simulator stack, which itself imports the injector —
+keeping the package ``__init__`` to the leaf modules avoids the cycle.
+"""
+
+from repro.chaos.injector import ChaosError
+from repro.core.stitching import BASELINE, stitch_best
+
+
+def fused_sites(evaluator, architecture="Stitch"):
+    """Real ``(tile, cfg id)`` pairs the stitched app executes.
+
+    Only non-baseline stages carry a patch configuration; the cfg ids
+    come from the compiled program's ``cfg_table``, so a ``cix`` fault
+    drawn from this list is guaranteed to be reachable.
+    """
+    plan = evaluator.plan(architecture)
+    compiled = evaluator.compiled_programs()
+    sites = []
+    for stage in evaluator.app.stages:
+        option = plan.assignments[stage.id].option
+        if option == BASELINE:
+            continue
+        program = compiled[stage.id][option].program
+        table = getattr(program, "cfg_table", None) or ()
+        # cfg ids are indices into the program's config table.
+        for cfg in range(len(table)):
+            sites.append((plan.tile_of(stage.id), cfg))
+    return sites
+
+
+def app_channels(evaluator, architecture="Stitch"):
+    """Communicating ``(src tile, dst tile)`` pairs of the placed app."""
+    plan = evaluator.plan(architecture)
+    return sorted({
+        (plan.tile_of(c.src), plan.tile_of(c.dst))
+        for c in evaluator.app.channels
+    })
+
+
+def failed_option(evaluator, plan, tile):
+    """The non-baseline option running on ``tile`` (None if baseline)."""
+    for stage in evaluator.app.stages:
+        assignment = plan.assignments[stage.id]
+        if plan.tile_of(stage.id) == tile and assignment.option != BASELINE:
+            return assignment.option
+    return None
+
+
+def remap_plan(evaluator, tile, architecture="Stitch", trace=None):
+    """Re-stitch around the failed fused unit on ``tile``.
+
+    Returns ``(remapped plan, excluded option name)``.  The failed
+    option is excluded globally — conservative (another stage could
+    still use an undamaged instance) but safe, and the stitcher's
+    version selection finds the best surviving assignment.  Raises
+    :class:`~repro.chaos.ChaosError` when the tile runs no fused
+    option (nothing to route around).
+    """
+    plan = evaluator.plan(architecture)
+    failed = failed_option(evaluator, plan, tile)
+    if failed is None:
+        raise ChaosError(
+            f"tile {tile} runs no fused option; nothing to remap around"
+        )
+    tables = evaluator.cycle_tables()
+    allowed = frozenset(
+        name for table in tables.values() for name in table
+        if name != BASELINE
+    ) - {failed}
+    remapped = stitch_best(
+        f"{evaluator.app.name}/{architecture}/remap-{failed}",
+        tables, evaluator.placement, allowed=allowed, trace=trace,
+    )
+    return remapped, failed

@@ -18,6 +18,7 @@ from repro.cpu.core import (
     NullComm,
     PatchPort,
     RunResult,
+    STOP_FROZEN,
     STOP_HALT,
     STOP_LIMIT,
     STOP_RECV,
@@ -33,6 +34,7 @@ __all__ = [
     "NullComm",
     "PatchPort",
     "RunResult",
+    "STOP_FROZEN",
     "STOP_HALT",
     "STOP_LIMIT",
     "STOP_RECV",

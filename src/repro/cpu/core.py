@@ -31,6 +31,7 @@ from repro.isa.instructions import (
     eval_shift,
     wrap32,
 )
+from repro.chaos.injector import NULL_INJECTOR
 from repro.critpath.recorder import NULL_RECORDER
 from repro.platform import DEFAULT_PLATFORM
 from repro.telemetry.rollup import ATTRIBUTION_BUCKETS  # noqa: F401 (re-export)
@@ -40,6 +41,7 @@ from repro.telemetry.trace import NULL_TRACER
 STOP_HALT = "halt"
 STOP_LIMIT = "limit"
 STOP_RECV = "recv"
+STOP_FROZEN = "frozen"
 
 #: Engine names accepted by :class:`Core`.  ``auto`` picks the fast
 #: loop when every observability channel is off and the instrumented
@@ -150,6 +152,7 @@ class Core:
         recorder=None,
         params=None,
         engine="auto",
+        injector=None,
     ):
         if params is None:
             params = DEFAULT_PLATFORM.core
@@ -179,6 +182,10 @@ class Core:
             timeseries if timeseries is not None else NULL_TIMESERIES
         )
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        #: Set by an armed injector's ``freeze`` fault: the core stops
+        #: retiring and its run() returns ``STOP_FROZEN`` forever.
+        self.frozen = False
         self.profile_cycles = profile_cycles
         # pc -> [cycles, retired]; every simulated cycle lands on exactly
         # one pc, so sum(cycles) == self.cycles at instruction boundaries
@@ -225,6 +232,10 @@ class Core:
             self._ts_snap = None
             self._ts_next = math.inf
 
+        # Fault-injection boundary: same +inf trick; an armed injector
+        # sets the first trigger cycle (and the stalled-cfg set).
+        self.injector.attach_core(self)
+
     # -- register helpers ----------------------------------------------------
 
     def write_reg(self, index, value):
@@ -255,17 +266,28 @@ class Core:
         return result
 
     def selected_engine(self):
-        """The loop ``run`` will enter: resolves ``auto`` to a mode."""
+        """The loop ``run`` will enter: resolves ``auto`` to a mode.
+
+        An armed injector needs the boundary/hook sites the fast loop
+        deliberately omits, so both ``auto`` and an explicit ``fast``
+        fall back to the instrumented loop transparently while faults
+        are in play.
+        """
+        if self.engine == "fast":
+            return "instrumented" if self.injector.armed else "fast"
         if self.engine != "auto":
             return self.engine
         if (self.profile or self.profile_cycles or self.tracer.enabled
-                or self.timeseries.enabled or self.recorder.enabled):
+                or self.timeseries.enabled or self.recorder.enabled
+                or self.injector.armed):
             return "instrumented"
         return "fast"
 
     def _dispatch(self, max_instructions, max_cycles):
         from repro.cpu import engine as engine_mod
 
+        if self.frozen:
+            return RunResult(STOP_FROZEN, self.cycles, self.instret)
         mode = self.selected_engine()
         if mode == "fast":
             return engine_mod.run_fast(self, max_instructions, max_cycles)
@@ -308,6 +330,7 @@ class Core:
         tracer = self.tracer
         pc_profile = self.pc_profile
         ts_next = self._ts_next
+        inj_next = self._inj_next
         start_instret = self.instret
 
         while not self.halted:
@@ -318,6 +341,10 @@ class Core:
             if self.cycles >= ts_next:
                 self.flush_timeseries()
                 ts_next = self._ts_next
+            if self.cycles >= inj_next:
+                inj_next = self._fire_injector()
+                if self.frozen:
+                    return RunResult(STOP_FROZEN, self.cycles, self.instret)
             pc = self.pc
             if not 0 <= pc < len(program):
                 raise ExecutionError(self.core_id, self.program.name, pc)
@@ -590,11 +617,18 @@ class Core:
         self._ts_snap = now
         self._ts_next = (self.cycles // ts.interval + 1) * ts.interval
 
+    def _fire_injector(self):
+        """Apply due injected faults; returns the next boundary cycle."""
+        self._inj_next = self.injector.fire_core(self)
+        return self._inj_next
+
     def _execute_cix(self, instr):
         if self.patch is None:
             raise BlockedError(
                 f"core {self.core_id}: cix executed but no patch is attached"
             )
+        if self._inj_cix is not None and instr.cfg in self._inj_cix:
+            self.injector.cix_stall(self.core_id, instr.cfg, self.cycles)
         in_values = [self.regs[r] for r in instr.ins]
         return self.patch.execute(instr.cfg, in_values)
 

@@ -37,6 +37,7 @@ from repro.cpu.core import (
     BlockedError,
     ExecutionError,
     RunResult,
+    STOP_FROZEN,
     STOP_HALT,
     STOP_LIMIT,
     STOP_RECV,
@@ -339,6 +340,7 @@ def run_instrumented(core, max_instructions=None, max_cycles=None):
     tracer = core.tracer
     pc_profile = core.pc_profile
     ts_next = core._ts_next
+    inj_next = core._inj_next
     start_instret = core.instret
     handlers = HANDLERS
 
@@ -351,6 +353,10 @@ def run_instrumented(core, max_instructions=None, max_cycles=None):
         if core.cycles >= ts_next:
             core.flush_timeseries()
             ts_next = core._ts_next
+        if core.cycles >= inj_next:
+            inj_next = core._fire_injector()
+            if core.frozen:
+                return RunResult(STOP_FROZEN, core.cycles, core.instret)
         pc = core.pc
         if not 0 <= pc < n:
             raise ExecutionError(core.core_id, core.program.name, pc)
@@ -487,11 +493,12 @@ def run_fast(core, max_instructions=None, max_cycles=None):
     the differential suite in ``tests/cpu`` holds it to that.
     """
     if (core.profile or core.profile_cycles or core.tracer.enabled
-            or core.timeseries.enabled or core.recorder.enabled):
+            or core.timeseries.enabled or core.recorder.enabled
+            or core.injector.armed):
         raise ValueError(
             "engine='fast' cannot honor enabled observability "
-            "(profiler/tracer/timeseries/recorder); use engine='auto' "
-            "or 'instrumented'"
+            "(profiler/tracer/timeseries/recorder/injector); use "
+            "engine='auto' or 'instrumented'"
         )
     if core.halted:
         return RunResult(STOP_HALT, core.cycles, core.instret)

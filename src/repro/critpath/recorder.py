@@ -173,6 +173,7 @@ class DependencyRecorder:
                 "platform": platform.name,
                 "dram_latency": platform.mem.dram_latency,
             }
+        self.chaos_events = []         # (tile, kind, site, cycle) tuples
         self._matcher = ChannelMatcher()
         self._snap = {}                # tile -> counter tuple
         self._prev_end = {}            # tile -> local clock after last event
@@ -231,6 +232,15 @@ class DependencyRecorder:
     def recv_blocked(self, tile, peer, words, now):
         """A receive found no data; overwritten on every re-poll."""
         self.blocked[tile] = {"peer": peer, "words": words, "cycles": now}
+
+    def chaos_event(self, tile, kind, site, cycle):
+        """A fault-injection event (fault/detect/recover) on one tile.
+
+        Kept as a side-band annotation stream so causal analyses can
+        correlate anomalous segments with the injected faults that
+        caused them.
+        """
+        self.chaos_events.append((tile, kind, site, cycle))
 
     # -- finalization --------------------------------------------------------
 
@@ -300,13 +310,14 @@ class NullDependencyRecorder:
     snapshot = {}
     blocked = {}
     meta = {}
+    chaos_events = ()
 
     def noc_crossing(self, *args, **kwargs):
         pass
 
     fabric_send = fabric_recv = noc_crossing
     send = recv = recv_blocked = noc_crossing
-    tile_done = finish = noc_crossing
+    tile_done = finish = chaos_event = noc_crossing
 
     def tiles(self):
         return {}

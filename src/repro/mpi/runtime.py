@@ -9,6 +9,7 @@ every word carries the cycle at which it arrived at the receiver.  A
 where draining charges one cycle per flit of NIC-to-memory transfer.
 """
 
+from repro.chaos.injector import NULL_INJECTOR
 from repro.cpu.core import CommPort
 from repro.noc.network import Network
 from repro.noc.packet import WORDS_PER_FLIT
@@ -62,9 +63,11 @@ class TileComm(CommPort):
 class MessagePassing:
     """The shared fabric: channels + the NoC timing model."""
 
-    def __init__(self, network=None, num_tiles=16, telemetry=None):
+    def __init__(self, network=None, num_tiles=16, telemetry=None,
+                 injector=None):
         self.network = network if network is not None else Network()
         self.num_tiles = num_tiles
+        self.injector = injector if injector is not None else NULL_INJECTOR
         telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._occupancy_hist = telemetry.stats.histogram(
             "fabric.channel_occupancy"
@@ -98,7 +101,14 @@ class MessagePassing:
         """Inject ``values`` from ``src`` to ``dst``; returns sender finish."""
         if not 0 <= dst < self.num_tiles:
             raise ValueError(f"destination tile out of range: {dst}")
+        dropped = False
+        if self.injector.armed:
+            # Channel corruption / dropped flits: the NoC still burns
+            # the cycles either way, but dropped payloads never land.
+            values, dropped = self.injector.outbound(src, dst, values, now)
         arrival, injection_done = self.network.send(src, dst, len(values), now)
+        if dropped:
+            return injection_done
         chan = self.channel(src, dst)
         chan.push(values, arrival)
         if self._recorder.enabled:
@@ -128,6 +138,9 @@ class MessagePassing:
         self.words_in_flight -= count
         drain = (count + WORDS_PER_FLIT - 1) // WORDS_PER_FLIT
         finish = max(now, ready) + drain
+        if self.injector.armed:
+            # Checksum side-band verification + bounded retry-backoff.
+            values, finish = self.injector.inbound(src, dst, values, finish)
         if self._recorder.enabled:
             self._recorder.fabric_recv(src, dst, count, now, ready, finish,
                                        drain)

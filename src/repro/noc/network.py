@@ -15,6 +15,7 @@ The stage/link/flit numbers come from a
 :class:`repro.platform.NoCParams` (default: the stitch preset).
 """
 
+from repro.chaos.injector import NULL_INJECTOR
 from repro.noc.packet import packetize
 from repro.noc.topology import Mesh
 from repro.platform import DEFAULT_PLATFORM
@@ -53,8 +54,9 @@ class Network:
     """
 
     def __init__(self, mesh=None, contention=True, telemetry=None,
-                 params=None):
+                 params=None, injector=None):
         self.params = params if params is not None else DEFAULT_PLATFORM.noc
+        self.injector = injector if injector is not None else NULL_INJECTOR
         self.router_stages = self.params.router_stages
         self.link_cycles = self.params.link_cycles
         self.mesh = mesh if mesh is not None else Mesh.from_params(self.params)
@@ -95,13 +97,18 @@ class Network:
 
     def send(self, src, dst, nwords, time):
         """Inject a message; returns ``(arrival_cycle, injection_done)``."""
+        # Fault injection: a flaky link holds the message ``extra``
+        # cycles past the modelled arrival (the NIC itself is unharmed,
+        # so injection_done is unaffected).
+        extra = (self.injector.link_delay(src, dst, time)
+                 if self.injector.armed else 0)
         if src == dst:
             # Local loopback through the NIC: just serialization.
             packets = packetize(src, dst, nwords, params=self.params)
             flits = sum(p.flits for p in packets)
             self.packets_sent += len(packets)
             self.flits_sent += flits
-            return time + flits, time + flits
+            return time + flits + extra, time + flits
         route = self.mesh.route_links(src, dst)
         hops = len(route)
         arrival = time
@@ -160,7 +167,7 @@ class Network:
                             self.timeseries.link_flits(link, crossed, flits)
             arrival = max(arrival, packet_arrival)
             cursor += flits  # next packet streams behind this one
-        return arrival, injection_done
+        return arrival + extra, injection_done
 
     def stats(self):
         """Aggregate NoC statistics (feeds the SystemStats roll-up)."""

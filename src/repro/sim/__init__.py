@@ -12,6 +12,7 @@
 
 from repro.sim.system import (
     DeadlockError,
+    RecvTimeoutError,
     RoundBudgetError,
     RunResults,
     StitchSystem,
@@ -25,6 +26,7 @@ __all__ = [
     "TileResult",
     "RunResults",
     "DeadlockError",
+    "RecvTimeoutError",
     "RoundBudgetError",
     "wrap_streaming",
     "PipelineModel",

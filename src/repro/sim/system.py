@@ -18,8 +18,9 @@ trace events across the whole stack.
 
 import dataclasses
 
+from repro.chaos.injector import ensure_injector
 from repro.core.executor import PatchExecutor
-from repro.cpu.core import Core, STOP_HALT, STOP_RECV
+from repro.cpu.core import Core, STOP_FROZEN, STOP_HALT, STOP_RECV
 from repro.isa.instructions import Op
 from repro.mem.hierarchy import MemorySystem
 from repro.mpi.runtime import MessagePassing
@@ -35,6 +36,24 @@ class DeadlockError(RuntimeError):
     ``snapshot`` maps each blocked tile to its pending receive — the
     peer it waits on, how many words it needs, and the words actually
     queued toward it per source channel.
+    """
+
+    def __init__(self, message, snapshot=None):
+        super().__init__(message)
+        self.snapshot = snapshot if snapshot is not None else {}
+
+
+class RecvTimeoutError(RuntimeError):
+    """A tile's blocked receive outlived the watchdog deadline.
+
+    Unlike :class:`DeadlockError` the system may still be making
+    progress elsewhere — the watchdog fires per-tile once the cycle
+    horizon (the furthest any live tile has advanced) moves more than
+    ``recv_timeout`` cycles past the point where the receive blocked.
+    ``snapshot`` uses the same per-tile vocabulary as the deadlock
+    snapshot (``waiting_on``/``words_needed``/``pending``/``cycles``)
+    plus ``blocked_since``, and carries the top-level ``deadline`` and
+    ``horizon`` that tripped it.
     """
 
     def __init__(self, message, snapshot=None):
@@ -111,17 +130,24 @@ class StitchSystem:
 
     def __init__(self, mesh=None, contention=True, baseline_memory=False,
                  telemetry=None, platform=None, profile_cycles=False,
-                 engine="auto"):
+                 engine="auto", injector=None, recv_timeout=None):
         self.platform = platform if platform is not None else DEFAULT_PLATFORM
         self.engine = engine
         self.mesh = mesh if mesh is not None else Mesh.from_params(self.platform.noc)
         self.telemetry = ensure_telemetry(telemetry)
         self.profile_cycles = profile_cycles
+        self.injector = ensure_injector(injector, telemetry=self.telemetry)
+        if recv_timeout is None:
+            recovery = getattr(self.injector, "recovery", None)
+            recv_timeout = recovery.recv_timeout if recovery is not None else 0
+        self.recv_timeout = recv_timeout
         self.fabric = MessagePassing(
             Network(self.mesh, contention=contention,
-                    telemetry=self.telemetry, params=self.platform.noc),
+                    telemetry=self.telemetry, params=self.platform.noc,
+                    injector=self.injector),
             num_tiles=self.mesh.num_tiles,
             telemetry=self.telemetry,
+            injector=self.injector,
         )
         mem_params = self.platform.mem
         if baseline_memory:
@@ -158,6 +184,7 @@ class StitchSystem:
             profile_cycles=self.profile_cycles,
             params=self.platform.core,
             engine=self.engine,
+            injector=self.injector,
         )
         if setup is not None:
             setup(core)
@@ -169,11 +196,13 @@ class StitchSystem:
         live = [core for core in self.cores if core is not None]
         cache_baseline = self._cache_counters()
         reasons = {core: STOP_HALT for core in live}
-        blocked = {}  # core -> words pending toward it when it blocked
+        blocked = {}     # core -> words pending toward it when it blocked
+        blocked_at = {}  # core -> its cycle count when it blocked
         pending = list(live)
         rounds = 0
         tracer = self.telemetry.tracer
         recorder = self.telemetry.recorder
+        timeout = self.recv_timeout
         while pending or blocked:
             rounds += 1
             if rounds > max_rounds:
@@ -191,7 +220,11 @@ class StitchSystem:
                     progressed = True
                 if outcome.reason == STOP_RECV:
                     blocked[core] = self.fabric.pending_words(core.core_id)
-                elif outcome.reason != STOP_HALT:
+                    blocked_at[core] = core.cycles
+                elif outcome.reason not in (STOP_HALT, STOP_FROZEN):
+                    # A frozen core (injected fault) is terminal: it
+                    # never retires again, so it leaves the schedule and
+                    # its peers run into the watchdog/deadlock nets.
                     next_pending.append(core)
             pending = next_pending
             # Wake blocked cores only when new words arrived for them.
@@ -199,10 +232,24 @@ class StitchSystem:
                 now_pending = self.fabric.pending_words(core.core_id)
                 if now_pending > blocked[core]:
                     del blocked[core]
+                    del blocked_at[core]
                     pending.append(core)
                     progressed = True
                     if tracer.enabled:
                         tracer.comm_unblocked(core.core_id, core.cycles)
+            # Receive watchdog: a blocked tile whose wait outlives the
+            # deadline fails loud even while the rest of the system is
+            # still making progress.
+            if timeout and blocked:
+                horizon = max(core.cycles for core in live)
+                expired = [core for core in blocked
+                           if horizon - blocked_at[core] >= timeout]
+                if expired:
+                    error = self._recv_timeout(expired, blocked_at, horizon,
+                                               timeout)
+                    self._finalize_recorder(recorder, live, reasons,
+                                            "timeout", error.snapshot)
+                    raise error
             if not progressed and not pending:
                 if blocked:
                     error = self._deadlock(blocked)
@@ -329,6 +376,51 @@ class StitchSystem:
         )
         return RoundBudgetError(message, snapshot=snapshot)
 
+    def _blocked_receive(self, core):
+        """Per-tile snapshot of one blocked receive (shared vocabulary
+        between the deadlock and watchdog snapshots)."""
+        instr = core.program.instructions[core.pc]
+        peer = core.regs[instr.ra] if instr.op is Op.RECV else None
+        count = core.regs[instr.rd] if instr.op is Op.RECV else None
+        return {
+            "waiting_on": peer,
+            "words_needed": count,
+            "pending": self.fabric.pending_channels(core.core_id),
+            "cycles": core.cycles,
+        }
+
+    def _recv_timeout(self, expired, blocked_at, horizon, timeout):
+        """Build the RecvTimeoutError with its watchdog snapshot."""
+        tracer = self.telemetry.tracer
+        snapshot = {"deadline": timeout, "horizon": horizon, "tiles": {}}
+        details = []
+        for core in sorted(expired, key=lambda c: c.core_id):
+            tile = core.core_id
+            entry = self._blocked_receive(core)
+            entry["blocked_since"] = blocked_at[core]
+            snapshot["tiles"][tile] = entry
+            waited = horizon - blocked_at[core]
+            details.append(
+                f"tile {tile} has waited {waited} cycle(s) for "
+                f"{entry['words_needed']} word(s) from tile "
+                f"{entry['waiting_on']}"
+            )
+            if tracer.enabled:
+                tracer.recv_timeout(tile, entry["waiting_on"], waited,
+                                    core.cycles)
+            if self.injector.armed:
+                self.injector.log_detect(
+                    "recv", tile, core.cycles,
+                    waiting_on=entry["waiting_on"], deadline=timeout,
+                    horizon=horizon,
+                )
+        tiles = sorted(snapshot["tiles"])
+        message = (
+            f"receive watchdog expired ({timeout}-cycle deadline) on "
+            f"tiles {tiles}: " + "; ".join(details)
+        )
+        return RecvTimeoutError(message, snapshot=snapshot)
+
     def _deadlock(self, blocked):
         """Build the DeadlockError with its telemetry snapshot."""
         tracer = self.telemetry.tracer
@@ -336,23 +428,20 @@ class StitchSystem:
         details = []
         for core in sorted(blocked, key=lambda c: c.core_id):
             tile = core.core_id
-            instr = core.program.instructions[core.pc]
-            peer = core.regs[instr.ra] if instr.op is Op.RECV else None
-            count = core.regs[instr.rd] if instr.op is Op.RECV else None
-            pending = self.fabric.pending_channels(tile)
-            snapshot[tile] = {
-                "waiting_on": peer,
-                "words_needed": count,
-                "pending": pending,
-                "cycles": core.cycles,
-            }
-            queued = pending.get(peer, 0)
+            entry = self._blocked_receive(core)
+            snapshot[tile] = entry
+            peer = entry["waiting_on"]
+            count = entry["words_needed"]
+            queued = entry["pending"].get(peer, 0)
             details.append(
                 f"tile {tile} needs {count} word(s) from tile {peer} "
                 f"(channel holds {queued})"
             )
             if tracer.enabled:
                 tracer.deadlock(tile, peer, queued, core.cycles)
+            if self.injector.armed:
+                self.injector.log_detect("deadlock", tile, core.cycles,
+                                         waiting_on=peer)
         tiles = sorted(snapshot)
         message = (
             f"tiles {tiles} blocked on receives with no data in flight: "

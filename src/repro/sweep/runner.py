@@ -232,7 +232,14 @@ def _run_ring(config, workload):
     return metrics, stats
 
 
-_WORKLOADS = {"kernel": _run_kernel, "ring": _run_ring}
+def _run_chaos(config, workload):
+    """One fault-injection point (see :mod:`repro.chaos.campaign`)."""
+    from repro.chaos.campaign import run_chaos_point
+
+    return run_chaos_point(config, workload)
+
+
+_WORKLOADS = {"kernel": _run_kernel, "ring": _run_ring, "chaos": _run_chaos}
 
 
 def run_point(point):

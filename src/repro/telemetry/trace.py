@@ -134,6 +134,26 @@ class Tracer:
         self.instant((TILES, tile), f"DEADLOCK waiting<-{peer}", time,
                      category="comm", peer=peer, words=words_waiting)
 
+    def recv_timeout(self, tile, peer, waited, time):
+        """The receive watchdog expired on one blocked tile."""
+        self.instant((TILES, tile), f"RECV TIMEOUT waiting<-{peer}", time,
+                     category="chaos", peer=peer, waited=waited)
+
+    def fault(self, tile, site, time, **detail):
+        """An injected fault fired at its trigger."""
+        self.instant((TILES, tile), f"FAULT {site}", time,
+                     category="chaos", site=site, **detail)
+
+    def fault_detected(self, tile, site, time, **detail):
+        """A detection policy noticed an injected fault."""
+        self.instant((TILES, tile), f"DETECT {site}", time,
+                     category="chaos", site=site, **detail)
+
+    def fault_recovered(self, tile, site, time, **detail):
+        """A recovery policy repaired an injected fault."""
+        self.instant((TILES, tile), f"RECOVER {site}", time,
+                     category="chaos", site=site, **detail)
+
     # -- export --------------------------------------------------------------
 
     def tracks(self):
@@ -251,7 +271,8 @@ class NullTracer:
 
     tile_span = comm_send = comm_recv = span
     comm_blocked = comm_unblocked = cix = cache_miss = instant
-    link_reserved = deadlock = instant
+    link_reserved = deadlock = recv_timeout = instant
+    fault = fault_detected = fault_recovered = instant
 
     def tracks(self):
         return []

@@ -30,7 +30,12 @@ Four passes, none of which simulates anything:
 * **critpath checks** (``V10xx``) — the causal execution graph's two
   load-bearing invariants: the critical path reconciles exactly with
   the measured end-to-end cycles, and causality holds on every edge
-  (``repro critpath`` gates on these).
+  (``repro critpath`` gates on these),
+* **chaos checks** (``V11xx``) — fault-injection campaign accounting:
+  every planned fault triggered or untriggered, zero-fault plans
+  bit-identical, outcomes a closed world consistent with their
+  evidence, and recovery cycle totals reconciled (``repro chaos``
+  gates on these).
 
 Entry points: :func:`verify_source`, :func:`verify_kernel`,
 :func:`verify_compiled`, :func:`verify_plan`, :func:`verify_app`;
@@ -54,6 +59,7 @@ from repro.verify.api import (
     verify_plan,
     verify_source,
 )
+from repro.verify.chaos_checks import check_campaign
 from repro.verify.critpath_checks import (
     check_critpath,
     check_critpath_capture,
@@ -93,6 +99,7 @@ __all__ = [
     "verify_kernel",
     "verify_plan",
     "verify_source",
+    "check_campaign",
     "check_critpath",
     "check_critpath_capture",
     "check_dataflow",

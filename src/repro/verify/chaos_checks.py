@@ -1,0 +1,178 @@
+"""Campaign-report checks (``V11xx``): chaos accounting invariants.
+
+A fault-injection campaign (:mod:`repro.chaos.campaign`) is only
+trustworthy if its own books balance.  These rules reconcile each
+point's event log against its plan and outcome, and the campaign tally
+against the points — pure consistency checks over the JSON report,
+nothing simulated:
+
+* **V1100** — every fault accounted: per point,
+  ``faults_triggered + faults_untriggered`` equals the plan's fault
+  count, and the triggered count equals the number of ``fault`` events
+  actually logged.
+* **V1101** — zero-fault identity: a point whose plan injects nothing
+  must classify as ``masked`` with an empty event log, zero recovery
+  cycles, and output bit-identical to golden (an unarmed injector must
+  be unobservable).
+* **V1102** — closed-world outcomes: every point classifies into
+  exactly one of the four classes, its evidence is consistent with the
+  class (an ``sdc`` point logged no detection; a
+  ``detected_recovered`` point logged a recovery), and the campaign
+  tally equals the per-point recount.
+* **V1103** — recovery-cost reconciliation: per point, the
+  ``recovery_cycles`` total equals the sum of ``cycles_cost`` over its
+  ``recover`` events, and the campaign total equals the point sum.
+"""
+
+from repro.verify.diagnostics import Report, Severity, register_rule
+
+OUTCOME_CLASSES = ("masked", "detected_recovered", "detected_failed", "sdc")
+
+register_rule("V1100", Severity.ERROR,
+              "every planned fault accounted as triggered or untriggered",
+              "chaos")
+register_rule("V1101", Severity.ERROR,
+              "a zero-fault plan leaves the run bit-identical (masked, "
+              "no events)", "chaos")
+register_rule("V1102", Severity.ERROR,
+              "outcomes form a closed world consistent with their evidence",
+              "chaos")
+register_rule("V1103", Severity.ERROR,
+              "recovery cycle totals reconcile with recover events", "chaos")
+
+
+def _check_point(report, loc, metrics):
+    plan = metrics.get("plan", {})
+    faults = plan.get("faults", [])
+    events = metrics.get("events", [])
+    triggered = metrics.get("faults_triggered", 0)
+    untriggered = metrics.get("faults_untriggered", 0)
+    outcome = metrics.get("outcome")
+    loud = metrics.get("loud")
+
+    # V1100: fault accounting.
+    if triggered + untriggered != len(faults):
+        report.emit(
+            "V1100", loc,
+            f"plan has {len(faults)} fault(s) but "
+            f"{triggered} triggered + {untriggered} untriggered",
+        )
+    fault_events = sum(1 for e in events if e.get("kind") == "fault")
+    if fault_events != triggered:
+        report.emit(
+            "V1100", loc,
+            f"{triggered} fault(s) reported triggered but "
+            f"{fault_events} fault event(s) logged",
+        )
+
+    # V1101: an unarmed plan must be unobservable.
+    if not faults:
+        if outcome != "masked":
+            report.emit(
+                "V1101", loc,
+                f"zero-fault plan classified {outcome!r}, expected 'masked'",
+            )
+        if events:
+            report.emit(
+                "V1101", loc,
+                f"zero-fault plan logged {len(events)} event(s)",
+            )
+        if metrics.get("recovery_cycles", 0):
+            report.emit(
+                "V1101", loc,
+                f"zero-fault plan charged "
+                f"{metrics['recovery_cycles']} recovery cycle(s)",
+            )
+        golden = metrics.get("golden_checksum")
+        output = metrics.get("output_checksum")
+        if output is not None and output != golden:
+            report.emit(
+                "V1101", loc,
+                f"zero-fault output checksum {output} != golden {golden}",
+            )
+
+    # V1102: closed world + evidence consistency.
+    detected = any(e.get("kind") == "detect" for e in events) or loud is not None
+    recovered = any(e.get("kind") == "recover" for e in events)
+    if outcome not in OUTCOME_CLASSES:
+        report.emit(
+            "V1102", loc,
+            f"outcome {outcome!r} outside the closed world "
+            f"{list(OUTCOME_CLASSES)}",
+        )
+    elif outcome == "sdc" and detected:
+        report.emit(
+            "V1102", loc,
+            "classified 'sdc' but a detection was logged "
+            "(should be detected_failed)",
+        )
+    elif outcome == "detected_recovered" and not recovered:
+        report.emit(
+            "V1102", loc,
+            "classified 'detected_recovered' without a recover event",
+        )
+    elif outcome == "detected_recovered" and loud is not None:
+        report.emit(
+            "V1102", loc,
+            f"classified 'detected_recovered' but failed loud: {loud}",
+        )
+
+    # V1103: recovery cost reconciliation.
+    cost = sum(e.get("cycles_cost", 0) for e in events
+               if e.get("kind") == "recover")
+    if metrics.get("recovery_cycles", 0) != cost:
+        report.emit(
+            "V1103", loc,
+            f"recovery_cycles {metrics.get('recovery_cycles', 0)} != "
+            f"{cost} summed over recover events",
+        )
+
+
+def check_campaign(payload, subject=None):
+    """Verify one campaign report (the ``run_campaign`` payload).
+
+    Accepts the full report (with its ``campaign`` tally) or a bare
+    sweep payload of chaos points; returns a
+    :class:`~repro.verify.Report`.
+    """
+    report = Report(subject or "campaign")
+    results = payload.get("results", [])
+    recount = {name: 0 for name in OUTCOME_CLASSES}
+    point_recovery = 0
+    for record in results:
+        loc = record.get("id", "?")
+        if "error" in record:
+            continue  # captured harness errors are outside the taxonomy
+        metrics = record.get("metrics")
+        if metrics is None:
+            report.emit("V1102", loc, "point carries neither metrics "
+                                      "nor an error")
+            continue
+        _check_point(report, loc, metrics)
+        outcome = metrics.get("outcome")
+        if outcome in recount:
+            recount[outcome] += 1
+        point_recovery += metrics.get("recovery_cycles", 0)
+
+    campaign = payload.get("campaign")
+    if campaign is not None:
+        tally = campaign.get("outcomes", {})
+        if tally != recount:
+            report.emit(
+                "V1102", "campaign",
+                f"outcome tally {tally} != per-point recount {recount}",
+            )
+        if campaign.get("sdc") != recount["sdc"]:
+            report.emit(
+                "V1102", "campaign",
+                f"sdc field {campaign.get('sdc')} != recount "
+                f"{recount['sdc']}",
+            )
+        if campaign.get("recovery_cycles", 0) != point_recovery:
+            report.emit(
+                "V1103", "campaign",
+                f"campaign recovery_cycles "
+                f"{campaign.get('recovery_cycles', 0)} != point sum "
+                f"{point_recovery}",
+            )
+    return report

@@ -1,0 +1,126 @@
+"""V1100-V1103: tampered campaign reports must fail verification."""
+
+import copy
+
+from repro.chaos.campaign import run_campaign
+from repro.verify import check_campaign
+
+
+def small_campaign():
+    return run_campaign(["fir"], faults=3, seed=7)
+
+
+class TestChaosRules:
+    def setup_method(self):
+        self.report = small_campaign()
+        assert check_campaign(self.report).ok(strict=True)
+
+    def tampered(self, mutate):
+        forged = copy.deepcopy(self.report)
+        mutate(forged)
+        return check_campaign(forged)
+
+    def point(self, forged, index=0):
+        return forged["results"][index]["metrics"]
+
+    def test_v1100_missing_fault_accounting(self):
+        verdict = self.tampered(
+            lambda f: self.point(f).update(faults_untriggered=99)
+        )
+        assert "V1100" in verdict.codes()
+
+    def test_v1100_phantom_trigger_count(self):
+        def forge(f):
+            metrics = self.point(f)
+            metrics["faults_triggered"] += 1
+            metrics["faults_untriggered"] -= 1
+
+        assert "V1100" in self.tampered(forge).codes()
+
+    def test_v1101_zero_fault_plan_with_events(self):
+        def forge(f):
+            metrics = self.point(f)
+            metrics["plan"]["faults"] = []
+            metrics["faults_triggered"] = 0
+            metrics["faults_untriggered"] = 0
+
+        verdict = self.tampered(forge)
+        # The event log survives while the plan claims zero faults.
+        assert "V1101" in verdict.codes() or "V1100" in verdict.codes()
+
+    def test_v1101_zero_fault_checksum_drift(self):
+        def forge(f):
+            metrics = self.point(f)
+            metrics["plan"]["faults"] = []
+            metrics["events"] = []
+            metrics["faults_triggered"] = 0
+            metrics["faults_untriggered"] = 0
+            metrics["recovery_cycles"] = 0
+            metrics["outcome"] = "masked"
+            metrics["output_checksum"] = metrics["golden_checksum"] + 1
+            f["campaign"]["outcomes"] = None  # silence the tally recount
+            f["campaign"]["sdc"] = None
+            f["campaign"]["recovery_cycles"] = None
+
+        verdict = self.tampered(forge)
+        assert any(d.code == "V1101" and "checksum" in d.message
+                   for d in verdict.diagnostics)
+
+    def test_v1102_outcome_outside_closed_world(self):
+        verdict = self.tampered(
+            lambda f: self.point(f).update(outcome="meteor")
+        )
+        assert "V1102" in verdict.codes()
+
+    def test_v1102_sdc_despite_detection(self):
+        def forge(f):
+            metrics = self.point(f)
+            metrics["outcome"] = "sdc"
+            metrics["events"] = list(metrics["events"]) + [
+                {"kind": "detect", "site": "reg", "tile": 0, "cycle": 1}
+            ]
+            metrics["faults_triggered"] = sum(
+                1 for e in metrics["events"] if e["kind"] == "fault")
+            metrics["faults_untriggered"] = (
+                len(metrics["plan"]["faults"]) - metrics["faults_triggered"])
+
+        verdict = self.tampered(forge)
+        assert any(d.code == "V1102" and "sdc" in d.message
+                   for d in verdict.diagnostics)
+
+    def test_v1102_tally_mismatch(self):
+        def forge(f):
+            f["campaign"]["outcomes"]["sdc"] += 1
+            f["campaign"]["outcomes"]["masked"] -= 1
+
+        verdict = self.tampered(forge)
+        assert any(d.code == "V1102" and d.loc == "campaign"
+                   for d in verdict.diagnostics)
+
+    def test_v1103_point_cost_mismatch(self):
+        verdict = self.tampered(
+            lambda f: self.point(f).update(recovery_cycles=123456)
+        )
+        assert "V1103" in verdict.codes()
+
+    def test_v1103_campaign_total_mismatch(self):
+        def forge(f):
+            f["campaign"]["recovery_cycles"] += 7
+
+        verdict = self.tampered(forge)
+        assert any(d.code == "V1103" and d.loc == "campaign"
+                   for d in verdict.diagnostics)
+
+    def test_harness_errors_are_outside_the_taxonomy(self):
+        def forge(f):
+            record = f["results"][0]
+            record.pop("metrics")
+            record["error"] = "harness exploded"
+            tally = f["campaign"]["outcomes"]
+            f["campaign"]["outcomes"] = None  # recount no longer applies
+            f["campaign"]["sdc"] = None
+            f["campaign"]["recovery_cycles"] = None
+            assert tally is not None
+
+        verdict = self.tampered(forge)
+        assert not any(d.loc == "fir/7" for d in verdict.diagnostics)
